@@ -1,0 +1,85 @@
+"""Benchmarks for the ablation and fault-tolerance experiments (V5, A1-A3)."""
+
+from benchmarks.conftest import report
+from repro.experiments import (
+    ablation_buffers,
+    ablation_selection,
+    ablation_transitions,
+    fault_tolerance,
+)
+
+
+def test_v5_fault_rerouting(once):
+    """V5: richer turn sets recover more (src, dst) pairs under faults."""
+    report(once(fault_tolerance.run))
+
+
+def test_a1_buffer_discipline(once):
+    """A1: EbDa-relaxed buffers beat Duato-atomic under load."""
+    report(once(ablation_buffers.run))
+
+
+def test_a2_transition_scope(once):
+    """A2: all-ascending vs consecutive-only transitions."""
+    report(once(ablation_transitions.run))
+
+
+def test_a3_selection_policy(once):
+    """A3: selection policies on the adaptive design (safety unaffected)."""
+    report(once(ablation_selection.run))
+
+
+def test_e1_switching_modes(once):
+    """E1: WH / VCT / SAF deadlock-free under the same design (Assumption 1)."""
+    from repro.experiments import switching_modes
+
+    report(once(switching_modes.run))
+
+
+def test_e2_torus_dateline(once):
+    """E2: the dateline partitioning on a k-ary n-cube."""
+    from repro.experiments import torus_case
+
+    report(once(torus_case.run))
+
+
+def test_e3_fattree(once):
+    """E3: up*/down* on a fat-tree (the paper's declared future work)."""
+    from repro.experiments import fattree_case
+
+    report(once(fattree_case.run))
+
+
+def test_e4_multicast(once):
+    """E4: dual-path Hamiltonian multicast over the §6.2 partitioning."""
+    from repro.experiments import multicast_case
+
+    report(once(multicast_case.run))
+
+
+def test_e5_dragonfly(once):
+    """E5: dragonfly minimal routing as class-ordered partitions."""
+    from repro.experiments import dragonfly_case
+
+    report(once(dragonfly_case.run))
+
+
+def test_v6_scaling(once):
+    """V6: verification cost scales with the machine, not the design space."""
+    from repro.experiments import scaling
+
+    report(once(scaling.run))
+
+
+def test_a4_buffer_depth(once):
+    """A4: buffer depth vs latency; deadlock freedom is depth-invariant."""
+    from repro.experiments import ablation_depth
+
+    report(once(ablation_depth.run))
+
+
+def test_e6_planar_adaptive(once):
+    """E6: planar-adaptive routing — the 4n-4 channel design point."""
+    from repro.experiments import planar_case
+
+    report(once(planar_case.run))

@@ -1,0 +1,51 @@
+"""Benchmarks regenerating Figures 3-10 of the paper."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10
+
+
+def test_fig3_missing_direction(benchmark):
+    """Figure 3: {X+, X-, Y-} -> turns WS, SE, ES, SW; acyclic."""
+    report(benchmark(fig3.run))
+
+
+def test_fig4_ui_turn_numbering(benchmark):
+    """Figure 4: 9 U + 6 I turns for 3 VCs; n(n-1)/2 identity."""
+    report(benchmark(fig4.run))
+
+
+def test_fig5_theorem3_north_last(benchmark):
+    """Figure 5: PA{X+ X- Y-} -> PB{Y+} regenerates north-last."""
+    report(benchmark(fig5.run))
+
+
+def test_fig6_partitioning_strategies(benchmark):
+    """Figure 6: P1..P5 -> XY / partial / west-first / negative-first."""
+    report(benchmark(fig6.run))
+
+
+def test_fig7_2d_minimum(benchmark):
+    """Figure 7: 6 channels suffice in 2D; 5 provably do not."""
+    report(benchmark(fig7.run))
+
+
+def test_fig8_3d_turn_extraction(once):
+    """Figure 8: the 140-turn extraction for the (2,2,4)-VC 3D design."""
+    report(once(fig8.run))
+
+
+def test_fig9_3d_constructions(once):
+    """Figure 9: 24-channel vs 16-channel 3D fully adaptive designs."""
+    report(once(fig9.run))
+
+
+def test_fig10_odd_even_rules(benchmark):
+    """Figure 10: Odd-Even rules verified over all routing states."""
+    report(benchmark(fig10.run))
+
+
+def test_fig1_fig2_definitions(benchmark):
+    """Figures 1-2: the definitional objects, instantiated and checked."""
+    from repro.experiments import fig1_fig2
+
+    report(benchmark(fig1_fig2.run))

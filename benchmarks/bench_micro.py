@@ -1,0 +1,93 @@
+"""Microbenchmarks: throughput of the library's hot paths.
+
+These measure the *tooling* cost (how fast a designer can iterate), in
+contrast to the macro experiment benchmarks that regenerate paper
+artifacts.
+"""
+
+import pytest
+
+from repro.cdg import build_design_cdg, verify_design
+from repro.core import catalog, extract_turns, minimal_fully_adaptive, partition_vc_budget
+from repro.routing import MinimalFullyAdaptive, TurnTableRouting, xy_routing
+from repro.sim import NetworkSimulator, TrafficConfig, TrafficGenerator
+from repro.topology import Mesh
+
+
+def test_algorithm1_3d(benchmark):
+    """Partition a (3,2,3)-VC 3D budget with Algorithm 1."""
+    seq = benchmark(partition_vc_budget, [3, 2, 3])
+    assert seq.channel_count == 16
+
+
+def test_turn_extraction_fig9b(benchmark):
+    """Extract the 140 turns of the 3D minimal design."""
+    design = catalog.fig9b_partitions()
+    ts = benchmark(extract_turns, design)
+    assert len(ts) == 140
+
+
+def test_cdg_verification_8x8(benchmark):
+    """Verify the DyXY design on an 8x8 mesh (768 wires)."""
+    mesh = Mesh(8, 8)
+    design = catalog.dyxy_partitions()
+    verdict = benchmark(verify_design, design, mesh)
+    assert verdict.acyclic
+
+
+def test_cdg_verification_3d(benchmark):
+    """Verify the 16-channel design on a 4x4x4 mesh."""
+    mesh = Mesh(4, 4, 4)
+    design = catalog.fig9b_partitions()
+    verdict = benchmark(verify_design, design, mesh)
+    assert verdict.acyclic
+
+
+def test_minimal_construction_6d(benchmark):
+    """Build the (n+1)*2^(n-1) construction for n=6 (224 channels)."""
+    seq = benchmark(minimal_fully_adaptive, 6)
+    assert seq.channel_count == 224
+
+
+def test_routing_table_build_8x8(benchmark):
+    """Construct + connect-check turn-table routing on an 8x8 mesh."""
+
+    def build():
+        mesh = Mesh(8, 8)
+        r = TurnTableRouting(mesh, catalog.dyxy_partitions())
+        r.candidates((0, 0), (7, 7), None)
+        return r
+
+    assert benchmark(build) is not None
+
+
+def test_simulation_throughput_xy(once):
+    """Simulate 2000 cycles of an 8x8 mesh under XY at moderate load."""
+    mesh = Mesh(8, 8)
+
+    def run():
+        sim = NetworkSimulator(mesh, xy_routing(mesh), buffer_depth=4)
+        traffic = TrafficGenerator(
+            mesh, TrafficConfig(injection_rate=0.05, packet_length=4, seed=1)
+        )
+        return sim.run(2000, traffic, drain=True)
+
+    stats = once(run)
+    assert not stats.deadlocked
+    assert stats.packets_delivered == stats.packets_injected
+
+
+def test_simulation_throughput_adaptive(once):
+    """Simulate 2000 cycles of an 8x8 mesh under the EbDa adaptive design."""
+    mesh = Mesh(8, 8)
+
+    def run():
+        sim = NetworkSimulator(mesh, MinimalFullyAdaptive(mesh), buffer_depth=4)
+        traffic = TrafficGenerator(
+            mesh, TrafficConfig(injection_rate=0.05, packet_length=4, seed=1)
+        )
+        return sim.run(2000, traffic, drain=True)
+
+    stats = once(run)
+    assert not stats.deadlocked
+    assert stats.packets_delivered == stats.packets_injected

@@ -1,0 +1,42 @@
+"""Benchmarks for the in-text results: §2, §4, §5 and §6.1/§6.2."""
+
+from benchmarks.conftest import report
+from repro.experiments import (
+    algorithm1_demo,
+    complexity,
+    hamiltonian,
+    minimal_channels,
+    turnmodel_search,
+)
+
+
+def test_s2_complexity_accounting(benchmark):
+    """§2: turn-model verification cost (16, 65,536, ...) vs EbDa."""
+    report(benchmark(complexity.run))
+
+
+def test_s4_minimum_channels(once):
+    """§4: N = (n+1) * 2^(n-1); constructions verified for n = 2..5."""
+    report(once(minimal_channels.run))
+
+
+def test_s5_algorithm1_worked_example(once):
+    """§5: Algorithm 1 on (3,2,3) VCs reproduces Figure 9(c)."""
+    report(once(algorithm1_demo.run))
+
+
+def test_s61_glass_ni_search(benchmark):
+    """§6.1: 16 combinations -> 12 deadlock-free -> 3 unique models."""
+    report(benchmark(turnmodel_search.run))
+
+
+def test_s62_hamiltonian_path(benchmark):
+    """§6.2: the Hamiltonian-path strategy's 8 turns among the 12 allowed."""
+    report(benchmark(hamiltonian.run))
+
+
+def test_s5b_design_space(once):
+    """S5b: enumerate + verify the entire derivable design space."""
+    from repro.experiments import design_space
+
+    report(once(design_space.run))

@@ -1,0 +1,34 @@
+"""Benchmarks regenerating Tables 1-5 of the paper (§6)."""
+
+from benchmarks.conftest import report
+from repro.experiments import table1, table2, table3, table4, table5
+
+
+def test_table1_max_adaptiveness(benchmark):
+    """Table 1: 12 partitioning options with maximum adaptiveness."""
+    result = benchmark(table1.run)
+    report(result)
+
+
+def test_table2_intermediate_adaptiveness(benchmark):
+    """Table 2: three-partition options."""
+    result = benchmark(table2.run)
+    report(result)
+
+
+def test_table3_deterministic(benchmark):
+    """Table 3: deterministic partitioning options (XY/YX...)."""
+    result = benchmark(table3.run)
+    report(result)
+
+
+def test_table4_odd_even(benchmark):
+    """Table 4: Odd-Even turns recovered by partitioning."""
+    result = benchmark(table4.run)
+    report(result)
+
+
+def test_table5_partial3d(benchmark):
+    """Table 5: the partial-3D design's 30 turns vs Elevator-First's 16."""
+    result = benchmark(table5.run)
+    report(result)

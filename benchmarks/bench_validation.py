@@ -1,0 +1,24 @@
+"""Benchmarks for the verification experiments V1-V4 (see DESIGN.md)."""
+
+from benchmarks.conftest import report
+from repro.experiments import cdg_validation, deadlock_demo, partial3d_sim, perf_sweep
+
+
+def test_v1_every_design_acyclic(once):
+    """V1: every Algorithm-1/2 design has an acyclic concrete CDG."""
+    report(once(cdg_validation.run))
+
+
+def test_v2_deadlock_stress(once):
+    """V2: the unrestricted baseline deadlocks; EbDa designs never do."""
+    report(once(deadlock_demo.run))
+
+
+def test_v3_latency_throughput(once):
+    """V3: latency vs injection rate for the derived algorithms."""
+    report(once(perf_sweep.run))
+
+
+def test_v4_partial3d_comparison(once):
+    """V4: §6.3 design vs Elevator-First on a partial 3D NoC."""
+    report(once(partial3d_sim.run))

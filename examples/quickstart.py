@@ -1,0 +1,51 @@
+"""Quickstart: design, verify and simulate a deadlock-free routing algorithm.
+
+The whole EbDa workflow in ~40 lines:
+
+1. write channels into ordered disjoint partitions (here: north-last);
+2. extract the allowed turns (Theorems 1-3);
+3. verify deadlock freedom on a concrete mesh (Dally's criterion);
+4. run wormhole traffic over it and watch everything arrive.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PartitionSequence, extract_turns
+from repro.cdg import verify_design
+from repro.routing import TurnTableRouting
+from repro.sim import NetworkSimulator, TrafficConfig, TrafficGenerator
+from repro.topology import Mesh
+
+
+def main() -> None:
+    # 1. An EbDa design is just partitions traced in order.  {X+, X-, Y-}
+    #    then {Y+} is the paper's Theorem-3 example — the north-last model.
+    design = PartitionSequence.parse("X+ X- Y- -> Y+").validate()
+    print(f"design: {design}")
+
+    # 2. The turns fall out of the theorems mechanically.
+    turns = extract_turns(design)
+    print(f"allowed turns ({len(turns)}):")
+    print(turns.describe())
+
+    # 3. Dally verification on a concrete 8x8 mesh.
+    mesh = Mesh(8, 8)
+    verdict = verify_design(design, mesh)
+    print(f"\nCDG verdict: {verdict}")
+    assert verdict.acyclic
+
+    # 4. Simulate: uniform random wormhole traffic, then drain.
+    routing = TurnTableRouting(mesh, design, label="north-last")
+    sim = NetworkSimulator(mesh, routing, buffer_depth=4)
+    traffic = TrafficGenerator(
+        mesh, TrafficConfig(injection_rate=0.05, packet_length=4, seed=1)
+    )
+    stats = sim.run(2000, traffic, drain=True)
+    print(f"\nsimulation: {stats.summary(len(mesh.nodes))}")
+    assert not stats.deadlocked
+    assert stats.packets_delivered == stats.packets_injected
+    print("all packets delivered - the design is deadlock-free in practice too.")
+
+
+if __name__ == "__main__":
+    main()

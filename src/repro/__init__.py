@@ -1,0 +1,81 @@
+"""EbDa — design and verification of deadlock-free interconnection networks.
+
+A full reproduction of *"EbDa: A New Theory on Design and Verification of
+Deadlock-free Interconnection Networks"* (Ebrahimi & Daneshtalab, ISCA
+2017), comprising:
+
+* :mod:`repro.core` — the EbDa theory: channels, partitions, the three
+  theorems, turn extraction, Algorithm 1/2, minimal-channel constructions;
+* :mod:`repro.cdg` — channel dependency graphs (Dally verification), the
+  Glass-Ni turn-model enumeration, combinatorial complexity accounting;
+* :mod:`repro.topology` — n-D mesh, k-ary n-cube, vertically partially
+  connected 3D, and irregular topologies;
+* :mod:`repro.routing` — EbDa table-driven routing plus the baseline
+  algorithms the paper discusses (XY, west-first, north-last,
+  negative-first, Odd-Even, DyXY, Elevator-First, Up*/Down*);
+* :mod:`repro.sim` — a cycle-based flit-level wormhole network simulator
+  with virtual channels, credit flow control and deadlock detection;
+* :mod:`repro.analysis` — adaptiveness metrics and turn accounting;
+* :mod:`repro.experiments` — one harness per table/figure of the paper.
+
+Quickstart::
+
+    from repro import PartitionSequence, extract_turns
+    from repro.cdg import verify_design
+    from repro.topology import Mesh
+
+    design = PartitionSequence.parse("X- -> X+ Y+ Y-")   # west-first
+    verdict = verify_design(design, Mesh(8, 8))
+    assert verdict.acyclic
+"""
+
+from repro.core import (
+    Channel,
+    Partition,
+    PartitionSequence,
+    Turn,
+    TurnKind,
+    TurnSet,
+    channels,
+    check_sequence,
+    extract_turns,
+    min_channels,
+    minimal_fully_adaptive,
+    partition_vc_budget,
+)
+from repro.errors import (
+    ChannelParseError,
+    DeadlockDetected,
+    EbdaError,
+    PartitionError,
+    RoutingError,
+    SimulationError,
+    TheoremViolation,
+    TopologyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Channel",
+    "Partition",
+    "PartitionSequence",
+    "Turn",
+    "TurnKind",
+    "TurnSet",
+    "channels",
+    "check_sequence",
+    "extract_turns",
+    "min_channels",
+    "minimal_fully_adaptive",
+    "partition_vc_budget",
+    "ChannelParseError",
+    "DeadlockDetected",
+    "EbdaError",
+    "PartitionError",
+    "RoutingError",
+    "SimulationError",
+    "TheoremViolation",
+    "TopologyError",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Analysis: turn accounting, adaptivity metrics, report formatting."""
+
+from repro.analysis.codegen import Decision, decision_table, full_logic_listing, routing_logic
+from repro.analysis.pathdiversity import (
+    AdaptivityReport,
+    adaptivity_report,
+    minimal_paths,
+    path_is_routable,
+    region_pairs,
+)
+from repro.analysis.report import banner, bullet_list, text_table
+from repro.analysis.utilization import link_utilization, mesh_heatmap, utilization_stats
+from repro.analysis.turncount import (
+    TurnCensus,
+    census,
+    compass_channel,
+    compass_turn,
+    degree90_compass_set,
+    format_turn_table,
+    turn_table,
+)
+
+__all__ = [
+    "Decision",
+    "decision_table",
+    "full_logic_listing",
+    "routing_logic",
+    "AdaptivityReport",
+    "adaptivity_report",
+    "minimal_paths",
+    "path_is_routable",
+    "region_pairs",
+    "banner",
+    "bullet_list",
+    "text_table",
+    "link_utilization",
+    "mesh_heatmap",
+    "utilization_stats",
+    "TurnCensus",
+    "census",
+    "compass_channel",
+    "compass_turn",
+    "degree90_compass_set",
+    "format_turn_table",
+    "turn_table",
+]

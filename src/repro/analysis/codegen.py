@@ -1,0 +1,149 @@
+"""Routing-unit logic generation (§5.4).
+
+"In the routing unit, turns can be expressed by some if-else statements."
+This module derives those statements from any 2D routing function: for
+every incoming channel class (including injection) and every destination
+region (sign of the X/Y offsets), it collects the offered output channels
+across all (src, dst) pairs and emits the paper-style pseudocode.
+
+Used by designers to inspect what a partition sequence *means* in RTL
+terms, and by the test-suite to confirm e.g. that the XY design compiles
+to the paper's exact two-branch snippet shape while the fully adaptive
+design yields ``Channel <- E or N`` in the NE region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.turncount import compass_channel
+from repro.core.channel import Channel
+from repro.errors import RoutingError
+from repro.routing.base import RoutingFunction
+from repro.topology.mesh import Mesh
+
+#: Offset-sign regions in display order, with their conditions.
+_REGIONS: tuple[tuple[tuple[int, int], str], ...] = (
+    ((+1, +1), "X_offset > 0 and Y_offset > 0"),
+    ((+1, -1), "X_offset > 0 and Y_offset < 0"),
+    ((-1, +1), "X_offset < 0 and Y_offset > 0"),
+    ((-1, -1), "X_offset < 0 and Y_offset < 0"),
+    ((+1, 0), "X_offset > 0 and Y_offset = 0"),
+    ((-1, 0), "X_offset < 0 and Y_offset = 0"),
+    ((0, +1), "X_offset = 0 and Y_offset > 0"),
+    ((0, -1), "X_offset = 0 and Y_offset < 0"),
+)
+
+
+def _sign(v: int) -> int:
+    return (v > 0) - (v < 0)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One row of the decision table."""
+
+    in_channel: Channel | None
+    region: tuple[int, int]
+    condition: str
+    #: Output channel-class sets observed; one entry when the decision is
+    #: position-independent, several when it varies with location (e.g.
+    #: Odd-Even's column parity).
+    outputs: tuple[frozenset[Channel], ...]
+
+    @property
+    def uniform(self) -> bool:
+        """True when every position in the region sees the same options."""
+        return len(self.outputs) == 1
+
+    def render(self) -> str:
+        def fmt(options: frozenset[Channel]) -> str:
+            # channels identical up to VC number are "identical turns"
+            # (§6.3) — the logic shows each direction once
+            labels = sorted({compass_channel(c, with_vc=False) for c in options})
+            return " or ".join(labels) if labels else "(blocked)"
+
+        if self.uniform:
+            return fmt(self.outputs[0])
+        return " | ".join(fmt(o) for o in self.outputs) + "   (position-dependent)"
+
+
+def decision_table(
+    routing: RoutingFunction,
+    mesh: Mesh | None = None,
+    in_channel: Channel | None = None,
+) -> list[Decision]:
+    """Observed routing decisions per destination region.
+
+    Only reachable states are sampled: for a non-None ``in_channel`` the
+    pair (src, dst) is included when some position actually offers that
+    arrival under the function's own moves (approximated by offset
+    feasibility: the incoming move must have been productive).
+    """
+    if mesh is None:
+        mesh = routing.topology  # type: ignore[assignment]
+    if not isinstance(mesh, Mesh) or mesh.n_dims != 2:
+        raise RoutingError("decision tables are generated for 2D meshes")
+    table: list[Decision] = []
+    for region, condition in _REGIONS:
+        seen: dict[frozenset[Channel], None] = {}
+        for src in mesh.nodes:
+            for dst in mesh.nodes:
+                if src == dst:
+                    continue
+                if (_sign(dst[0] - src[0]), _sign(dst[1] - src[1])) != region:
+                    continue
+                if in_channel is not None:
+                    # the packet just moved along in_channel: that move must
+                    # have been productive from the previous position, which
+                    # requires room behind src in that direction
+                    prev = (
+                        src[0] - in_channel.sign if in_channel.dim == 0 else src[0],
+                        src[1] - in_channel.sign if in_channel.dim == 1 else src[1],
+                    )
+                    if prev not in mesh.node_set:
+                        continue
+                options = frozenset(
+                    ch for _nxt, ch in routing.candidates(src, dst, in_channel)
+                )
+                seen.setdefault(options, None)
+        if seen:
+            table.append(
+                Decision(in_channel, region, condition, tuple(seen))
+            )
+    return table
+
+
+def routing_logic(
+    routing: RoutingFunction,
+    mesh: Mesh | None = None,
+    in_channel: Channel | None = None,
+) -> str:
+    """The §5.4-style if-else pseudocode for one incoming channel state.
+
+    >>> from repro.routing import xy_routing
+    >>> print(routing_logic(xy_routing(Mesh(4, 4))).splitlines()[0])
+    if X_offset > 0 and Y_offset > 0 then Channel <- E;
+    """
+    lines = []
+    keyword = "if"
+    for decision in decision_table(routing, mesh, in_channel):
+        lines.append(
+            f"{keyword} {decision.condition} then Channel <- {decision.render()};"
+        )
+        keyword = "elsif"
+    lines.append("end if;")
+    return "\n".join(lines)
+
+
+def full_logic_listing(routing: RoutingFunction, mesh: Mesh | None = None) -> str:
+    """Pseudocode for injection plus every incoming channel class."""
+    if mesh is None:
+        mesh = routing.topology  # type: ignore[assignment]
+    sections = [f"-- {routing.name} on {mesh!r}"]
+    sections.append("-- injection (no incoming channel):")
+    sections.append(routing_logic(routing, mesh, None))
+    for ch in routing.channel_classes:
+        sections.append(f"\n-- arriving on {compass_channel(ch)}:")
+        sections.append(routing_logic(routing, mesh, ch))
+    return "\n".join(sections)

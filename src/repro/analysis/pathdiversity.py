@@ -1,0 +1,152 @@
+"""Adaptivity metrics on concrete networks.
+
+Section 4 calls a design *fully adaptive* when every minimal path is
+available.  This module measures that directly against a routing function:
+enumerate the minimal node-paths of each (src, dst) pair and check, via a
+feasible-class-set propagation, whether the routing function can realise
+each one.  ``adaptivity == 1.0`` is the operational definition of fully
+adaptive; deterministic algorithms score ``1 / #paths`` on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.channel import Channel
+from repro.routing.base import RoutingFunction
+from repro.topology.base import Coord, Topology
+
+
+def minimal_paths(topology: Topology, src: Coord, dst: Coord) -> Iterator[tuple[Coord, ...]]:
+    """All minimal node-paths from ``src`` to ``dst`` (DFS over the oracle)."""
+
+    def extend(path: tuple[Coord, ...]) -> Iterator[tuple[Coord, ...]]:
+        cur = path[-1]
+        if cur == dst:
+            yield path
+            return
+        for dim, sign in topology.minimal_directions(cur, dst):
+            nxt = topology._step(cur, dim, sign)
+            if nxt is not None:
+                yield from extend(path + (nxt,))
+
+    yield from extend((src,))
+
+
+def path_is_routable(routing: RoutingFunction, path: Sequence[Coord]) -> bool:
+    """Can the routing function realise this node-path with some class choice?
+
+    Propagates the set of feasible channel classes hop by hop; the path is
+    routable when the set stays non-empty to the end.
+    """
+    if len(path) < 2:
+        return True
+    dst = path[-1]
+    feasible: set[Channel] = {
+        ch for nxt, ch in routing.candidates(path[0], dst, None) if nxt == path[1]
+    }
+    for i in range(1, len(path) - 1):
+        if not feasible:
+            return False
+        nxt_feasible: set[Channel] = set()
+        for cls in feasible:
+            for nxt, ch in routing.candidates(path[i], dst, cls):
+                if nxt == path[i + 1]:
+                    nxt_feasible.add(ch)
+        feasible = nxt_feasible
+    return bool(feasible)
+
+
+@dataclass(frozen=True)
+class AdaptivityReport:
+    """Minimal-path availability for one routing function."""
+
+    routing_name: str
+    pairs: int
+    total_paths: int
+    routable_paths: int
+    fully_adaptive_pairs: int
+
+    @property
+    def adaptivity(self) -> float:
+        """Fraction of minimal paths the algorithm can use."""
+        if self.total_paths == 0:
+            return 1.0
+        return self.routable_paths / self.total_paths
+
+    @property
+    def is_fully_adaptive(self) -> bool:
+        return self.routable_paths == self.total_paths
+
+    def __str__(self) -> str:
+        return (
+            f"{self.routing_name}: adaptivity={self.adaptivity:.3f}"
+            f" ({self.routable_paths}/{self.total_paths} minimal paths,"
+            f" {self.fully_adaptive_pairs}/{self.pairs} pairs fully adaptive)"
+        )
+
+
+def adaptivity_report(
+    topology: Topology,
+    routing: RoutingFunction,
+    pairs: Sequence[tuple[Coord, Coord]] | None = None,
+    *,
+    max_paths_per_pair: int = 1000,
+) -> AdaptivityReport:
+    """Measure adaptivity over the given (or all) src/dst pairs."""
+    if pairs is None:
+        pairs = [
+            (s, d) for s in topology.nodes for d in topology.nodes if s != d
+        ]
+    total = 0
+    routable = 0
+    fully = 0
+    for src, dst in pairs:
+        pair_total = 0
+        pair_routable = 0
+        for path in minimal_paths(topology, src, dst):
+            pair_total += 1
+            if pair_total > max_paths_per_pair:
+                raise ValueError(
+                    f"pair {src}->{dst} has more than {max_paths_per_pair}"
+                    " minimal paths; sample pairs instead"
+                )
+            if path_is_routable(routing, path):
+                pair_routable += 1
+        total += pair_total
+        routable += pair_routable
+        if pair_total and pair_routable == pair_total:
+            fully += 1
+    return AdaptivityReport(
+        routing_name=routing.name,
+        pairs=len(pairs),
+        total_paths=total,
+        routable_paths=routable,
+        fully_adaptive_pairs=fully,
+    )
+
+
+def region_pairs(topology: Topology, region_signs: tuple[int, ...]) -> list[tuple[Coord, Coord]]:
+    """All (src, dst) pairs whose destination lies in the given region.
+
+    Used to reproduce statements like "fully adaptive in the NE region".
+    """
+    out = []
+    for src in topology.nodes:
+        for dst in topology.nodes:
+            if src == dst:
+                continue
+            ok = True
+            for d, sign in enumerate(region_signs):
+                delta = dst[d] - src[d]
+                if delta != 0 and (1 if delta > 0 else -1) != sign:
+                    ok = False
+                    break
+                if delta == 0 and sign != +1:
+                    # ties count as positive, mirroring regions.region_of
+                    ok = False
+                    break
+            if ok:
+                out.append((src, dst))
+    return out

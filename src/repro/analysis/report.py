@@ -1,0 +1,37 @@
+"""Small text-table helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def text_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(text_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a   b
+    --  --
+    1   x
+    22  yy
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def bullet_list(items: Iterable[object], *, prefix: str = "  - ") -> str:
+    """Render items one per line with a bullet prefix."""
+    return "\n".join(f"{prefix}{item}" for item in items)
+
+
+def banner(title: str, *, width: int = 72) -> str:
+    """Section banner used by benchmark output."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"

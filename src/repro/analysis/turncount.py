@@ -1,0 +1,123 @@
+"""Turn accounting in the paper's notation (Figure 8, Tables 4 and 5).
+
+The paper writes turns in compass letters with VC suffixes: ``W1U4`` is a
+turn from the first west channel to the fourth up channel.  This module
+renders a design's extracted turns that way and produces the per-rule
+summary tables the case studies report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.channel import Channel
+from repro.core.extraction import extract_turns
+from repro.core.sequence import PartitionSequence
+from repro.core.turns import Turn, TurnKind, TurnSet
+
+_COMPASS = {
+    (0, +1): "E", (0, -1): "W",
+    (1, +1): "N", (1, -1): "S",
+    (2, +1): "U", (2, -1): "D",
+}
+
+
+def compass_channel(ch: Channel, *, with_vc: bool = True) -> str:
+    """Paper-style channel label: ``X1-`` -> ``'W1'`` (or ``'W'``).
+
+    Spatial classes append as subscripts: ``Y+@e`` -> ``'Ne'``.
+    """
+    key = (ch.dim, ch.sign)
+    letter = _COMPASS.get(key)
+    if letter is None:
+        letter = f"{ch.dim_letter}{ch.sign_char}"
+    label = letter + (str(ch.vc) if with_vc else "")
+    if ch.cls:
+        label += ch.cls
+    return label
+
+
+def compass_turn(turn: Turn, *, with_vc: bool = True) -> str:
+    """Paper-style turn label: ``X1- -> Z4+`` becomes ``'W1U4'``."""
+    return compass_channel(turn.src, with_vc=with_vc) + compass_channel(
+        turn.dst, with_vc=with_vc
+    )
+
+
+@dataclass(frozen=True)
+class TurnCensus:
+    """Aggregate turn counts for one design."""
+
+    design: str
+    degree90: int
+    u_turns: int
+    i_turns: int
+    identical_groups: int
+
+    @property
+    def total(self) -> int:
+        return self.degree90 + self.u_turns + self.i_turns
+
+    def __str__(self) -> str:
+        return (
+            f"{self.design}: {self.degree90} x 90-degree, {self.u_turns} U,"
+            f" {self.i_turns} I ({self.total} total;"
+            f" {self.identical_groups} distinct geometries)"
+        )
+
+
+def census(design: PartitionSequence, *, name: str | None = None, **kwargs) -> TurnCensus:
+    """Count a design's turns by kind, plus distinct geometric shapes.
+
+    *Identical turns* (paper §6.3) share the geometry (src/dst dimension
+    and sign) but differ in VC number or class; ``identical_groups`` is
+    the number of distinct geometries among the 90-degree turns.
+    """
+    turnset = extract_turns(design, **kwargs)
+    by_kind = turnset.count_by_kind()
+    geometries = {
+        ((t.src.dim, t.src.sign), (t.dst.dim, t.dst.sign))
+        for t in turnset.of_kind(TurnKind.DEGREE90)
+    }
+    return TurnCensus(
+        design=name or design.arrow_notation(),
+        degree90=by_kind[TurnKind.DEGREE90],
+        u_turns=by_kind[TurnKind.UTURN],
+        i_turns=by_kind[TurnKind.ITURN],
+        identical_groups=len(geometries),
+    )
+
+
+def turn_table(turnset: TurnSet, *, with_vc: bool = True) -> dict[str, dict[str, list[str]]]:
+    """Figure-8 style table: rule -> kind -> compass turn labels."""
+    out: dict[str, dict[str, list[str]]] = {}
+    for label, turns in turnset.rules.items():
+        if not turns:
+            continue
+        group: dict[str, list[str]] = {"Turns": [], "U-Turns": [], "I-Turns": []}
+        for t in sorted(turns):
+            kind = {
+                TurnKind.DEGREE90: "Turns",
+                TurnKind.UTURN: "U-Turns",
+                TurnKind.ITURN: "I-Turns",
+            }[t.kind]
+            group[kind].append(compass_turn(t, with_vc=with_vc))
+        out[label] = {k: v for k, v in group.items() if v}
+    return out
+
+
+def format_turn_table(turnset: TurnSet, *, with_vc: bool = True) -> str:
+    """Render :func:`turn_table` as the paper's figure text."""
+    lines: list[str] = []
+    for label, groups in turn_table(turnset, with_vc=with_vc).items():
+        segs = [f"{kind}: {', '.join(turns)}" for kind, turns in groups.items()]
+        lines.append(f"{label}: {{{'; '.join(segs)}}}")
+    return "\n".join(lines)
+
+
+def degree90_compass_set(design: PartitionSequence, *, with_vc: bool = True, **kwargs) -> frozenset[str]:
+    """The design's 90-degree turns as compass labels (Table 4/5 comparisons)."""
+    turnset = extract_turns(design, **kwargs)
+    return frozenset(
+        compass_turn(t, with_vc=with_vc) for t in turnset.of_kind(TurnKind.DEGREE90)
+    )

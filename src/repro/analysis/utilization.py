@@ -1,0 +1,93 @@
+"""Link-utilization accounting and ASCII heatmaps.
+
+Every wire counts the flits it carried; this module aggregates those
+counters per physical link and renders a 2D mesh as an ASCII heatmap —
+the quickest way to *see* where a routing algorithm concentrates load
+(XY's row/column hotspots vs an adaptive design's spread).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.topology.base import Coord, Link
+from repro.topology.mesh import Mesh
+
+if TYPE_CHECKING:
+    from repro.sim.network import NetworkSimulator
+
+#: Shade ramp from idle to saturated.
+_SHADES = " .:-=+*#%@"
+
+
+def link_utilization(sim: "NetworkSimulator") -> dict[Link, float]:
+    """Flits per cycle carried by each physical link (0..1)."""
+    if sim.cycle == 0:
+        return {link: 0.0 for link in {w.link for w in sim.wires}}
+    totals: dict[Link, int] = {}
+    for wire, ws in sim.state.items():
+        totals[wire.link] = totals.get(wire.link, 0) + ws.flits_carried
+    return {link: count / sim.cycle for link, count in totals.items()}
+
+
+def utilization_stats(sim: "NetworkSimulator") -> tuple[float, float, float]:
+    """(mean, max, imbalance) of link utilization.
+
+    *Imbalance* is max/mean — 1.0 for perfectly even load; deterministic
+    algorithms under permutation traffic score far higher.
+    """
+    values = list(link_utilization(sim).values())
+    if not values or not any(values):
+        return 0.0, 0.0, 1.0
+    mean = sum(values) / len(values)
+    peak = max(values)
+    return mean, peak, (peak / mean if mean else 1.0)
+
+
+def _shade(value: float, peak: float) -> str:
+    if peak <= 0:
+        return _SHADES[0]
+    idx = min(len(_SHADES) - 1, int(value / peak * (len(_SHADES) - 1) + 0.5))
+    return _SHADES[idx]
+
+
+def mesh_heatmap(sim: "NetworkSimulator") -> str:
+    """ASCII heatmap of a 2D mesh's link loads.
+
+    Routers render as ``o``; the two characters between routers shade the
+    busier direction of the horizontal/vertical link pair.  Row 0 prints
+    at the bottom (matching the paper's figures).
+    """
+    topo = sim.topology
+    if not isinstance(topo, Mesh) or topo.n_dims != 2:
+        raise SimulationError("heatmaps are rendered for 2D meshes")
+    util = link_utilization(sim)
+    peak = max(util.values(), default=0.0)
+    kx, ky = topo.shape
+
+    def load(a: Coord, b: Coord) -> float:
+        out = 0.0
+        for u, v in ((a, b), (b, a)):
+            link = topo._link_map.get((u, v))
+            if link is not None:
+                out = max(out, util.get(link, 0.0))
+        return out
+
+    rows: list[str] = []
+    for y in reversed(range(ky)):
+        cells = []
+        for x in range(kx):
+            cells.append("o")
+            if x + 1 < kx:
+                cells.append(_shade(load((x, y), (x + 1, y)), peak) * 2)
+        rows.append("".join(cells))
+        if y > 0:
+            vert = []
+            for x in range(kx):
+                vert.append(_shade(load((x, y - 1), (x, y)), peak))
+                if x + 1 < kx:
+                    vert.append("  ")
+            rows.append("".join(vert))
+    legend = f"peak link load: {peak:.3f} flits/cycle;  ramp '{_SHADES}'"
+    return "\n".join(rows + [legend])

@@ -1,0 +1,69 @@
+"""Channel dependency graphs: Dally verification and turn-model search."""
+
+from repro.cdg.abstract import (
+    abstract_graph,
+    cross_partition_edges_ascend,
+    partition_order_graph,
+    recover_partitions,
+)
+from repro.cdg.complexity import (
+    ComplexityRow,
+    abstract_cycles,
+    ebda_design_cost,
+    section2_table,
+    turn_combinations,
+)
+from repro.cdg.graph import build_design_cdg, build_routing_cdg, build_turn_cdg
+from repro.cdg.turnmodel import (
+    ALL_TURNS_2D,
+    CLOCKWISE,
+    COUNTERCLOCKWISE,
+    TurnModelCandidate,
+    all_candidates,
+    classify_orbit,
+    deadlock_free_candidates,
+    is_deadlock_free,
+    symmetry_orbit,
+    turn_label,
+    unique_turn_models,
+)
+from repro.cdg.verify import (
+    Verdict,
+    all_cycles,
+    verdict_for,
+    verify_design,
+    verify_routing,
+    verify_turnset,
+)
+
+__all__ = [
+    "abstract_graph",
+    "cross_partition_edges_ascend",
+    "partition_order_graph",
+    "recover_partitions",
+    "ComplexityRow",
+    "abstract_cycles",
+    "ebda_design_cost",
+    "section2_table",
+    "turn_combinations",
+    "build_design_cdg",
+    "build_routing_cdg",
+    "build_turn_cdg",
+    "ALL_TURNS_2D",
+    "CLOCKWISE",
+    "COUNTERCLOCKWISE",
+    "TurnModelCandidate",
+    "all_candidates",
+    "classify_orbit",
+    "deadlock_free_candidates",
+    "is_deadlock_free",
+    "symmetry_orbit",
+    "turn_label",
+    "unique_turn_models",
+    "Verdict",
+    "all_cycles",
+    "verdict_for",
+    "verify_design",
+    "verify_routing",
+    "verify_turnset",
+]

@@ -1,0 +1,82 @@
+"""Abstract (class-level) dependency graphs.
+
+The abstract graph relates channel *classes* rather than concrete wires.
+Inside a partition it legitimately contains cycles (``X+ -> Y- -> X+``);
+Theorem 1's geometric argument is precisely that such class cycles cannot
+close on a concrete network.  The abstract graph is still useful:
+
+* cross-partition edges must form a DAG over partitions (Theorem 3), which
+  :func:`partition_order_graph` checks;
+* the condensation of the abstract graph shows the designer the partition
+  structure a turn set implies.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.sequence import PartitionSequence
+from repro.core.turns import TurnSet
+
+
+def abstract_graph(turnset: TurnSet) -> "nx.DiGraph":
+    """Class-level dependency graph: one node per channel class."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(turnset.channels())
+    for t in turnset.turns:
+        graph.add_edge(t.src, t.dst)
+    return graph
+
+
+def partition_order_graph(design: PartitionSequence, turnset: TurnSet) -> "nx.DiGraph":
+    """Partition-level graph: an edge P -> Q when some turn crosses P to Q."""
+    graph = nx.DiGraph()
+    names = [p.name or f"P{i}" for i, p in enumerate(design)]
+    graph.add_nodes_from(names)
+    index = {}
+    for i, part in enumerate(design):
+        for ch in part:
+            index[ch] = i
+    for t in turnset.turns:
+        src_p = index.get(t.src)
+        dst_p = index.get(t.dst)
+        if src_p is None or dst_p is None or src_p == dst_p:
+            continue
+        graph.add_edge(names[src_p], names[dst_p])
+    return graph
+
+
+def cross_partition_edges_ascend(design: PartitionSequence, turnset: TurnSet) -> bool:
+    """Theorem 3 sanity: every cross-partition turn flows forward.
+
+    True for any turn set produced by
+    :func:`repro.core.extraction.extract_turns`; useful when validating a
+    hand-written turn set against a claimed partitioning.
+    """
+    index = {}
+    for i, part in enumerate(design):
+        for ch in part:
+            index[ch] = i
+    for t in turnset.turns:
+        src_p = index.get(t.src)
+        dst_p = index.get(t.dst)
+        if src_p is None or dst_p is None:
+            return False
+        if src_p > dst_p:
+            return False
+    return True
+
+
+def recover_partitions(turnset: TurnSet) -> list[frozenset]:
+    """Infer a partition structure from a turn set (design archaeology).
+
+    Channels mutually reachable through allowed turns form the strongly
+    connected components of the abstract graph; the components, ordered
+    topologically, are a candidate partition sequence that would generate
+    (a superset of) the turn set.  Useful to reverse-engineer classic turn
+    models into EbDa designs.
+    """
+    graph = abstract_graph(turnset)
+    condensed = nx.condensation(graph)
+    order = list(nx.topological_sort(condensed))
+    return [frozenset(condensed.nodes[i]["members"]) for i in order]

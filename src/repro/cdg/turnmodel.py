@@ -1,0 +1,167 @@
+"""The Glass–Ni turn-model search (Section 2 and §6.1 of the paper).
+
+In a 2D mesh without VCs there are eight 90-degree turns forming two
+abstract cycles (clockwise and counter-clockwise).  The turn-model method
+prohibits one turn from each cycle — ``4 x 4 = 16`` combinations — and
+each combination must then be verified for deadlock freedom, including
+"complex" (non-simple) cycles.  The paper reports that 12 of the 16 are
+deadlock-free and 3 are unique up to symmetry (west-first, north-last,
+negative-first).  This module performs that search with the concrete CDG
+verifier, reproducing the counts computationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable
+
+from repro.cdg.graph import build_turn_cdg
+from repro.cdg.verify import Verdict, verdict_for
+from repro.core.channel import Channel
+from repro.core.turns import Turn, TurnSet
+from repro.topology.base import Topology
+from repro.topology.mesh import Mesh
+
+E = Channel.parse("X+")
+W = Channel.parse("X-")
+N = Channel.parse("Y+")
+S = Channel.parse("Y-")
+
+#: The abstract clockwise cycle: E -> S -> W -> N -> E.
+CLOCKWISE = (Turn(E, S), Turn(S, W), Turn(W, N), Turn(N, E))
+#: The abstract counter-clockwise cycle: E -> N -> W -> S -> E.
+COUNTERCLOCKWISE = (Turn(E, N), Turn(N, W), Turn(W, S), Turn(S, E))
+
+ALL_TURNS_2D = CLOCKWISE + COUNTERCLOCKWISE
+
+_DIR_NAMES = {E: "E", W: "W", N: "N", S: "S"}
+
+
+def turn_label(t: Turn) -> str:
+    """Compass label, e.g. ``Turn(X+ -> Y-)`` -> ``'ES'``."""
+    return _DIR_NAMES[t.src] + _DIR_NAMES[t.dst]
+
+
+@dataclass(frozen=True)
+class TurnModelCandidate:
+    """One of the 16 combinations: a pair of prohibited turns."""
+
+    prohibited_cw: Turn
+    prohibited_ccw: Turn
+
+    @property
+    def allowed_turns(self) -> tuple[Turn, ...]:
+        """The six turns the candidate permits."""
+        banned = {self.prohibited_cw, self.prohibited_ccw}
+        return tuple(t for t in ALL_TURNS_2D if t not in banned)
+
+    def turnset(self) -> TurnSet:
+        """The candidate as a TurnSet (no U-/I-turns: no VCs here)."""
+        return TurnSet({"turn-model": self.allowed_turns})
+
+    def label(self) -> str:
+        """E.g. ``'no ES, no NW'``."""
+        return f"no {turn_label(self.prohibited_cw)}, no {turn_label(self.prohibited_ccw)}"
+
+
+def all_candidates() -> tuple[TurnModelCandidate, ...]:
+    """The 16 combinations of removing one turn per abstract cycle."""
+    return tuple(
+        TurnModelCandidate(cw, ccw)
+        for cw, ccw in product(CLOCKWISE, COUNTERCLOCKWISE)
+    )
+
+
+def is_deadlock_free(candidate: TurnModelCandidate, topology: Topology | None = None) -> Verdict:
+    """Concrete-CDG verdict for one candidate (default: 4x4 mesh).
+
+    The concrete graph automatically covers simple *and* complex cycles —
+    any cyclic wait appears as a directed cycle over wires.
+    """
+    topo = topology or Mesh(4, 4)
+    graph = build_turn_cdg(topo, candidate.turnset(), (E, W, N, S))
+    return verdict_for(graph)
+
+
+def deadlock_free_candidates(topology: Topology | None = None) -> tuple[TurnModelCandidate, ...]:
+    """All combinations whose concrete CDG is acyclic (the paper: 12 of 16)."""
+    return tuple(c for c in all_candidates() if is_deadlock_free(c, topology).acyclic)
+
+
+# -- symmetry classification -------------------------------------------------
+
+def _rot90(ch: Channel) -> Channel:
+    """Rotate a direction 90 degrees counter-clockwise: E->N->W->S->E."""
+    mapping = {E: N, N: W, W: S, S: E}
+    return mapping[ch]
+
+
+def _mirror(ch: Channel) -> Channel:
+    """Reflect across the Y axis: E<->W, N and S fixed."""
+    mapping = {E: W, W: E, N: N, S: S}
+    return mapping[ch]
+
+
+def _apply(f, candidate: TurnModelCandidate) -> TurnModelCandidate:
+    def map_turn(t: Turn) -> Turn:
+        return Turn(f(t.src), f(t.dst))
+
+    a, b = map_turn(candidate.prohibited_cw), map_turn(candidate.prohibited_ccw)
+    # A symmetry may swap the two abstract cycles (mirrors reverse
+    # orientation); normalise so the first prohibited turn is clockwise.
+    if a in CLOCKWISE:
+        return TurnModelCandidate(a, b)
+    return TurnModelCandidate(b, a)
+
+
+def symmetry_orbit(candidate: TurnModelCandidate) -> frozenset[TurnModelCandidate]:
+    """The candidate's orbit under the 8 symmetries of the square."""
+    found = {candidate}
+    frontier = [candidate]
+    while frontier:
+        cur = frontier.pop()
+        for image in (_apply(_rot90, cur), _apply(_mirror, cur)):
+            if image not in found:
+                found.add(image)
+                frontier.append(image)
+    return frozenset(found)
+
+
+def unique_turn_models(topology: Topology | None = None) -> list[frozenset[TurnModelCandidate]]:
+    """Orbits of the deadlock-free combinations (the paper: 3 unique).
+
+    Returns the orbits sorted by size then representative label.
+    """
+    free = deadlock_free_candidates(topology)
+    seen: set[frozenset[TurnModelCandidate]] = set()
+    orbits: list[frozenset[TurnModelCandidate]] = []
+    for cand in free:
+        orbit = symmetry_orbit(cand) & set(free)
+        if orbit not in seen:
+            seen.add(orbit)
+            orbits.append(orbit)
+    return sorted(orbits, key=lambda o: (len(o), min(c.label() for c in o)))
+
+
+#: Canonical prohibited-turn pairs of the three named models, for labelling.
+NAMED_MODELS = {
+    # west-first: no turns *to* west — prohibit SW (cw) and NW (ccw)
+    frozenset({"SW", "NW"}): "west-first",
+    # north-last: no turns *out of* north — prohibit NE (cw) and NW (ccw)
+    frozenset({"NE", "NW"}): "north-last",
+    # negative-first: no ES (cw, positive->negative) and no WS... canonical
+    # form prohibits ES and NW (turns from a positive to a negative dir)
+    frozenset({"ES", "NW"}): "negative-first",
+}
+
+
+def classify_orbit(orbit: Iterable[TurnModelCandidate]) -> str:
+    """Name an orbit when it contains one of the three canonical models."""
+    for cand in orbit:
+        key = frozenset(
+            {turn_label(cand.prohibited_cw), turn_label(cand.prohibited_ccw)}
+        )
+        if key in NAMED_MODELS:
+            return NAMED_MODELS[key]
+    return "unnamed"

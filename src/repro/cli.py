@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the available experiments and named designs.
+``run <experiment-id> [...]``
+    Run one or more experiments (or ``all``) and print their reports.
+``verify <design> [--mesh KxK[xK]] [--rule NAME]``
+    Verify a partition sequence in arrow notation on a concrete topology.
+``design <vc-budget>``
+    Run Algorithm 1 on a comma-separated VC budget and print the design,
+    its turns and its verification verdict.
+``simulate <design-name> [--mesh ...] [--rate ...] [--cycles ...]``
+    Simulate a catalog design (or arrow notation) under uniform traffic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import format_turn_table
+from repro.cdg import verify_design
+from repro.core import PartitionSequence, catalog, extract_turns, partition_vc_budget
+from repro.errors import EbdaError
+from repro.topology import Mesh, NAMED_RULES
+from repro.topology.classes import rule_for_design
+
+
+def _parse_mesh(spec: str) -> Mesh:
+    try:
+        return Mesh(*(int(k) for k in spec.lower().split("x")))
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        raise SystemExit(f"bad mesh spec {spec!r} (use e.g. 8x8 or 4x4x4): {exc}")
+
+
+def _resolve_design(text: str) -> tuple[PartitionSequence, str]:
+    """A catalog name or arrow notation -> (design, suggested rule name)."""
+    if text in catalog.NAMED_DESIGNS:
+        return catalog.design(text), text
+    try:
+        return PartitionSequence.parse(text).validate(), ""
+    except EbdaError as exc:
+        raise SystemExit(f"cannot parse design {text!r}: {exc}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    print("experiments:")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    print("\nnamed designs:")
+    for name in sorted(catalog.NAMED_DESIGNS):
+        print(f"  {name:20s} {catalog.design(name).arrow_notation()}")
+    print("\nclass rules:", ", ".join(sorted(NAMED_RULES)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s): {', '.join(unknown)}"
+            f" (try: {', '.join(ALL_EXPERIMENTS)})"
+        )
+    failures = 0
+    for name in wanted:
+        result = ALL_EXPERIMENTS[name]()
+        print(result.report())
+        print()
+        if not result.passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) FAILED", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    design, suggested = _resolve_design(args.design)
+    mesh = _parse_mesh(args.mesh)
+    if args.rule:
+        if args.rule not in NAMED_RULES:
+            raise SystemExit(
+                f"unknown rule {args.rule!r}; known: {', '.join(NAMED_RULES)}"
+            )
+        rule = NAMED_RULES[args.rule]
+    else:
+        rule = rule_for_design(suggested)
+    print(f"design: {design}")
+    verdict = verify_design(design, mesh, rule)
+    print(f"on {mesh!r}: {verdict}")
+    return 0 if verdict.acyclic else 1
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    try:
+        budget = [int(v) for v in args.budget.split(",")]
+    except ValueError:
+        raise SystemExit(f"bad VC budget {args.budget!r} (use e.g. 3,2,3)")
+    design = partition_vc_budget(budget)
+    print("Algorithm 1 output:")
+    for part in design:
+        print(f"  {part}")
+    turns = extract_turns(design)
+    print(f"\nturns ({len(turns)}):")
+    print(format_turn_table(turns))
+    mesh = Mesh(*([4] * min(len(budget), 2) + [3] * max(0, len(budget) - 2)))
+    print(f"\nverification on {mesh!r}: {verify_design(design, mesh)}")
+    return 0
+
+
+def cmd_logic(args: argparse.Namespace) -> int:
+    from repro.analysis import full_logic_listing
+    from repro.routing import TurnTableRouting
+
+    design, suggested = _resolve_design(args.design)
+    mesh = _parse_mesh(args.mesh)
+    rule = rule_for_design(suggested)
+    routing = TurnTableRouting(mesh, design, rule, label=suggested or "custom")
+    print(full_logic_listing(routing, mesh))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.routing import TurnTableRouting
+    from repro.sim import NetworkSimulator, TrafficConfig, TrafficGenerator
+
+    design, suggested = _resolve_design(args.design)
+    mesh = _parse_mesh(args.mesh)
+    rule = rule_for_design(suggested)
+    routing = TurnTableRouting(mesh, design, rule, label=suggested or "custom")
+    sim = NetworkSimulator(mesh, routing, rule, buffer_depth=args.buffers)
+    traffic = TrafficGenerator(
+        mesh,
+        TrafficConfig(
+            injection_rate=args.rate, packet_length=args.length, seed=args.seed
+        ),
+    )
+    stats = sim.run(args.cycles, traffic, drain=True)
+    print(stats.summary(len(mesh.nodes)))
+    return 1 if stats.deadlocked else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EbDa: design and verification of deadlock-free interconnection networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and named designs").set_defaults(
+        func=cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="run experiments by id (or 'all')")
+    p_run.add_argument("experiments", nargs="+")
+    p_run.set_defaults(func=cmd_run)
+
+    p_verify = sub.add_parser("verify", help="verify a design on a mesh")
+    p_verify.add_argument("design", help="catalog name or arrow notation")
+    p_verify.add_argument("--mesh", default="8x8")
+    p_verify.add_argument("--rule", default="", help=f"one of: {', '.join(NAMED_RULES)}")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_design = sub.add_parser("design", help="run Algorithm 1 on a VC budget")
+    p_design.add_argument("budget", help="comma-separated VCs per dimension, e.g. 3,2,3")
+    p_design.set_defaults(func=cmd_design)
+
+    p_logic = sub.add_parser("logic", help="emit the §5.4 if-else routing logic")
+    p_logic.add_argument("design", help="catalog name or arrow notation (2D)")
+    p_logic.add_argument("--mesh", default="4x4")
+    p_logic.set_defaults(func=cmd_logic)
+
+    p_sim = sub.add_parser("simulate", help="simulate a design under uniform traffic")
+    p_sim.add_argument("design")
+    p_sim.add_argument("--mesh", default="8x8")
+    p_sim.add_argument("--rate", type=float, default=0.05)
+    p_sim.add_argument("--cycles", type=int, default=2000)
+    p_sim.add_argument("--length", type=int, default=4)
+    p_sim.add_argument("--buffers", type=int, default=4)
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

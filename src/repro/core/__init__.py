@@ -1,0 +1,148 @@
+"""EbDa core theory: channels, partitions, theorems, turn extraction.
+
+The public surface of the paper's contribution.  Typical flow::
+
+    from repro.core import PartitionSequence, extract_turns
+
+    design = PartitionSequence.parse("X+ X- Y- -> Y+")   # north-last
+    turns = extract_turns(design.validate())
+"""
+
+from repro.core.channel import (
+    NEG,
+    POS,
+    Channel,
+    channels,
+    complete_pairs,
+    dim_index,
+    dim_name,
+    parse_star,
+)
+from repro.core.partition import Partition
+from repro.core.sequence import PartitionSequence
+from repro.core.theorems import (
+    TheoremReport,
+    check_sequence,
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    require_sequence,
+    require_theorem1,
+)
+from repro.core.turns import Turn, TurnKind, TurnSet, turn, turnset_from_strings
+from repro.core.extraction import (
+    degree90_turns,
+    extract_turns,
+    theorem1_turns,
+    theorem2_turns,
+    theorem3_turns,
+)
+from repro.core.arrangements import (
+    DimensionSet,
+    arrangement1,
+    arrangement2,
+    arrangement3,
+    sets_from_vc_counts,
+)
+from repro.core.partitioning import (
+    head_selector,
+    merge_deficient,
+    partition_sets,
+    partition_vc_budget,
+    region_balancing_selector,
+)
+from repro.core.derivation import (
+    derivation_space_size,
+    derive_by_rotation,
+    fully_deterministic,
+    split_partitions,
+    trace_orders,
+)
+from repro.core.exceptional import (
+    negative_first,
+    option_for_signs,
+    positive_first,
+    two_partition_options,
+)
+from repro.core.minimal import (
+    is_structurally_fully_adaptive,
+    min_channels,
+    minimal_fully_adaptive,
+    per_region_construction,
+    region_assignment,
+    vc_requirements,
+)
+from repro.core.regions import (
+    all_regions,
+    covers_all_regions,
+    region_name,
+    region_of,
+    regions_covered,
+    uncovered_regions,
+)
+from repro.core.planar import planar_adaptive_design, planar_channel_count
+from repro.core import catalog
+
+__all__ = [
+    "NEG",
+    "POS",
+    "Channel",
+    "channels",
+    "complete_pairs",
+    "dim_index",
+    "dim_name",
+    "parse_star",
+    "Partition",
+    "PartitionSequence",
+    "TheoremReport",
+    "check_sequence",
+    "check_theorem1",
+    "check_theorem2",
+    "check_theorem3",
+    "require_sequence",
+    "require_theorem1",
+    "Turn",
+    "TurnKind",
+    "TurnSet",
+    "turn",
+    "turnset_from_strings",
+    "degree90_turns",
+    "extract_turns",
+    "theorem1_turns",
+    "theorem2_turns",
+    "theorem3_turns",
+    "DimensionSet",
+    "arrangement1",
+    "arrangement2",
+    "arrangement3",
+    "sets_from_vc_counts",
+    "head_selector",
+    "merge_deficient",
+    "partition_sets",
+    "partition_vc_budget",
+    "region_balancing_selector",
+    "derivation_space_size",
+    "derive_by_rotation",
+    "fully_deterministic",
+    "split_partitions",
+    "trace_orders",
+    "negative_first",
+    "option_for_signs",
+    "positive_first",
+    "two_partition_options",
+    "is_structurally_fully_adaptive",
+    "min_channels",
+    "minimal_fully_adaptive",
+    "per_region_construction",
+    "region_assignment",
+    "vc_requirements",
+    "all_regions",
+    "covers_all_regions",
+    "region_name",
+    "region_of",
+    "regions_covered",
+    "uncovered_regions",
+    "planar_adaptive_design",
+    "planar_channel_count",
+    "catalog",
+]

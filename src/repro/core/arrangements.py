@@ -1,0 +1,194 @@
+"""Set arrangements (Section 5.1).
+
+The partitioning procedure (Algorithm 1) consumes an ordered list of
+*dimension sets*: one set per dimension, holding that dimension's channels
+in D-pair order.  This module builds the sets from a VC budget and
+implements the three arrangements:
+
+* **Arrangement 1** — order sets by the number of D-pairs they cover
+  (descending); this is the default input to Algorithm 1.
+* **Arrangement 2** — when several sets tie with Set1, any of them may
+  lead; :func:`arrangement2` enumerates the alternatives.
+* **Arrangement 3** — VCs inside Set1 can be re-paired (``Y1+ Y2-`` is as
+  good a pair as ``Y1+ Y1-``), giving ``q!`` pairings;
+  :func:`arrangement3` enumerates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import permutations
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.channel import NEG, POS, Channel, dim_name
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class DimensionSet:
+    """One dimension's channels, ordered for pairwise consumption.
+
+    The canonical layout interleaves directions so that consecutive
+    elements form D-pairs, exactly as the paper writes them:
+    ``{Y1+ Y1- Y2+ Y2- ...}``.
+    """
+
+    dim: int
+    channels: tuple[Channel, ...]
+
+    def __post_init__(self) -> None:
+        for ch in self.channels:
+            if ch.dim != self.dim:
+                raise PartitionError(
+                    f"channel {ch} does not belong to dimension {dim_name(self.dim)}"
+                )
+        if len(set(self.channels)) != len(self.channels):
+            raise PartitionError(f"duplicate channels in set for {dim_name(self.dim)}")
+
+    def __str__(self) -> str:
+        return f"D_{dim_name(self.dim)} = {{{' '.join(map(str, self.channels))}}}"
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    @property
+    def pair_count(self) -> int:
+        """Number of complete D-pairs this set can still form.
+
+        With ``p`` positive and ``m`` negative channels remaining, at most
+        ``min(p, m)`` pairs exist (signs pair regardless of VC number).
+        """
+        pos = sum(1 for ch in self.channels if ch.sign == POS)
+        return min(pos, len(self.channels) - pos)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.channels
+
+    def head(self) -> Channel:
+        """The first remaining channel."""
+        if not self.channels:
+            raise PartitionError(f"dimension set {dim_name(self.dim)} is empty")
+        return self.channels[0]
+
+    def head_pair(self) -> tuple[Channel, Channel]:
+        """The first available D-pair: first positive + first negative channel."""
+        pos = next((c for c in self.channels if c.sign == POS), None)
+        neg = next((c for c in self.channels if c.sign == NEG), None)
+        if pos is None or neg is None:
+            raise PartitionError(
+                f"dimension set {dim_name(self.dim)} has no complete pair left"
+            )
+        return pos, neg
+
+    def first_with_sign(self, sign: int) -> Channel | None:
+        """First remaining channel with the requested direction, if any."""
+        return next((c for c in self.channels if c.sign == sign), None)
+
+    def without(self, taken: Iterable[Channel]) -> "DimensionSet":
+        """A copy with ``taken`` channels removed, order preserved."""
+        drop = set(taken)
+        return replace(self, channels=tuple(c for c in self.channels if c not in drop))
+
+    def rotated_channels(self, k: int) -> "DimensionSet":
+        """Channel-wise left circular shift by ``k`` (Algorithm 2 line 6/9)."""
+        if not self.channels:
+            return self
+        k %= len(self.channels)
+        return replace(self, channels=self.channels[k:] + self.channels[:k])
+
+    def rotated_pairs(self, k: int) -> "DimensionSet":
+        """Pair-wise left circular shift by ``k`` pairs (Algorithm 2 line 11)."""
+        if len(self.channels) % 2 != 0:
+            # odd count: fall back to channel rotation by 2k
+            return self.rotated_channels(2 * k)
+        pairs = [self.channels[i: i + 2] for i in range(0, len(self.channels), 2)]
+        k %= max(len(pairs), 1)
+        rotated = pairs[k:] + pairs[:k]
+        return replace(self, channels=tuple(ch for pair in rotated for ch in pair))
+
+
+def sets_from_vc_counts(vc_counts: Sequence[int] | Mapping[int, int]) -> list[DimensionSet]:
+    """Build one :class:`DimensionSet` per dimension from a VC budget.
+
+    ``vc_counts[d]`` is the number of virtual channels along dimension
+    ``d``; each VC contributes one positive and one negative channel, laid
+    out pairwise: ``X1+ X1- X2+ X2- ...``.
+
+    >>> [str(s) for s in sets_from_vc_counts([1, 2])]
+    ['D_X = {X+ X-}', 'D_Y = {Y+ Y- Y2+ Y2-}']
+    """
+    if isinstance(vc_counts, Mapping):
+        items = sorted(vc_counts.items())
+    else:
+        items = list(enumerate(vc_counts))
+    sets: list[DimensionSet] = []
+    for dim, count in items:
+        if count < 1:
+            raise PartitionError(f"dimension {dim_name(dim)} needs at least 1 VC, got {count}")
+        chans: list[Channel] = []
+        for vc in range(1, count + 1):
+            chans.append(Channel(dim, POS, vc))
+            chans.append(Channel(dim, NEG, vc))
+        sets.append(DimensionSet(dim, tuple(chans)))
+    return sets
+
+
+def arrangement1(sets: Iterable[DimensionSet]) -> list[DimensionSet]:
+    """Order sets by descending pair count (stable) — Arrangement 1.
+
+    >>> s = sets_from_vc_counts([3, 2, 3])
+    >>> [x.dim for x in arrangement1(s)]
+    [0, 2, 1]
+    """
+    return sorted(sets, key=lambda s: -s.pair_count)
+
+
+def arrangement2(sets: Iterable[DimensionSet]) -> Iterator[list[DimensionSet]]:
+    """Enumerate orderings allowed by Arrangement 2.
+
+    All sets tied with the largest pair count may be permuted amongst the
+    leading positions; the rest keep their Arrangement-1 order.
+    """
+    ordered = arrangement1(sets)
+    if not ordered:
+        yield []
+        return
+    top = ordered[0].pair_count
+    leaders = [s for s in ordered if s.pair_count == top]
+    rest = [s for s in ordered if s.pair_count != top]
+    seen: set[tuple[int, ...]] = set()
+    for perm in permutations(leaders):
+        key = tuple(s.dim for s in perm)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield list(perm) + rest
+
+
+def repaired_set(dimset: DimensionSet, pairing: Sequence[int]) -> DimensionSet:
+    """Re-pair the VCs of a set: positive VC ``i`` pairs with negative VC ``pairing[i]``.
+
+    ``pairing`` is a permutation of VC indices (0-based into the set's
+    negative channels).  This realises Arrangement 3's ``q!`` options.
+
+    >>> s = sets_from_vc_counts([2])[0]
+    >>> str(repaired_set(s, [1, 0]))
+    'D_X = {X+ X2- X2+ X-}'
+    """
+    pos = [c for c in dimset.channels if c.sign == POS]
+    neg = [c for c in dimset.channels if c.sign == NEG]
+    if len(pos) != len(neg) or sorted(pairing) != list(range(len(neg))):
+        raise PartitionError("pairing must be a permutation over the set's VC count")
+    out: list[Channel] = []
+    for i, p in enumerate(pos):
+        out.append(p)
+        out.append(neg[pairing[i]])
+    return replace(dimset, channels=tuple(out))
+
+
+def arrangement3(dimset: DimensionSet) -> Iterator[DimensionSet]:
+    """Enumerate all ``q!`` re-pairings of one dimension set (Arrangement 3)."""
+    q = len(dimset.channels) // 2
+    for pairing in permutations(range(q)):
+        yield repaired_set(dimset, pairing)

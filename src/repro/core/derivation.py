@@ -1,0 +1,132 @@
+"""Algorithm 2 — deriving alternative partitioning options (Section 5.3).
+
+Three derivation levers are provided:
+
+* :func:`derive_by_rotation` — Algorithm 2 proper: circularly shift Set1
+  pairwise and every other set channel-wise, running Algorithm 1 on each
+  rotation combination;
+* :func:`split_partitions` — §5.3.2: increase the number of partitions
+  (down to fully deterministic one-channel partitions);
+* :func:`trace_orders` — §5.3.3: trace the same partitions in different
+  consecutive orders.
+
+All generators yield *validated* :class:`PartitionSequence` objects and
+de-duplicate structurally identical outcomes.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import Iterator, Sequence
+
+from repro.core.arrangements import DimensionSet
+from repro.core.partition import Partition
+from repro.core.partitioning import Selector, head_selector, partition_sets
+from repro.core.sequence import PartitionSequence
+from repro.core.theorems import check_sequence
+
+
+def _sequence_key(seq: PartitionSequence) -> tuple:
+    """Structural identity: ordered tuple of channel frozensets."""
+    return tuple(p.channel_set for p in seq)
+
+
+def derive_by_rotation(
+    sets: Sequence[DimensionSet],
+    *,
+    selector: Selector = head_selector,
+    merge: bool = True,
+    limit: int | None = None,
+) -> Iterator[PartitionSequence]:
+    """Enumerate Algorithm-2 rotations of the arranged sets.
+
+    Set1 is rotated pair-wise (``q`` positions); every other set is rotated
+    channel-wise (its length in positions), and Algorithm 1 runs on each
+    combination.  Structurally duplicate results are suppressed.
+
+    >>> from repro.core.arrangements import sets_from_vc_counts, arrangement1
+    >>> opts = list(derive_by_rotation(arrangement1(sets_from_vc_counts([1, 1]))))
+    >>> len(opts) >= 2
+    True
+    """
+    sets = list(sets)
+    if not sets:
+        return
+    lead_rot = max(len(sets[0].channels) // 2, 1)
+    other_rots = [max(len(s.channels), 1) for s in sets[1:]]
+    seen: set[tuple] = set()
+    count = 0
+    for shifts in product(range(lead_rot), *[range(r) for r in other_rots]):
+        rotated = [sets[0].rotated_pairs(shifts[0])]
+        rotated += [s.rotated_channels(k) for s, k in zip(sets[1:], shifts[1:])]
+        seq = partition_sets(rotated, selector=selector, merge=merge, reorder=True)
+        key = _sequence_key(seq)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield seq
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def split_partitions(sequence: PartitionSequence) -> Iterator[PartitionSequence]:
+    """§5.3.2 — derive less-adaptive designs by splitting partitions.
+
+    Each yield splits one multi-channel partition into two consecutive
+    pieces (every proper prefix split), preserving channel order so the
+    Theorem-2 numbering survives.  Applying repeatedly converges to a fully
+    deterministic design (all partitions of size one).
+    """
+    parts = sequence.partitions
+    for idx, part in enumerate(parts):
+        if len(part) < 2:
+            continue
+        for cut in range(1, len(part)):
+            head = Partition(part.channels[:cut], name=f"{part.name}a" if part.name else "")
+            tail = Partition(part.channels[cut:], name=f"{part.name}b" if part.name else "")
+            candidate = PartitionSequence(parts[:idx] + (head, tail) + parts[idx + 1:])
+            if check_sequence(candidate).ok:
+                yield candidate
+
+
+def fully_deterministic(sequence: PartitionSequence) -> PartitionSequence:
+    """Split every partition down to single channels (§5.3.2 end point).
+
+    The resulting design admits exactly one legal channel order — a
+    deterministic routing algorithm such as XY.
+    """
+    singles = [
+        Partition((ch,), name=f"P{i}")
+        for i, ch in enumerate(sequence.all_channels)
+    ]
+    return PartitionSequence(tuple(singles))
+
+
+def trace_orders(
+    sequence: PartitionSequence, *, limit: int | None = None
+) -> Iterator[PartitionSequence]:
+    """§5.3.3 — the same partitions traced in every consecutive order.
+
+    All ``k!`` orders of the ``k`` partitions are valid EbDa designs (the
+    theorems only need *some* fixed ascending order); each yields a
+    different turn set.  The original order is yielded first.
+    """
+    parts = sequence.partitions
+    emitted = 0
+    for perm in permutations(range(len(parts))):
+        candidate = PartitionSequence(tuple(parts[i] for i in perm))
+        yield candidate
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+
+
+def derivation_space_size(sets: Sequence[DimensionSet]) -> int:
+    """Number of rotation combinations Algorithm 2 explores (before dedup)."""
+    if not sets:
+        return 0
+    size = max(len(sets[0].channels) // 2, 1)
+    for s in sets[1:]:
+        size *= max(len(s.channels), 1)
+    return size

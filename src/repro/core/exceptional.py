@@ -1,0 +1,71 @@
+"""The exceptional no-VC case (Section 5.2.2).
+
+When no virtual channels are available, channels can be divided into two
+partitions neither of which holds a complete pair: one channel per
+dimension goes to PA and the opposite channels to PB.  Exchanging channels
+between the two partitions enumerates ``2^n`` sign assignments, and each
+assignment can be traced PA->PB or PB->PA, giving the paper's "eight
+partitioning options in total" for 3D (2^3 assignments; the paper lists
+four and obtains the other four by switching PAs and PBs).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Sequence
+
+from repro.core.channel import NEG, POS, Channel
+from repro.core.partition import Partition
+from repro.core.sequence import PartitionSequence
+from repro.errors import PartitionError
+
+
+def two_partition_options(n_dims: int, *, include_reversed: bool = False) -> Iterator[PartitionSequence]:
+    """Enumerate the §5.2.2 no-VC two-partition designs for ``n_dims``.
+
+    Each design is ``PA -> PB`` where PA holds one channel per dimension
+    (one sign choice per dimension) and PB holds the opposite channels.
+    ``include_reversed`` additionally yields each PB -> PA order, doubling
+    the count (the paper's "the remaining four ... obtained by switching
+    from PBs to PAs" — note sign-complement assignments already produce
+    reversed-channel designs, so the reversed traces coincide with other
+    assignments' forward traces as *turn sets* but are distinct objects).
+
+    >>> sum(1 for _ in two_partition_options(3))
+    8
+    """
+    if n_dims < 1:
+        raise PartitionError("need at least one dimension")
+    for signs in product((POS, NEG), repeat=n_dims):
+        pa = Partition(tuple(Channel(d, signs[d]) for d in range(n_dims)), name="PA")
+        pb = Partition(tuple(Channel(d, -signs[d]) for d in range(n_dims)), name="PB")
+        yield PartitionSequence((pa, pb))
+        if include_reversed:
+            yield PartitionSequence((pb.renamed("PA"), pa.renamed("PB")))
+
+
+def option_for_signs(signs: Sequence[int]) -> PartitionSequence:
+    """The single §5.2.2 design for an explicit sign vector.
+
+    >>> option_for_signs([+1, +1]).arrow_notation()
+    'X+ Y+ -> X- Y-'
+    """
+    pa = Partition(tuple(Channel(d, s) for d, s in enumerate(signs)), name="PA")
+    pb = Partition(tuple(Channel(d, -s) for d, s in enumerate(signs)), name="PB")
+    return PartitionSequence((pa, pb))
+
+
+def negative_first(n_dims: int) -> PartitionSequence:
+    """The negative-first design: all negative channels, then all positive.
+
+    In 2D this is the paper's P4 (Figure 6(d)).
+
+    >>> negative_first(2).arrow_notation()
+    'X- Y- -> X+ Y+'
+    """
+    return option_for_signs([NEG] * n_dims).validate()
+
+
+def positive_first(n_dims: int) -> PartitionSequence:
+    """The mirror design: all positive channels first."""
+    return option_for_signs([POS] * n_dims).validate()

@@ -1,0 +1,135 @@
+"""Section 4 — maximum adaptiveness with the minimum number of channels.
+
+The paper proves the minimum number of channels for fully adaptive routing
+in an n-dimensional network is ``N = (n+1) * 2^(n-1)``.  This module
+provides that formula plus the two constructions from the proof:
+
+* :func:`per_region_construction` — one partition per region, ``2^n``
+  partitions of ``n`` channels each (``n * 2^n`` channels; Figures 7(a)
+  and 9(a));
+* :func:`minimal_fully_adaptive` — merge neighbouring region pairs along a
+  chosen dimension, yielding ``2^(n-1)`` partitions of ``n+1`` channels
+  each (``(n+1) * 2^(n-1)`` channels; Figures 7(b)/(c) and 9(b)/(c)).
+
+Both constructions are validated against Theorems 1/3 and cover all
+``2^n`` regions — the structural definition of a fully adaptive design.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core.channel import NEG, POS, Channel, dim_name
+from repro.core.partition import Partition
+from repro.core.regions import all_regions, covers_all_regions, region_name
+from repro.core.sequence import PartitionSequence
+from repro.core.theorems import require_sequence
+from repro.errors import PartitionError
+
+
+def min_channels(n: int) -> int:
+    """The paper's closed form: ``(n+1) * 2^(n-1)``.
+
+    >>> [min_channels(n) for n in (1, 2, 3, 4)]
+    [2, 6, 16, 40]
+    """
+    if n < 1:
+        raise PartitionError("dimension must be >= 1")
+    return (n + 1) * 2 ** (n - 1)
+
+
+def per_region_construction(n: int) -> PartitionSequence:
+    """One partition per region: ``2^n`` partitions, ``n`` channels each.
+
+    VC numbers are allocated per (dimension, sign) in order of use, so the
+    2D instance matches Figure 7(a): ``PA[X1+ Y1+] PB[X2+ Y1-] ...``.
+    """
+    if n < 1:
+        raise PartitionError("dimension must be >= 1")
+    vc_next: dict[tuple[int, int], int] = {}
+    parts: list[Partition] = []
+    for i, region in enumerate(all_regions(n)):
+        chans: list[Channel] = []
+        for dim in range(n):
+            key = (dim, region[dim])
+            vc = vc_next.get(key, 0) + 1
+            vc_next[key] = vc
+            chans.append(Channel(dim, region[dim], vc))
+        parts.append(Partition(tuple(chans), name=f"P{chr(ord('A') + i)}"))
+    return require_sequence(PartitionSequence(tuple(parts)))
+
+
+def minimal_fully_adaptive(n: int, pair_dim: int | None = None) -> PartitionSequence:
+    """The minimum-channel fully adaptive design of Section 4.
+
+    Neighbouring regions differing only in dimension ``pair_dim`` are
+    merged: their partition receives a complete pair along ``pair_dim``
+    (fresh VC per partition) plus one channel per remaining dimension.
+    The result has ``2^(n-1)`` partitions and exactly
+    :func:`min_channels(n)` channels.
+
+    ``pair_dim`` defaults to the last dimension, reproducing Figure 7(b)
+    (the DyXY design, pairing Y) for ``n=2`` and Figure 9(b) for ``n=3``.
+
+    >>> minimal_fully_adaptive(2).arrow_notation()
+    'X+ Y+ Y- -> X- Y2+ Y2-'
+    """
+    if n < 1:
+        raise PartitionError("dimension must be >= 1")
+    if pair_dim is None:
+        pair_dim = n - 1
+    if not 0 <= pair_dim < n:
+        raise PartitionError(f"pair_dim {pair_dim} out of range for {n} dimensions")
+
+    free_dims = [d for d in range(n) if d != pair_dim]
+    vc_next: dict[tuple[int, int], int] = {}
+    parts: list[Partition] = []
+    for i, signs in enumerate(product((POS, NEG), repeat=len(free_dims))):
+        chans: list[Channel] = []
+        for dim, sign in zip(free_dims, signs):
+            key = (dim, sign)
+            vc = vc_next.get(key, 0) + 1
+            vc_next[key] = vc
+            chans.append(Channel(dim, sign, vc))
+        pair_vc = i + 1
+        chans.append(Channel(pair_dim, POS, pair_vc))
+        chans.append(Channel(pair_dim, NEG, pair_vc))
+        parts.append(Partition(tuple(chans), name=f"P{chr(ord('A') + i)}"))
+    seq = require_sequence(PartitionSequence(tuple(parts)))
+    assert seq.channel_count == min_channels(n)
+    return seq
+
+
+def vc_requirements(sequence: PartitionSequence) -> dict[str, int]:
+    """VCs needed per dimension to realise a design on hardware.
+
+    A dimension needs as many VCs as the largest VC index any of its
+    channels carries.  For :func:`minimal_fully_adaptive(3)` this is the
+    paper's "2, 2, and 4 virtual channels along the X, Y, and Z dimensions".
+
+    >>> vc_requirements(minimal_fully_adaptive(3))
+    {'X': 2, 'Y': 2, 'Z': 4}
+    """
+    need: dict[int, int] = {}
+    for ch in sequence.all_channels:
+        need[ch.dim] = max(need.get(ch.dim, 0), ch.vc)
+    return {dim_name(d): need[d] for d in sorted(need)}
+
+
+def is_structurally_fully_adaptive(sequence: PartitionSequence, n: int) -> bool:
+    """Section 4 criterion: every region is covered by a single partition."""
+    return covers_all_regions(sequence, n)
+
+
+def region_assignment(sequence: PartitionSequence, n: int) -> dict[str, list[str]]:
+    """Which partition serves which regions, in paper notation.
+
+    >>> region_assignment(minimal_fully_adaptive(2), 2)['PA']
+    ['NE', 'SE']
+    """
+    from repro.core.regions import regions_covered
+
+    out: dict[str, list[str]] = {}
+    for part in sequence:
+        out[part.name or "?"] = [region_name(r) for r in regions_covered(part, n)]
+    return out

@@ -1,0 +1,131 @@
+"""Partitions of channels (Definition 2).
+
+A :class:`Partition` is a set of channels that packets may use *arbitrarily
+and repeatedly*: any 90-degree transition between two of its channels in
+different dimensions is permitted, and — per Theorem 2 — U- and I-turns
+between same-dimension channels are permitted in an ascending order over a
+per-dimension channel numbering.
+
+Partitions are immutable.  The channel order given at construction is
+preserved; for dimensions holding a complete pair, that order *is* the
+ascending numbering used by Theorem 2 (Figure 4 of the paper shows that any
+numbering is valid, so the library lets callers pick one simply by ordering
+the channels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.channel import Channel, channels as _parse_channels, complete_pairs, dims_covered
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An ordered, duplicate-free collection of channels.
+
+    Parameters
+    ----------
+    channels:
+        The channels in this partition.  Order is significant only for
+        Theorem-2 numbering of same-dimension channels.
+    name:
+        Optional label (``"PA"``, ``"PB"``...) used in reports.
+    """
+
+    channels: tuple[Channel, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        seen: set[Channel] = set()
+        for ch in self.channels:
+            if ch in seen:
+                raise PartitionError(f"duplicate channel {ch} in partition {self.name or '?'}")
+            seen.add(ch)
+        if not self.channels:
+            raise PartitionError("a partition must contain at least one channel")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def of(cls, spec: str | Iterable[str | Channel], name: str = "") -> "Partition":
+        """Build a partition from compact channel notation.
+
+        >>> Partition.of("X+ X- Y-", name="PA")
+        Partition(PA: X+ X- Y-)
+        """
+        return cls(_parse_channels(spec), name=name)
+
+    # -- presentation ------------------------------------------------------
+
+    def __str__(self) -> str:
+        body = " ".join(str(c) for c in self.channels)
+        return f"{self.name}[{body}]" if self.name else f"[{body}]"
+
+    def __repr__(self) -> str:
+        body = " ".join(str(c) for c in self.channels)
+        label = f"{self.name}: " if self.name else ""
+        return f"Partition({label}{body})"
+
+    # -- container protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self.channels)
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __contains__(self, ch: Channel) -> bool:
+        return ch in self.channels
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def channel_set(self) -> frozenset[Channel]:
+        """The channels as a set (order-insensitive identity)."""
+        return frozenset(self.channels)
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Sorted dimension indices covered by this partition."""
+        return dims_covered(self.channels)
+
+    @property
+    def complete_pair_dims(self) -> tuple[int, ...]:
+        """Dimensions along which this partition holds a complete D-pair."""
+        return tuple(sorted(complete_pairs(self.channels)))
+
+    @property
+    def pair_count(self) -> int:
+        """Number of dimensions with a complete pair (Theorem 1 cares about this)."""
+        return len(self.complete_pair_dims)
+
+    def channels_in_dim(self, dim: int) -> tuple[Channel, ...]:
+        """The partition's channels along ``dim``, in numbering order."""
+        return tuple(ch for ch in self.channels if ch.dim == dim)
+
+    def is_disjoint_from(self, other: "Partition") -> bool:
+        """Definition 6: partitions are disjoint when they share no channel."""
+        return not (self.channel_set & other.channel_set)
+
+    def sub_partition(self, chans: Iterable[Channel], name: str = "") -> "Partition":
+        """A new partition restricted to ``chans`` (Corollary of Theorem 1).
+
+        The relative numbering order of the surviving channels is kept.
+        """
+        keep = set(chans)
+        missing = keep - self.channel_set
+        if missing:
+            raise PartitionError(
+                f"channels {sorted(map(str, missing))} are not in partition {self.name or '?'}"
+            )
+        return Partition(
+            tuple(ch for ch in self.channels if ch in keep),
+            name=name or self.name,
+        )
+
+    def renamed(self, name: str) -> "Partition":
+        """A copy with a new label."""
+        return Partition(self.channels, name=name)

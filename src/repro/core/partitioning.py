@@ -1,0 +1,211 @@
+"""Algorithm 1 — the partitioning procedure (Section 5.2).
+
+Given arranged dimension sets, the procedure repeatedly forms a partition
+from the leading set's first D-pair plus one channel from every other set,
+removes the consumed channels, re-orders the sets by remaining pair count,
+and recurses until all sets are empty.  Trailing deficient partitions are
+merged into earlier ones when Theorem 1 permits.
+
+The paper leaves one degree of freedom open: *which* channel each non-lead
+set contributes (its worked example picks ``Y2+`` over ``Y2-`` "to cover
+the neighbouring regions").  The library exposes this as a *selector*
+strategy; :func:`region_balancing_selector` reproduces the paper's choice
+by steering each new partition toward still-uncovered regions, while
+:func:`head_selector` follows the pseudo-code literally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.arrangements import DimensionSet, arrangement1
+from repro.core.channel import NEG, POS, Channel
+from repro.core.partition import Partition
+from repro.core.regions import Region, all_regions, regions_covered
+from repro.core.sequence import PartitionSequence
+from repro.core.theorems import check_theorem1
+from repro.errors import PartitionError
+
+#: A selector receives (the set to draw from, channels already chosen for the
+#: partition under construction, regions covered so far, the network
+#: dimensionality) and returns the channel to contribute.
+Selector = Callable[[DimensionSet, list[Channel], set[Region], int], Channel]
+
+
+def head_selector(
+    dimset: DimensionSet, chosen: list[Channel], covered: set[Region], n_dims: int
+) -> Channel:
+    """Literal Algorithm 1: always contribute the set's first channel."""
+    return dimset.head()
+
+
+def region_balancing_selector(
+    dimset: DimensionSet, chosen: list[Channel], covered: set[Region], n_dims: int
+) -> Channel:
+    """The paper's worked-example policy: steer toward uncovered regions.
+
+    Chooses the direction (sign) that, combined with the channels already
+    chosen for this partition, covers regions not yet served by earlier
+    partitions.  Falls back to the set head when both signs are equally
+    useful or one is unavailable.
+    """
+    options = [s for s in (POS, NEG) if dimset.first_with_sign(s) is not None]
+    if len(options) < 2:
+        return dimset.head()
+
+    def newly_covered(sign: int) -> int:
+        # Count full regions still reachable by the partial candidate: a
+        # region is compatible when every dimension the candidate already
+        # touches points the region's way (untouched dimensions are free).
+        candidate = chosen + [Channel(dimset.dim, sign)]
+        signs_by_dim: dict[int, set[int]] = {}
+        for ch in candidate:
+            signs_by_dim.setdefault(ch.dim, set()).add(ch.sign)
+        return sum(
+            1
+            for r in all_regions(n_dims)
+            if r not in covered
+            and all(r[d] in signs for d, signs in signs_by_dim.items())
+        )
+
+    best = max(options, key=newly_covered)
+    picked = dimset.first_with_sign(best)
+    assert picked is not None
+    return picked
+
+
+def _partition_names() -> "Callable[[], str]":
+    letters = iter("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+    counter = [0]
+
+    def next_name() -> str:
+        try:
+            return "P" + next(letters)
+        except StopIteration:
+            counter[0] += 1
+            return f"P{counter[0] + 26}"
+
+    return next_name
+
+
+def partition_sets(
+    sets: Sequence[DimensionSet],
+    *,
+    selector: Selector = region_balancing_selector,
+    reorder: bool = True,
+    merge: bool = True,
+) -> PartitionSequence:
+    """Run Algorithm 1 over arranged dimension sets.
+
+    Parameters
+    ----------
+    sets:
+        The arranged sets (Set1 first).  Use
+        :func:`repro.core.arrangements.arrangement1` or hand-arrange them.
+    selector:
+        Strategy for the channel each non-lead set contributes.
+    reorder:
+        Re-sort sets by remaining pair count between iterations (line 8 of
+        the pseudo-code).  Disable to follow a fixed arrangement strictly.
+    merge:
+        Merge trailing deficient partitions into earlier ones when the
+        union still satisfies Theorem 1 (line 3).
+
+    Returns
+    -------
+    PartitionSequence
+        The extracted design; always satisfies Theorems 1 and 3.
+
+    >>> from repro.core.arrangements import sets_from_vc_counts
+    >>> seq = partition_sets(sets_from_vc_counts([1, 2]))
+    >>> seq.arrow_notation()
+    'Y+ Y- X+ -> Y2+ Y2- X-'
+    """
+    working = [s for s in sets if not s.is_empty]
+    if not working:
+        raise PartitionError("no channels to partition")
+    if reorder:
+        working = arrangement1(working)
+
+    name_of = _partition_names()
+    partitions: list[Partition] = []
+    covered: set[Region] = set()
+    n_dims = max(s.dim for s in working) + 1
+
+    while working:
+        lead = working[0]
+        chosen: list[Channel] = []
+        if lead.pair_count >= 1:
+            pos, neg = lead.head_pair()
+            chosen.extend([pos, neg])
+        else:
+            chosen.append(lead.head())
+        for other in working[1:]:
+            chosen.append(selector(other, chosen, covered, n_dims))
+
+        part = Partition(tuple(chosen), name=name_of())
+        check_theorem1(part).raise_if_failed()
+        partitions.append(part)
+        covered.update(regions_covered(part, n_dims))
+
+        working = [s.without(chosen) for s in working]
+        working = [s for s in working if not s.is_empty]
+        if reorder:
+            working = arrangement1(working)
+
+    if merge:
+        partitions = merge_deficient(partitions)
+    return PartitionSequence(tuple(partitions))
+
+
+def merge_deficient(partitions: list[Partition]) -> list[Partition]:
+    """Merge trailing deficient partitions into earlier ones (Algorithm 1 line 3).
+
+    A partition is *deficient* when it holds fewer channels than the
+    largest partition.  Each deficient trailing partition is folded into
+    the earliest partition whose union still satisfies Theorem 1; if no
+    host exists it stays separate (still deadlock-free, just less
+    adaptive).
+    """
+    if len(partitions) <= 1:
+        return list(partitions)
+    full_size = max(len(p) for p in partitions)
+    kept: list[Partition] = []
+    pending: list[Partition] = []
+    for part in partitions:
+        if len(part) < full_size:
+            pending.append(part)
+        else:
+            kept.append(part)
+    if not pending:
+        return list(partitions)
+
+    for orphan in pending:
+        host_idx = None
+        for i, host in enumerate(kept):
+            union = Partition(host.channels + orphan.channels, name=host.name)
+            if check_theorem1(union).ok:
+                host_idx = i
+                kept[i] = union
+                break
+        if host_idx is None:
+            kept.append(orphan)
+    return kept
+
+
+def partition_vc_budget(
+    vc_counts: Sequence[int],
+    *,
+    selector: Selector = region_balancing_selector,
+    merge: bool = True,
+) -> PartitionSequence:
+    """Convenience wrapper: budget -> Arrangement 1 -> Algorithm 1.
+
+    >>> partition_vc_budget([1, 1]).arrow_notation()
+    'X+ X- Y+ -> Y-'
+    """
+    from repro.core.arrangements import sets_from_vc_counts
+
+    return partition_sets(
+        arrangement1(sets_from_vc_counts(vc_counts)), selector=selector, merge=merge
+    )

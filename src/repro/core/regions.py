@@ -1,0 +1,110 @@
+"""The 2^n region model of Section 4.
+
+A dimension splits the geometric space in two; an n-dimensional network has
+``2^n`` regions (quadrants/octants...).  A region is identified by a sign
+vector: ``(+1, +1)`` is the paper's *NE* region of a 2D network, ``(+1, -1,
++1)`` is *SEU* in 3D (the paper orders letters E/W, N/S, U/D by dimension).
+
+A partition *covers* a region when, for every dimension, it holds a channel
+pointing in that region's direction — i.e. a packet whose destination lies
+in that region relative to the source can make all its remaining moves
+inside the partition (which is what "fully adaptive in that region" means).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.core.channel import NEG, POS
+from repro.core.partition import Partition
+from repro.core.sequence import PartitionSequence
+
+#: Compass letters per (dimension, sign), matching the paper's figures.
+_REGION_LETTERS = {
+    (0, POS): "E", (0, NEG): "W",
+    (1, POS): "N", (1, NEG): "S",
+    (2, POS): "U", (2, NEG): "D",
+}
+
+Region = tuple[int, ...]
+
+
+def all_regions(n: int) -> tuple[Region, ...]:
+    """Every sign vector of length ``n`` — the 2^n regions of Section 4.
+
+    >>> len(all_regions(3))
+    8
+    """
+    if n < 1:
+        raise ValueError("need at least one dimension")
+    return tuple(product((POS, NEG), repeat=n))
+
+
+def region_name(region: Region) -> str:
+    """Paper-style compass name, e.g. ``(+1,+1,-1)`` -> ``'NED'``.
+
+    Letters are emitted in the paper's display order: N/S first, then E/W,
+    then U/D (the paper writes *NEU*, *SWD*...).
+    """
+    order = [1, 0, 2]  # Y letter first, then X, then Z — as in 'NEU'
+    parts: list[str] = []
+    for dim in order:
+        if dim < len(region):
+            parts.append(_REGION_LETTERS[(dim, region[dim])])
+    for dim in range(3, len(region)):
+        parts.append(f"D{dim + 1}{'+' if region[dim] == POS else '-'}")
+    return "".join(parts)
+
+
+def regions_covered(partition: Partition, n: int) -> tuple[Region, ...]:
+    """Regions in which ``partition`` provides full adaptivity.
+
+    A region is covered when the partition holds, for each dimension, at
+    least one channel with that region's sign.
+
+    >>> regions_covered(Partition.of("X+ Y+ Y-"), 2)
+    ((1, 1), (1, -1))
+    """
+    signs_by_dim: dict[int, set[int]] = {d: set() for d in range(n)}
+    for ch in partition:
+        if ch.dim < n:
+            signs_by_dim[ch.dim].add(ch.sign)
+    return tuple(
+        region
+        for region in all_regions(n)
+        if all(region[d] in signs_by_dim[d] for d in range(n))
+    )
+
+
+def covers_all_regions(sequence: PartitionSequence | Iterable[Partition], n: int) -> bool:
+    """Does some partition cover each of the 2^n regions?
+
+    This is the paper's structural criterion for a *fully adaptive* design:
+    within one partition all channels can be taken in any order, so a
+    region covered by a single partition enjoys every minimal path.
+    """
+    parts = sequence.partitions if isinstance(sequence, PartitionSequence) else tuple(sequence)
+    covered: set[Region] = set()
+    for part in parts:
+        covered.update(regions_covered(part, n))
+    return covered == set(all_regions(n))
+
+
+def uncovered_regions(sequence: PartitionSequence, n: int) -> tuple[Region, ...]:
+    """Regions no single partition covers (deterministic/partial there)."""
+    covered: set[Region] = set()
+    for part in sequence:
+        covered.update(regions_covered(part, n))
+    return tuple(r for r in all_regions(n) if r not in covered)
+
+
+def region_of(src: Sequence[int], dst: Sequence[int]) -> Region:
+    """The region ``dst`` lies in relative to ``src`` (ties broken positive).
+
+    Dimensions where the coordinates agree contribute ``+1`` — a packet
+    that never needs to move along a dimension is unaffected by its sign.
+    """
+    if len(src) != len(dst):
+        raise ValueError("coordinate arity mismatch")
+    return tuple(POS if d >= s else NEG for s, d in zip(src, dst))

@@ -1,0 +1,148 @@
+"""Ordered sequences of disjoint partitions (Theorem 3).
+
+A :class:`PartitionSequence` is the paper's central design object: an
+ordered list of pairwise-disjoint partitions.  Packets may use channels of
+partition *i* after channels of partition *j* only when ``i >= j`` —
+transitions between partitions happen "in a consecutive (ascending) order".
+
+A sequence that passes :meth:`PartitionSequence.validate` is, by Theorems
+1-3, guaranteed to induce an acyclic channel dependency graph on any mesh /
+k-ary n-cube; the :mod:`repro.cdg` package verifies this independently on
+concrete networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.channel import Channel
+from repro.core.partition import Partition
+from repro.errors import PartitionError, TheoremViolation
+
+_DEFAULT_NAMES = [f"P{letter}" for letter in "ABCDEFGHIJKLMNOPQRSTUVWXYZ"]
+
+
+@dataclass(frozen=True)
+class PartitionSequence:
+    """An ordered tuple of pairwise-disjoint partitions.
+
+    Construction validates *structure* (non-empty, disjointness); theorem
+    compliance is checked by :func:`repro.core.theorems.check_sequence`
+    (or on demand via :meth:`validate`).
+    """
+
+    partitions: tuple[Partition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise PartitionError("a partition sequence needs at least one partition")
+        seen: dict[Channel, str] = {}
+        for part in self.partitions:
+            for ch in part:
+                if ch in seen:
+                    raise PartitionError(
+                        f"channel {ch} appears in both {seen[ch]} and"
+                        f" {part.name or '?'}: partitions must be disjoint"
+                    )
+                seen[ch] = part.name or "?"
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs: str | Partition | Iterable[str | Channel]) -> "PartitionSequence":
+        """Build a sequence from compact per-partition channel specs.
+
+        Partitions are auto-named PA, PB, ... unless already named.
+
+        >>> PartitionSequence.of("X+ X- Y-", "Y+")
+        PartitionSequence(PA[X+ X- Y-] -> PB[Y+])
+        """
+        parts: list[Partition] = []
+        for i, spec in enumerate(specs):
+            name = _DEFAULT_NAMES[i] if i < len(_DEFAULT_NAMES) else f"P{i}"
+            if isinstance(spec, Partition):
+                parts.append(spec if spec.name else spec.renamed(name))
+            else:
+                parts.append(Partition.of(spec, name=name))
+        return cls(tuple(parts))
+
+    @classmethod
+    def parse(cls, text: str) -> "PartitionSequence":
+        """Parse arrow notation, e.g. ``"X+ X- Y- -> Y+"``.
+
+        The paper's Table 1 entries are written exactly this way.
+        """
+        return cls.of(*[seg.strip() for seg in text.split("->")])
+
+    # -- presentation ------------------------------------------------------
+
+    def __str__(self) -> str:
+        return " -> ".join(str(p) for p in self.partitions)
+
+    def __repr__(self) -> str:
+        return f"PartitionSequence({self})"
+
+    def arrow_notation(self) -> str:
+        """Channel-only arrow form matching the paper's tables.
+
+        >>> PartitionSequence.of("X+ X- Y-", "Y+").arrow_notation()
+        'X+ X- Y- -> Y+'
+        """
+        return " -> ".join(" ".join(str(c) for c in p) for p in self.partitions)
+
+    # -- container protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __getitem__(self, idx: int) -> Partition:
+        return self.partitions[idx]
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def all_channels(self) -> tuple[Channel, ...]:
+        """Every channel in sequence order (partition order, then intra order)."""
+        return tuple(ch for part in self.partitions for ch in part)
+
+    @property
+    def channel_count(self) -> int:
+        """Total number of channels across all partitions."""
+        return sum(len(p) for p in self.partitions)
+
+    def partition_index(self, ch: Channel) -> int:
+        """Index of the partition containing ``ch``.
+
+        Raises :class:`PartitionError` when the channel is not in the design.
+        """
+        for i, part in enumerate(self.partitions):
+            if ch in part:
+                return i
+        raise PartitionError(f"channel {ch} is not covered by this sequence")
+
+    def covers(self, ch: Channel) -> bool:
+        """True when some partition contains ``ch``."""
+        return any(ch in part for part in self.partitions)
+
+    def reversed(self) -> "PartitionSequence":
+        """The sequence traced in the opposite consecutive order (§5.3.3)."""
+        return PartitionSequence(tuple(reversed(self.partitions)))
+
+    def validate(self) -> "PartitionSequence":
+        """Check Theorem 1 on every partition; return self for chaining.
+
+        Disjointness (a Theorem 3 precondition) is already enforced by the
+        constructor.  Raises :class:`TheoremViolation` on failure.
+        """
+        for part in self.partitions:
+            if part.pair_count > 1:
+                raise TheoremViolation(
+                    1,
+                    f"partition {part} holds {part.pair_count} complete D-pairs;"
+                    " Theorem 1 allows at most one",
+                )
+        return self

@@ -1,0 +1,177 @@
+"""Executable forms of the three EbDa theorems.
+
+Each checker returns a :class:`TheoremReport` describing compliance, and a
+``require_*`` variant raises :class:`~repro.errors.TheoremViolation` instead.
+The checkers operate purely on channel *classes*; independent confirmation
+on concrete networks lives in :mod:`repro.cdg`.
+
+* :func:`check_theorem1` — at most one complete D-pair per partition.
+* :func:`check_theorem2` — U-/I-turns follow an ascending numbering of the
+  complete-pair dimension's channels (the library enforces this by
+  construction in the turn extractor; the checker validates a turn list).
+* :func:`check_theorem3` — partitions are pairwise disjoint and inter-
+  partition turns only flow forward (ascending partition index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.channel import Channel
+from repro.core.partition import Partition
+from repro.core.sequence import PartitionSequence
+from repro.errors import TheoremViolation
+
+if TYPE_CHECKING:  # imported lazily to avoid an import cycle at runtime
+    from repro.core.turns import Turn
+
+
+@dataclass(frozen=True)
+class TheoremReport:
+    """Outcome of a theorem check.
+
+    Attributes
+    ----------
+    theorem:
+        Which theorem (1, 2 or 3) was checked.
+    ok:
+        True when the construction complies.
+    violations:
+        Human-readable explanations for each violation found.
+    """
+
+    theorem: int
+    ok: bool
+    violations: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def raise_if_failed(self) -> "TheoremReport":
+        """Raise :class:`TheoremViolation` when the check failed."""
+        if not self.ok:
+            raise TheoremViolation(self.theorem, "; ".join(self.violations))
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1
+# ---------------------------------------------------------------------------
+
+def check_theorem1(partition: Partition) -> TheoremReport:
+    """A partition is cycle-free iff it covers at most one complete D-pair.
+
+    >>> check_theorem1(Partition.of("X+ X- Y+")).ok
+    True
+    >>> check_theorem1(Partition.of("X+ X- Y+ Y-")).ok
+    False
+    """
+    pairs = partition.complete_pair_dims
+    if len(pairs) <= 1:
+        return TheoremReport(1, True)
+    from repro.core.channel import dim_name
+
+    names = ", ".join(dim_name(d) for d in pairs)
+    return TheoremReport(
+        1,
+        False,
+        (f"partition {partition} covers complete pairs in dimensions {names};"
+         " at most one is allowed",),
+    )
+
+
+def require_theorem1(partition: Partition) -> Partition:
+    """Validate Theorem 1, returning the partition for chaining."""
+    check_theorem1(partition).raise_if_failed()
+    return partition
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2
+# ---------------------------------------------------------------------------
+
+def ascending_rank(partition: Partition, ch: Channel) -> int:
+    """The Theorem-2 numbering rank of ``ch`` within its dimension.
+
+    The construction order of the partition's channels defines the
+    ascending numbering (Figure 4 shows any numbering is admissible).
+    """
+    same_dim = partition.channels_in_dim(ch.dim)
+    return same_dim.index(ch)
+
+
+def uturn_allowed(partition: Partition, src: Channel, dst: Channel) -> bool:
+    """Is the U-/I-turn ``src -> dst`` permitted inside ``partition``?
+
+    Rules (Theorem 2 and its corollary):
+
+    * different dimensions: not a U/I-turn at all (returns False);
+    * the dimension holds a complete pair: allowed iff ``dst`` ranks
+      strictly higher than ``src`` in the ascending numbering;
+    * no complete pair in the dimension: only I-turns are possible and all
+      of them are allowed.
+    """
+    if src.dim != dst.dim or src == dst:
+        return False
+    if src not in partition or dst not in partition:
+        return False
+    if src.dim in partition.complete_pair_dims:
+        return ascending_rank(partition, src) < ascending_rank(partition, dst)
+    # Single-direction dimension: every I-turn is safe (corollary of Thm 2).
+    return src.sign == dst.sign
+
+
+def check_theorem2(partition: Partition, turns: Iterable["Turn"]) -> TheoremReport:
+    """Validate a list of intra-partition U-/I-turns against Theorem 2."""
+    violations: list[str] = []
+    for turn in turns:
+        if turn.src.dim != turn.dst.dim:
+            violations.append(f"{turn} is not a U/I-turn (dimensions differ)")
+        elif not uturn_allowed(partition, turn.src, turn.dst):
+            violations.append(
+                f"{turn} violates the ascending numbering of partition {partition}"
+            )
+    return TheoremReport(2, not violations, tuple(violations))
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3
+# ---------------------------------------------------------------------------
+
+def check_theorem3(sequence: PartitionSequence) -> TheoremReport:
+    """Validate the preconditions of Theorem 3 for a sequence.
+
+    Disjointness is enforced by the :class:`PartitionSequence` constructor,
+    so this re-checks it defensively and additionally confirms every
+    partition individually satisfies Theorem 1 (transitions are only safe
+    between *acyclic* partitions).
+    """
+    violations: list[str] = []
+    parts = sequence.partitions
+    for i, a in enumerate(parts):
+        rep = check_theorem1(a)
+        if not rep.ok:
+            violations.extend(rep.violations)
+        for b in parts[i + 1:]:
+            if not a.is_disjoint_from(b):
+                shared = sorted(map(str, a.channel_set & b.channel_set))
+                violations.append(
+                    f"partitions {a.name or '?'} and {b.name or '?'} share {shared}"
+                )
+    return TheoremReport(3, not violations, tuple(violations))
+
+
+def check_sequence(sequence: PartitionSequence) -> TheoremReport:
+    """Full EbDa compliance check for a design (Theorems 1 and 3).
+
+    Theorem 2 is a property of the *turn extraction*, which the library
+    performs by construction; this checker covers the design object itself.
+    """
+    return check_theorem3(sequence)
+
+
+def require_sequence(sequence: PartitionSequence) -> PartitionSequence:
+    """Validate a full design, returning it for chaining."""
+    check_sequence(sequence).raise_if_failed()
+    return sequence

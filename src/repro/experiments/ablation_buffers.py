@@ -1,0 +1,90 @@
+"""A1 — buffer-discipline ablation: EbDa-relaxed vs Duato-atomic.
+
+The paper's second differentiator from Duato's theory: EbDa imposes no
+restriction on how many packets share an input buffer.  This ablation
+runs the same adaptive design under both disciplines and measures the
+cost of atomicity: with atomic buffers a wire stays unallocatable until
+it fully drains, wasting buffer slots, so latency at load should be
+higher (and never lower) than with relaxed buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import text_table
+from repro.experiments.base import Check, ExperimentResult, check_true
+from repro.routing import MinimalFullyAdaptive
+from repro.sim import RunConfig, run_point, uniform
+from repro.topology import Mesh
+
+
+def run(
+    mesh_size: int = 6,
+    *,
+    cycles: int = 1500,
+    rates: tuple[float, ...] = (0.03, 0.06, 0.09),
+) -> ExperimentResult:
+    mesh = Mesh(mesh_size, mesh_size)
+    base = RunConfig(
+        cycles=cycles,
+        packet_length=6,
+        buffer_depth=3,
+        watchdog=4000,
+        drain=True,
+        seed=23,
+        pattern=uniform,
+    )
+
+    rows = []
+    checks: list[Check] = []
+    relaxed_lat, atomic_lat = [], []
+    for rate in rates:
+        results = {}
+        for mode, atomic in (("relaxed", False), ("atomic", True)):
+            cfg = replace(base, injection_rate=rate, atomic_buffers=atomic)
+            results[mode] = run_point(mesh, MinimalFullyAdaptive(mesh), cfg)
+        relaxed_lat.append(results["relaxed"].avg_latency)
+        atomic_lat.append(results["atomic"].avg_latency)
+        rows.append(
+            [f"{rate:.2f}",
+             f"{results['relaxed'].avg_latency:.1f}",
+             f"{results['atomic'].avg_latency:.1f}",
+             f"{results['relaxed'].throughput:.4f}",
+             f"{results['atomic'].throughput:.4f}"]
+        )
+        for mode in ("relaxed", "atomic"):
+            checks.append(
+                check_true(
+                    f"{mode} deadlock-free at rate {rate}",
+                    not results[mode].deadlocked
+                    and results[mode].stats.delivery_ratio == 1.0,
+                )
+            )
+
+    checks.append(
+        check_true(
+            "relaxed buffers never slower at load (paper's WH advantage)",
+            all(r <= a * 1.05 for r, a in zip(relaxed_lat, atomic_lat)),
+            note=f"relaxed={[f'{x:.1f}' for x in relaxed_lat]},"
+            f" atomic={[f'{x:.1f}' for x in atomic_lat]}",
+        )
+    )
+    checks.append(
+        check_true(
+            "atomicity costs measurable latency at the highest rate",
+            atomic_lat[-1] > relaxed_lat[-1],
+            note=f"{atomic_lat[-1]:.1f} vs {relaxed_lat[-1]:.1f} cycles",
+        )
+    )
+
+    return ExperimentResult(
+        exp_id="A1-buffers",
+        title="Buffer-discipline ablation: EbDa-relaxed vs Duato-atomic",
+        text=text_table(
+            ["rate", "lat relaxed", "lat atomic", "thr relaxed", "thr atomic"],
+            rows,
+        ),
+        data={"relaxed": relaxed_lat, "atomic": atomic_lat},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,78 @@
+"""A2 — transition-scope ablation: all ascending vs consecutive-only.
+
+Theorem 3's corollary allows transitions between partitions "in any
+ascending order"; a designer may restrict to *consecutive* partitions to
+shrink the turn table.  This ablation quantifies the cost: fewer turns,
+(weakly) fewer routable minimal paths, but identical deadlock freedom.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import adaptivity_report, text_table
+from repro.cdg import verify_design
+from repro.core import catalog, extract_turns
+from repro.experiments.base import Check, ExperimentResult, check_true
+from repro.routing import TurnTableRouting
+from repro.topology import Mesh
+
+DESIGNS = ("xy", "partially-adaptive", "fig9c")
+
+
+def run(mesh_size: int = 4) -> ExperimentResult:
+    checks: list[Check] = []
+    rows = []
+    for name in DESIGNS:
+        design = catalog.design(name)
+        n_dims = max(c.dim for c in design.all_channels) + 1
+        mesh = Mesh(*([mesh_size] * 2)) if n_dims == 2 else Mesh(3, 3, 3)
+
+        turns_all = extract_turns(design, transitions="all")
+        turns_consec = extract_turns(design, transitions="consecutive")
+        checks.append(
+            check_true(
+                f"consecutive turn set is a strict subset ({name})",
+                turns_consec.turns < turns_all.turns
+                if len(design) > 2
+                else turns_consec.turns <= turns_all.turns,
+                note=f"{len(turns_consec)} vs {len(turns_all)} turns",
+            )
+        )
+        for mode in ("all", "consecutive"):
+            checks.append(
+                check_true(
+                    f"acyclic with transitions={mode} ({name})",
+                    verify_design(design, mesh, transitions=mode).acyclic,
+                )
+            )
+
+        r_all = TurnTableRouting(mesh, design, transitions="all")
+        r_consec = TurnTableRouting(mesh, design, transitions="consecutive")
+        a_all = adaptivity_report(mesh, r_all)
+        connected = r_consec.is_connected()
+        a_consec = (
+            adaptivity_report(mesh, r_consec) if connected else None
+        )
+        rows.append(
+            [name, len(turns_all), len(turns_consec),
+             f"{a_all.adaptivity:.3f}",
+             f"{a_consec.adaptivity:.3f}" if a_consec else "disconnected"]
+        )
+        if a_consec is not None:
+            checks.append(
+                check_true(
+                    f"consecutive adaptivity <= all ({name})",
+                    a_consec.adaptivity <= a_all.adaptivity + 1e-9,
+                )
+            )
+
+    return ExperimentResult(
+        exp_id="A2-transitions",
+        title="Transition-scope ablation: all ascending vs consecutive",
+        text=text_table(
+            ["design", "turns (all)", "turns (consec)", "adaptivity (all)",
+             "adaptivity (consec)"],
+            rows,
+        ),
+        data={"rows": rows},
+        checks=tuple(checks),
+    )

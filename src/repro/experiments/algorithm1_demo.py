@@ -1,0 +1,74 @@
+"""Section 5 worked example — Algorithm 1 on a (3, 2, 3)-VC 3D network.
+
+The paper traces the procedure by hand and arrives at
+
+    P = {PA[Z1* X1+ Y1+]; PB[Z2* X1- Y2+]; PC[X2* Z3+ Y1-]; PD[X3* Z3- Y2-]}
+
+(the Figure 9(c) set).  This experiment runs the library's Algorithm 1
+with the region-balancing selector on the same input and checks it derives
+exactly that partitioning; it also exercises Algorithm 2 (rotations) and
+the trace-order derivations, verifying every derived design.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+from repro.analysis import text_table
+from repro.cdg import verify_design
+from repro.core import (
+    arrangement1,
+    catalog,
+    derive_by_rotation,
+    partition_sets,
+    sets_from_vc_counts,
+    trace_orders,
+)
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.topology import Mesh
+
+
+def run() -> ExperimentResult:
+    # X, Y, Z carry 3, 2, 3 VCs; Arrangement 1 puts a 3-pair dimension first.
+    sets = arrangement1(sets_from_vc_counts([3, 2, 3]))
+    # The paper chooses Z (over the tied X) as Set1; our stable arrangement
+    # keeps X first on ties, so reorder to match the worked example.
+    sets = sorted(sets, key=lambda s: (-s.pair_count, -s.dim))
+
+    derived = partition_sets(sets)
+    expected = catalog.fig9c_partitions()
+
+    checks: list[Check] = [
+        check_eq(
+            "Algorithm 1 reproduces the worked example (Figure 9c)",
+            [p.channel_set for p in expected],
+            [p.channel_set for p in derived],
+        ),
+        check_eq("number of partitions", 4, len(derived)),
+    ]
+
+    mesh = Mesh(3, 3, 3)
+    checks.append(check_true("derived design acyclic", verify_design(derived, mesh).acyclic))
+
+    # Algorithm 2: every rotation-derived alternative is a valid design.
+    alternatives = list(
+        islice(derive_by_rotation(sets), 10)
+    )
+    ok = sum(1 for seq in alternatives if verify_design(seq, mesh).acyclic)
+    checks.append(
+        check_eq("Algorithm 2 alternatives all acyclic", len(alternatives), ok)
+    )
+
+    # §5.3.3: tracing the partitions in different orders stays deadlock-free.
+    orders = list(islice(trace_orders(derived), 6))
+    ok = sum(1 for seq in orders if verify_design(seq, mesh).acyclic)
+    checks.append(check_eq("trace-order variants all acyclic", len(orders), ok))
+
+    rows = [[p.name, " ".join(str(c) for c in p)] for p in derived]
+    return ExperimentResult(
+        exp_id="S5-algorithm1",
+        title="Algorithm 1 worked example: 3,2,3 VCs -> Figure 9(c)",
+        text=text_table(["partition", "channels"], rows),
+        data={"partitions": [p.channel_set for p in derived]},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,62 @@
+"""Figure 3 — a missing direction breaks the cycle.
+
+The partition {X+, X-, Y-} enables exactly the four 90-degree turns WS,
+SE, ES, SW, and its concrete CDG is acyclic; restoring Y+ *into the same
+partition* (two complete pairs) makes the CDG cyclic.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compass_turn, text_table
+from repro.cdg import build_turn_cdg, verdict_for
+from repro.core import Partition, PartitionSequence, channels
+from repro.core.extraction import extract_turns, theorem1_turns
+from repro.core.turns import TurnSet
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.topology import Mesh
+
+PAPER_TURNS = {"WS", "SE", "ES", "SW"}
+
+
+def run(mesh_size: int = 4) -> ExperimentResult:
+    mesh = Mesh(mesh_size, mesh_size)
+    partition = Partition.of("X+ X- Y-", name="PA")
+    turns = theorem1_turns(partition)
+    labels = {compass_turn(t, with_vc=False) for t in turns}
+
+    checks: list[Check] = [
+        check_eq("turns of {X+, X-, Y-}", PAPER_TURNS, labels),
+    ]
+
+    # Concrete acyclicity of the three-channel partition (with its turns).
+    seq = PartitionSequence((partition,))
+    verdict = verdict_for(
+        build_turn_cdg(mesh, extract_turns(seq), seq.all_channels)
+    )
+    checks.append(check_true("CDG acyclic without Y+", verdict.acyclic))
+
+    # Negative control: all four channels arbitrarily in one partition.
+    bad = Partition.of("X+ X- Y+ Y-", name="BAD")
+    bad_turns = TurnSet({"all": theorem1_turns(bad)})
+    bad_verdict = verdict_for(build_turn_cdg(mesh, bad_turns, channels("X+ X- Y+ Y-")))
+    checks.append(
+        check_true(
+            "CDG cyclic when Y+ rejoins the partition (two complete pairs)",
+            not bad_verdict.acyclic,
+        )
+    )
+
+    text = text_table(
+        ["partition", "90-degree turns", "CDG"],
+        [
+            ["{X+ X- Y-}", ", ".join(sorted(labels)), "acyclic"],
+            ["{X+ X- Y+ Y-}", "(all eight)", "CYCLIC"],
+        ],
+    )
+    return ExperimentResult(
+        exp_id="Fig3",
+        title="A missing direction breaks the cycle in a partition",
+        text=text,
+        data={"turns": sorted(labels)},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,65 @@
+"""Figure 4 — U-/I-turns under ascending channel numbering.
+
+Reproduces: (a) three Y VCs in a partition give 9 U-turns + 6 I-turns =
+15 = n(n-1)/2; (b) a different numbering gives the same counts; (c) a
+complete pair admits exactly one of its two U-turns; and the closed-form
+identity n(n-1)/2 = ab + C(a,2) + C(b,2) over a range of (a, b).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import text_table
+from repro.core import Partition, channels
+from repro.core.extraction import theorem2_turns
+from repro.core.numbering import (
+    census_for_ordering,
+    identity_holds,
+    iturn_count,
+    total_ui_turns,
+    uturn_count,
+)
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+
+
+def run() -> ExperimentResult:
+    checks: list[Check] = []
+
+    # (a) canonical ordering of six Y channels
+    order_a = channels("Y1+ Y1- Y2+ Y2- Y3+ Y3-")
+    census_a = census_for_ordering(order_a)
+    checks.append(check_eq("U-turns (Fig 4a)", 9, len(census_a.u_turns)))
+    checks.append(check_eq("I-turns (Fig 4a)", 6, len(census_a.i_turns)))
+    checks.append(check_eq("total = n(n-1)/2", 15, census_a.total))
+
+    # (b) an alternative arrangement gives the same counts
+    order_b = channels("Y2+ Y1- Y3+ Y2- Y1+ Y3-")
+    census_b = census_for_ordering(order_b)
+    checks.append(check_eq("U-turns (Fig 4b)", 9, len(census_b.u_turns)))
+    checks.append(check_eq("I-turns (Fig 4b)", 6, len(census_b.i_turns)))
+
+    # (c) one complete pair -> exactly one U-turn is granted
+    partition = Partition.of("X+ X- Y+")
+    pair_turns = [t for t in theorem2_turns(partition) if t.src.dim == 0]
+    checks.append(
+        check_eq("one U-turn per complete pair (Fig 4c)", 1, len(pair_turns))
+    )
+
+    # closed-form identity over a grid of (a, b)
+    grid_ok = all(identity_holds(a, b) for a in range(0, 8) for b in range(0, 8))
+    checks.append(check_true("identity n(n-1)/2 = ab + C(a,2) + C(b,2)", grid_ok))
+
+    rows = [
+        ["Y1+ Y1- Y2+ Y2- Y3+ Y3-", len(census_a.u_turns), len(census_a.i_turns), census_a.total],
+        ["Y2+ Y1- Y3+ Y2- Y1+ Y3-", len(census_b.u_turns), len(census_b.i_turns), census_b.total],
+    ]
+    for a, b in [(1, 1), (2, 1), (2, 2), (3, 3), (4, 2)]:
+        rows.append(
+            [f"formula a={a} b={b}", uturn_count(a, b), iturn_count(a, b), total_ui_turns(a + b)]
+        )
+    return ExperimentResult(
+        exp_id="Fig4",
+        title="U- and I-turns formed by ascending channel numbering",
+        text=text_table(["ordering / formula", "U", "I", "total"], rows),
+        data={"census_a": (len(census_a.u_turns), len(census_a.i_turns))},
+        checks=tuple(checks),
+    )

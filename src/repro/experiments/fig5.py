@@ -1,0 +1,55 @@
+"""Figure 5 — Theorem 3 in action: PA{X+ X- Y-} -> PB{Y+} is north-last.
+
+Reproduces: the transition adds the EN and WN turns (black in the figure),
+the U-turn Y- -> Y+ is enabled while Y+ -> Y- stays prohibited, exactly
+one X U-turn is granted, and "taking all directions is not sufficient for
+deadlock": all four directions appear yet the CDG is acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compass_turn, format_turn_table
+from repro.cdg import verify_design
+from repro.core import TurnKind, catalog, extract_turns
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.topology import Mesh
+
+
+def run(mesh_size: int = 4) -> ExperimentResult:
+    mesh = Mesh(mesh_size, mesh_size)
+    design = catalog.north_last()
+    turnset = extract_turns(design)
+
+    deg90 = {compass_turn(t, with_vc=False) for t in turnset.of_kind(TurnKind.DEGREE90)}
+    uturns = {compass_turn(t, with_vc=False) for t in turnset.of_kind(TurnKind.UTURN)}
+
+    checks: list[Check] = [
+        check_eq(
+            "90-degree turns (PA turns + EN/WN from the transition)",
+            {"WS", "SE", "ES", "SW", "EN", "WN"},
+            deg90,
+        ),
+        check_true("U-turn S->N enabled by the transition", "SN" in uturns),
+        check_true("U-turn N->S prohibited (no PB->PA transition)", "NS" not in uturns),
+        check_eq(
+            "exactly one X U-turn granted (Theorem 2)",
+            1,
+            len({u for u in uturns if u in ("EW", "WE")}),
+        ),
+    ]
+
+    verdict = verify_design(design, mesh)
+    checks.append(
+        check_true(
+            "all four directions used, yet CDG acyclic (necessary != sufficient)",
+            verdict.acyclic,
+        )
+    )
+
+    return ExperimentResult(
+        exp_id="Fig5",
+        title="North-last from PA[X+ X- Y-] -> PB[Y+] (Theorem 3 example)",
+        text=format_turn_table(turnset, with_vc=False),
+        data={"deg90": sorted(deg90), "uturns": sorted(uturns)},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,73 @@
+"""Figure 6 — the five partitioning strategies P1..P5 of Section 4.
+
+Reproduces: P1 = XY routing (deterministic), P2 = partially adaptive
+(fully adaptive in NE only), P3 = west-first, P4 = negative-first, and the
+P5 observation that VCs added inside one partition do **not** increase
+minimal-path adaptivity (they add identical turns and U-/I-turns only).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import adaptivity_report, region_pairs, text_table
+from repro.cdg import verify_design
+from repro.core import TurnKind, catalog, extract_turns
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.routing import TurnTableRouting
+from repro.topology import Mesh
+
+
+def run(mesh_size: int = 4) -> ExperimentResult:
+    mesh = Mesh(mesh_size, mesh_size)
+    designs = {
+        "P1 (XY)": catalog.p1_xy(),
+        "P2 (partial)": catalog.p2_partially_adaptive(),
+        "P3 (west-first)": catalog.p3_west_first(),
+        "P4 (negative-first)": catalog.p4_negative_first(),
+        "P5 (west-first + VCs)": catalog.p5_west_first_vcs(),
+    }
+    checks: list[Check] = []
+    rows = []
+    adapt = {}
+    for name, design in designs.items():
+        verdict = verify_design(design, mesh)
+        checks.append(check_true(f"CDG acyclic: {name}", verdict.acyclic))
+        routing = TurnTableRouting(mesh, design, label=name)
+        rep = adaptivity_report(mesh, routing)
+        adapt[name] = rep.adaptivity
+        turnset = extract_turns(design)
+        rows.append(
+            [name, design.arrow_notation(), f"{rep.adaptivity:.3f}",
+             len(turnset.of_kind(TurnKind.DEGREE90))]
+        )
+
+    # P2 is fully adaptive in the NE region, deterministic elsewhere.
+    p2 = TurnTableRouting(mesh, designs["P2 (partial)"])
+    ne = adaptivity_report(mesh, p2, region_pairs(mesh, (+1, +1)))
+    checks.append(check_true("P2 fully adaptive in NE region", ne.is_fully_adaptive))
+    sw = adaptivity_report(mesh, p2, region_pairs(mesh, (-1, -1)))
+    checks.append(
+        check_true("P2 deterministic toward SW", sw.routable_paths == sw.pairs)
+    )
+
+    # Adaptivity ordering: XY < P2 < P3 ~ P4; P5 == P3 in minimal adaptivity.
+    checks.append(
+        check_true(
+            "adaptivity ordering P1 < P2 < P3",
+            adapt["P1 (XY)"] < adapt["P2 (partial)"] < adapt["P3 (west-first)"],
+        )
+    )
+    checks.append(
+        check_eq(
+            "VCs inside a partition do not add minimal adaptivity (P5 == P3)",
+            round(adapt["P3 (west-first)"], 9),
+            round(adapt["P5 (west-first + VCs)"], 9),
+        )
+    )
+
+    return ExperimentResult(
+        exp_id="Fig6",
+        title="Partitioning strategies P1..P5 and their adaptiveness",
+        text=text_table(["strategy", "partitions", "adaptivity", "90-deg turns"], rows),
+        data={"adaptivity": adapt},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,65 @@
+"""§6.2 (second part) — the Hamiltonian-path strategy via partitioning.
+
+The strategy traces the mesh row by row along a Hamiltonian path.  The
+paper's partitioning ``PA = {Xe+ Xo- Y+}``, ``PB = {Xe- Xo+ Y-}`` (X
+channels classed by row parity) allows twelve 90-degree turns including
+all eight the Hamiltonian-path strategy uses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compass_channel, text_table
+from repro.cdg import verify_design
+from repro.core import TurnKind, catalog, extract_turns
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.routing import TurnTableRouting
+from repro.topology import Mesh, row_parity
+
+
+def _label(ch) -> str:
+    return compass_channel(ch, with_vc=False)
+
+
+def run(mesh_size: int = 6) -> ExperimentResult:
+    mesh = Mesh(mesh_size, mesh_size)
+    design = catalog.hamiltonian_partitions()
+    turnset = extract_turns(design)
+    deg90 = {_label(t.src) + _label(t.dst) for t in turnset.of_kind(TurnKind.DEGREE90)}
+
+    checks: list[Check] = [
+        check_eq("twelve 90-degree turns", 12, len(deg90)),
+    ]
+
+    # The eight turns the Hamiltonian-path (dual-path) strategy uses: the
+    # up-path snakes east along even rows / west along odd rows going north;
+    # the down-path mirrors it going south.
+    hamiltonian_turns = {
+        "EeN", "NWo",   # up-path: east on even row, turn north, turn west on odd row
+        "WoN", "NEe",   # up-path continued: west on odd row -> north -> east on even
+        "EoS", "SWe",   # down-path: east on odd row -> south -> west on even row
+        "WeS", "SEo",   # down-path continued
+    }
+    checks.append(
+        check_true(
+            "the eight Hamiltonian-path turns are allowed",
+            hamiltonian_turns <= deg90,
+            note=f"missing: {sorted(hamiltonian_turns - deg90)}",
+        )
+    )
+
+    verdict = verify_design(design, mesh, row_parity)
+    checks.append(check_true("CDG acyclic (row-parity classes)", verdict.acyclic))
+
+    routing = TurnTableRouting(mesh, design, row_parity, label="hamiltonian")
+    checks.append(check_true("routing connected", routing.is_connected()))
+
+    return ExperimentResult(
+        exp_id="S6.2-Hamiltonian",
+        title="Hamiltonian-path strategy via row-parity partitioning",
+        text=text_table(
+            ["group", "turns"],
+            [["all 90-degree", ", ".join(sorted(deg90))]],
+        ),
+        data={"deg90": sorted(deg90)},
+        checks=tuple(checks),
+    )

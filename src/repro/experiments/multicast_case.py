@@ -1,0 +1,127 @@
+"""E4 — dual-path Hamiltonian multicast (§6.2's referenced strategy [26]).
+
+The Hamiltonian-path partitioning is not just a unicast curiosity: Lin &
+Ni introduced it for deadlock-free *multicast* wormhole routing.  This
+experiment exercises the full strategy on the EbDa partitioning:
+
+* both monotone sub-networks (partitions PA/PB) have acyclic CDGs;
+* dual-path multicast costs fewer total hops than separate unicasts for
+  scattered destination sets;
+* simulated multicast worms deliver a copy at every waypoint plus the
+  final stop, with many concurrent multicasts and zero deadlock.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import text_table
+from repro.cdg import verify_routing
+from repro.experiments.base import Check, ExperimentResult, check_true
+from repro.routing.multicast import (
+    HamiltonianPathRouting,
+    MulticastHamiltonianRouting,
+    dual_path_cost,
+    plan_dual_path,
+    unicast_cost,
+)
+from repro.sim import NetworkSimulator, Packet
+from repro.topology import Mesh
+from repro.topology.classes import row_parity
+
+
+def run(
+    mesh_size: int = 6,
+    *,
+    groups: int = 6,
+    group_size: int = 7,
+    packet_length: int = 4,
+    seed: int = 11,
+) -> ExperimentResult:
+    mesh = Mesh(mesh_size, mesh_size)
+    rng = random.Random(seed)
+    checks: list[Check] = []
+    rows = []
+
+    for direction in ("up", "down"):
+        verdict = verify_routing(HamiltonianPathRouting(mesh, direction), mesh, row_parity)
+        rows.append([f"{direction} network CDG", str(verdict)])
+        checks.append(
+            check_true(f"{direction} network acyclic", verdict.acyclic)
+        )
+
+    # Cost comparison over random multicast sets.
+    wins = 0
+    total_dual = total_uni = 0
+    for _ in range(groups):
+        src = rng.choice(mesh.nodes)
+        dsts = rng.sample([n for n in mesh.nodes if n != src], group_size)
+        dual = dual_path_cost(mesh, src, dsts)
+        uni = unicast_cost(mesh, src, dsts)
+        total_dual += dual
+        total_uni += uni
+        if dual <= uni:
+            wins += 1
+    rows.append(["total hops (dual-path vs unicasts)", f"{total_dual} vs {total_uni}"])
+    checks.append(
+        check_true(
+            "dual-path multicast cheaper than separate unicasts overall",
+            total_dual < total_uni,
+            note=f"{total_dual} vs {total_uni} hops over {groups} groups",
+        )
+    )
+
+    # Simulate all groups concurrently (both worms per group).
+    sims = {
+        d: NetworkSimulator(
+            mesh,
+            MulticastHamiltonianRouting(mesh, d),
+            row_parity,
+            buffer_depth=4,
+            watchdog=3000,
+        )
+        for d in ("up", "down")
+    }
+    worms: list[Packet] = []
+    pid = 0
+    rng = random.Random(seed)  # same groups as the cost comparison
+    for _ in range(groups):
+        src = rng.choice(mesh.nodes)
+        dsts = rng.sample([n for n in mesh.nodes if n != src], group_size)
+        high, low = plan_dual_path(mesh, src, dsts)
+        for tmpl, direction in ((high, "up"), (low, "down")):
+            if tmpl is None:
+                continue
+            worm = Packet(
+                pid=pid, src=tmpl.src, dst=tmpl.dst, length=packet_length,
+                created=0, waypoints=tmpl.waypoints,
+            )
+            pid += 1
+            worms.append(worm)
+            sims[direction].offer_packet(worm)
+
+    for sim in sims.values():
+        for _ in range(6000):
+            sim.step()
+            if sim.is_idle():
+                break
+
+    all_final = all(w.delivered is not None for w in worms)
+    all_copies = all(len(w.copies) == len(w.waypoints) for w in worms)
+    no_deadlock = not any(sim.stats.deadlocked for sim in sims.values())
+    copies = sum(sim.stats.multicast_copies for sim in sims.values())
+    rows.append(
+        ["simulation", f"{len(worms)} worms, {copies} waypoint copies,"
+         f" finals={'all' if all_final else 'MISSING'}"]
+    )
+    checks.append(check_true("every worm reached its final stop", all_final))
+    checks.append(check_true("every waypoint absorbed its copy", all_copies))
+    checks.append(check_true("no deadlock among concurrent multicasts", no_deadlock))
+
+    return ExperimentResult(
+        exp_id="E4-multicast",
+        title="Dual-path Hamiltonian multicast over the §6.2 partitioning",
+        text=text_table(["item", "result"], rows),
+        data={"dual": total_dual, "unicast": total_uni},
+        checks=tuple(checks),
+    )

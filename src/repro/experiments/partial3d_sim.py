@@ -1,0 +1,112 @@
+"""V4 — partial-3D NoC: the §6.3 EbDa design vs Elevator-First, simulated.
+
+The paper claims the partitioned design achieves the same goal as
+Elevator-First "with a lower number of VCs while offering a higher degree
+of adaptiveness".  Reproduced here: VC budgets (4 vs 5 channel classes per
+X/Y/Z set), adaptivity, deadlock freedom under stress for both, and a
+latency comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import text_table
+from repro.core import catalog
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.routing import ElevatorFirst, TurnTableRouting, first_candidate
+from repro.sim import RunConfig, run_point, uniform
+from repro.topology import PartiallyConnected3D
+
+
+def run(*, cycles: int = 1500, rates: tuple[float, ...] = (0.02, 0.05)) -> ExperimentResult:
+    topo = PartiallyConnected3D(4, 4, 2, elevators=[(1, 1), (3, 2)])
+    design = catalog.partial3d_partitions()
+
+    ebda = TurnTableRouting(topo, design, label="partial3d-ebda")
+    elevator = ElevatorFirst(topo)
+
+    checks: list[Check] = [
+        check_eq("EbDa channel classes (lower VC budget)", 8, len(ebda.channel_classes)),
+        check_eq("Elevator-First channel classes", 10, len(elevator.channel_classes)),
+    ]
+
+    # "Higher degree of adaptiveness": mean number of legal outputs over
+    # every reachable routing state.  Elevator-First is deterministic (1.0).
+    def mean_branching(routing) -> float:
+        total = 0
+        states = 0
+        for src in topo.nodes:
+            for dst in topo.nodes:
+                if src == dst:
+                    continue
+                cands = routing.candidates(src, dst, None)
+                total += len(cands)
+                states += 1
+        return total / states
+
+    ebda_branch = mean_branching(ebda)
+    elevator_branch = mean_branching(elevator)
+    checks.append(
+        check_true(
+            "EbDa offers a higher degree of adaptiveness",
+            ebda_branch > elevator_branch,
+            note=f"mean injection candidates: ebda={ebda_branch:.2f},"
+            f" elevator-first={elevator_branch:.2f}",
+        )
+    )
+    checks.append(
+        check_eq("Elevator-First is deterministic", 1.0, round(elevator_branch, 6))
+    )
+
+    rows = []
+    from dataclasses import replace
+
+    base = RunConfig(
+        cycles=cycles,
+        packet_length=4,
+        buffer_depth=4,
+        selection=first_candidate,
+        watchdog=2000,
+        drain=True,
+        seed=5,
+        pattern=uniform,
+    )
+    latencies: dict[str, list[float]] = {"ebda": [], "elevator-first": []}
+    for rate in rates:
+        cfg = replace(base, injection_rate=rate)
+        for name, routing in (("ebda", ebda), ("elevator-first", elevator)):
+            # fresh routing objects are unnecessary: they are stateless
+            result = run_point(topo, routing, cfg)
+            latencies[name].append(result.avg_latency)
+            rows.append(
+                [name, f"{rate:.2f}",
+                 f"{result.avg_latency:.1f}" if result.stats.latencies else "n/a",
+                 f"{result.throughput:.4f}",
+                 "DEADLOCK" if result.deadlocked else "ok"]
+            )
+            checks.append(
+                check_true(
+                    f"{name} deadlock-free at rate {rate}",
+                    not result.deadlocked
+                    and result.stats.packets_delivered == result.stats.packets_injected,
+                )
+            )
+
+    # Latency is informational: the paper's claim is VC count + adaptivity,
+    # not latency.  We only require the EbDa design to stay in the same
+    # regime at low load (quasi-minimal detours via farther elevators cost
+    # a bounded factor).
+    checks.append(
+        check_true(
+            "EbDa low-load latency within 2x of Elevator-First",
+            latencies["ebda"][0] <= latencies["elevator-first"][0] * 2.0,
+            note=f"ebda={latencies['ebda']}, elevator={latencies['elevator-first']}",
+        )
+    )
+
+    return ExperimentResult(
+        exp_id="V4-partial3d",
+        title="Partial-3D NoC: EbDa partitioning vs Elevator-First",
+        text=text_table(["algorithm", "rate", "avg latency", "throughput", "status"], rows),
+        data={"latencies": latencies},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,93 @@
+"""V6 — scalability: construction + verification cost vs network size.
+
+§2: "Dally's theory is limited to small network sizes where it is
+feasible to check all possible channel dependencies.  We solve the
+scalability limitations of Dally's theorem to networks with arbitrary
+large dimensions."
+
+Measured two ways:
+
+* **design cost** — Algorithm 1 and the minimal construction run in
+  milliseconds for any dimension/VC budget; the *number of designs to
+  examine* is 1, versus the 4^cycles combinations of the turn-model
+  search (S2);
+* **verification cost** — checking one design on a concrete mesh is a
+  single acyclicity pass whose size grows linearly with the wire count
+  (O(radix^n) wires, each with constant-bounded dependencies), not
+  exponentially with the turn combinatorics.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import text_table
+from repro.cdg import turn_combinations, verify_design
+from repro.core import minimal_fully_adaptive, partition_vc_budget
+from repro.experiments.base import Check, ExperimentResult, check_true
+from repro.topology import Mesh
+
+
+def run(radixes: tuple[int, ...] = (4, 6, 8, 12, 16)) -> ExperimentResult:
+    design = minimal_fully_adaptive(2)
+    checks: list[Check] = []
+    rows = []
+    wires = []
+    deps = []
+    times = []
+    for k in radixes:
+        mesh = Mesh(k, k)
+        t0 = time.perf_counter()
+        verdict = verify_design(design, mesh)
+        dt = time.perf_counter() - t0
+        wires.append(verdict.wires)
+        deps.append(verdict.dependencies)
+        times.append(dt)
+        rows.append(
+            [f"{k}x{k}", verdict.wires, verdict.dependencies, f"{dt * 1000:.1f} ms",
+             "acyclic" if verdict.acyclic else "CYCLIC"]
+        )
+        checks.append(check_true(f"acyclic at {k}x{k}", verdict.acyclic))
+
+    # Dependencies grow linearly with wires (constant turn fan-out per
+    # router) — the verification problem scales with the machine, not with
+    # the design-space combinatorics.
+    ratios = [d / w for d, w in zip(deps, wires)]
+    checks.append(
+        check_true(
+            "dependencies per wire stay bounded",
+            max(ratios) <= ratios[0] * 1.5,
+            note=f"deps/wire = {[round(r, 2) for r in ratios]}",
+        )
+    )
+
+    # Design cost: a handful of partitions, produced directly.
+    t0 = time.perf_counter()
+    for n in (2, 3, 4, 5, 6):
+        minimal_fully_adaptive(n)
+    for budget in ([2, 2], [3, 2, 3], [2, 2, 2, 2]):
+        partition_vc_budget(budget)
+    design_ms = (time.perf_counter() - t0) * 1000
+    rows.append(["8 constructions (n<=6, 3 budgets)", "-", "-", f"{design_ms:.1f} ms", "-"])
+    checks.append(
+        check_true(
+            "construction cost is negligible",
+            design_ms < 1000,
+            note=f"{design_ms:.1f} ms for 8 designs",
+        )
+    )
+    checks.append(
+        check_true(
+            "vs turn-model search: 1 design examined, not 4^cycles",
+            turn_combinations(3, 2) > 10**12,
+            note=f"3D +1 VC/dim search space: {turn_combinations(3, 2):,} combinations",
+        )
+    )
+
+    return ExperimentResult(
+        exp_id="V6-scaling",
+        title="Construction and verification cost vs network size",
+        text=text_table(["mesh", "wires", "dependencies", "verify time", "verdict"], rows),
+        data={"wires": wires, "deps": deps},
+        checks=tuple(checks),
+    )

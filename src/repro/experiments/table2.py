@@ -1,0 +1,56 @@
+"""Table 2 — three-partition options with intermediate adaptiveness (§6.1).
+
+Reproduces the four listed options, verifies deadlock freedom, and places
+their adaptivity strictly between the deterministic (Table 3) and the
+maximally adaptive (Table 1) designs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import adaptivity_report, text_table
+from repro.cdg import verify_design
+from repro.core import catalog
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.routing import TurnTableRouting
+from repro.topology import Mesh
+
+
+def run(mesh_size: int = 4) -> ExperimentResult:
+    mesh = Mesh(mesh_size, mesh_size)
+    options = catalog.table2_options()
+    checks: list[Check] = [check_eq("number of options", 4, len(options))]
+    rows = []
+    adaptivities = []
+    for seq in options:
+        verdict = verify_design(seq, mesh)
+        routing = TurnTableRouting(mesh, seq)
+        rep = adaptivity_report(mesh, routing)
+        adaptivities.append(rep.adaptivity)
+        rows.append(
+            [seq.arrow_notation(), f"{rep.adaptivity:.3f}",
+             "acyclic" if verdict.acyclic else "CYCLIC"]
+        )
+        checks.append(check_true(f"CDG acyclic: {seq.arrow_notation()}", verdict.acyclic))
+        checks.append(
+            check_true(f"routing connected: {seq.arrow_notation()}", routing.is_connected())
+        )
+
+    xy = adaptivity_report(mesh, TurnTableRouting(mesh, catalog.design("xy"))).adaptivity
+    maxi = adaptivity_report(
+        mesh, TurnTableRouting(mesh, catalog.design("negative-first"))
+    ).adaptivity
+    checks.append(
+        check_true(
+            "adaptivity strictly between deterministic and maximal",
+            all(xy < a < maxi for a in adaptivities),
+            note=f"xy={xy:.3f} < {min(adaptivities):.3f}..{max(adaptivities):.3f} < nf={maxi:.3f}",
+        )
+    )
+
+    return ExperimentResult(
+        exp_id="Table2",
+        title="Partitioning options leading to some degree of adaptiveness",
+        text=text_table(["partitioning option", "adaptivity", "CDG"], rows),
+        data={"adaptivity": adaptivities},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,106 @@
+"""Table 5 — the §6.3 partial-3D design vs Elevator-First.
+
+Reproduces: the thirty 90-degree turns of ``PA[X1+ Y1* Z1+] ->
+PB[X1- Y2* Z1-]`` in the paper's grouping (in PA / in PB / by transition),
+the VC saving (1,2,1 vs Elevator-First's 2,2,1), deadlock freedom of both
+algorithms on a vertically partially connected 3D mesh, and the adaptivity
+advantage (Elevator-First is deterministic).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compass_channel, text_table
+from repro.cdg import verify_design, verify_routing
+from repro.core import TurnKind, catalog, extract_turns
+from repro.core.minimal import vc_requirements
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.routing import ElevatorFirst, TurnTableRouting, elevator_first_turnset
+from repro.topology import PartiallyConnected3D
+
+#: Paper Table 5 (compass letters, VC digits; U/D have a single VC).
+PAPER_TURNS = {
+    "in PA": {"EN1", "ES1", "EU", "N1E", "N1U", "S1E", "S1U", "UE", "UN1", "US1"},
+    "in PB": {"WN2", "WS2", "WD", "N2W", "N2D", "S2W", "S2D", "DW", "DN2", "DS2"},
+    "by transition": {"EN2", "ES2", "ED", "N1W", "N1D", "S1W", "S1D", "UW", "UN2", "US2"},
+}
+
+
+def _compass_no_x_z_vc(turn) -> str:
+    """Paper style for this table: VC digits on Y only (X and Z have one VC)."""
+
+    def label(ch):
+        base = compass_channel(ch, with_vc=False)
+        if ch.dim == 1:  # Y carries the VC digit
+            base += str(ch.vc)
+        return base
+
+    return label(turn.src) + label(turn.dst)
+
+
+def run() -> ExperimentResult:
+    # Elevator placement matters for the EbDa design's connectivity: after a
+    # Z- hop (partition PB) a packet can no longer ride X+ (partition PA),
+    # so descending packets must finish their eastward travel first — there
+    # must be an elevator in the easternmost column.  The paper's companion
+    # work [39] handles this via per-region elevator assignment; we place
+    # one elevator on the east edge accordingly.
+    topo = PartiallyConnected3D(4, 4, 2, elevators=[(1, 1), (3, 2)])
+    design = catalog.partial3d_partitions()
+    turnset = extract_turns(design)
+
+    measured = {"in PA": set(), "in PB": set(), "by transition": set()}
+    for label, turns in turnset.rules.items():
+        for t in turns:
+            if t.kind != TurnKind.DEGREE90:
+                continue
+            name = _compass_no_x_z_vc(t)
+            if "Theorem1 in PA" in label:
+                measured["in PA"].add(name)
+            elif "Theorem1 in PB" in label:
+                measured["in PB"].add(name)
+            elif "Theorem3" in label:
+                measured["by transition"].add(name)
+
+    checks: list[Check] = []
+    for group, expected in PAPER_TURNS.items():
+        checks.append(check_eq(f"90-degree turns {group}", expected, measured[group]))
+    total = sum(len(v) for v in measured.values())
+    checks.append(check_eq("total 90-degree turns", 30, total))
+    checks.append(
+        check_eq(
+            "Elevator-First turn count (paper baseline)",
+            16,
+            len(elevator_first_turnset()),
+        )
+    )
+
+    checks.append(
+        check_eq("EbDa design VCs per dimension", {"X": 1, "Y": 2, "Z": 1},
+                 vc_requirements(design))
+    )
+
+    verdict = verify_design(design, topo)
+    checks.append(check_true("EbDa design CDG acyclic on partial 3D", verdict.acyclic))
+
+    routing = TurnTableRouting(topo, design, label="partial3d-ebda")
+    checks.append(check_true("EbDa design connected on partial 3D", routing.is_connected()))
+
+    elevator = ElevatorFirst(topo)
+    checks.append(
+        check_true("Elevator-First CDG acyclic", verify_routing(elevator, topo).acyclic)
+    )
+    ok = all(
+        elevator.candidates(s, d, None) or s == d
+        for s in topo.nodes
+        for d in topo.nodes
+    )
+    checks.append(check_true("Elevator-First connected", ok))
+
+    rows = [[g, ", ".join(sorted(v))] for g, v in measured.items()]
+    return ExperimentResult(
+        exp_id="Table5",
+        title="Allowable turns in the partial-3D design (vs Elevator-First)",
+        text=text_table(["extracting turns", "90-degree turns"], rows),
+        data={"turns": {k: sorted(v) for k, v in measured.items()}, "total": total},
+        checks=tuple(checks),
+    )

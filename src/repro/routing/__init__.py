@@ -1,0 +1,64 @@
+"""Routing algorithms: EbDa table-driven plus the paper's baselines."""
+
+from repro.routing.base import Candidate, RoutingFunction
+from repro.routing.deterministic import DimensionOrderRouting, xy_routing, yx_routing
+from repro.routing.dragonfly import DragonflyRouting, DragonflySingleVC, dragonfly_rule
+from repro.routing.dyxy import DyXY
+from repro.routing.elevator import ElevatorFirst, paper_turnset as elevator_first_turnset
+from repro.routing.fullyadaptive import MinimalFullyAdaptive, UnrestrictedAdaptive
+from repro.routing.multicast import (
+    HamiltonianPathRouting,
+    MulticastHamiltonianRouting,
+    dual_path_cost,
+    hamiltonian_label,
+    plan_dual_path,
+    unicast_cost,
+)
+from repro.routing.oddeven import OddEven
+from repro.routing.selection import (
+    NAMED_POLICIES,
+    SelectionContext,
+    SelectionPolicy,
+    congestion_aware,
+    first_candidate,
+    random_candidate,
+    zigzag,
+)
+from repro.routing.table import TurnTableRouting
+from repro.routing.turnmodels import NegativeFirst, NorthLast, WestFirst
+from repro.routing.updown import UpDownRouting
+
+__all__ = [
+    "Candidate",
+    "RoutingFunction",
+    "DimensionOrderRouting",
+    "xy_routing",
+    "yx_routing",
+    "DragonflyRouting",
+    "DragonflySingleVC",
+    "dragonfly_rule",
+    "DyXY",
+    "ElevatorFirst",
+    "elevator_first_turnset",
+    "MinimalFullyAdaptive",
+    "UnrestrictedAdaptive",
+    "HamiltonianPathRouting",
+    "MulticastHamiltonianRouting",
+    "dual_path_cost",
+    "hamiltonian_label",
+    "plan_dual_path",
+    "unicast_cost",
+    "OddEven",
+    "NAMED_POLICIES",
+    "SelectionContext",
+    "SelectionPolicy",
+    "congestion_aware",
+    "first_candidate",
+    "random_candidate",
+    "zigzag",
+    "TurnTableRouting",
+    "NegativeFirst",
+    "NorthLast",
+    "WestFirst",
+    "UpDownRouting",
+]

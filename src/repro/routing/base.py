@@ -1,0 +1,101 @@
+"""Routing function interface.
+
+A routing function answers one question: *given a packet at router ``cur``
+heading for ``dst`` that arrived over channel class ``in_channel`` (None
+for freshly injected packets), which (next node, channel class) outputs may
+it take?*
+
+The interface is deliberately stateless per query — all history a router
+needs is the incoming channel class, which is exactly the property EbDa
+guarantees (partition order and Theorem-2 numbering are encoded in the
+class-level turn set).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.core.channel import Channel
+from repro.errors import RoutingError
+from repro.topology.base import Coord, Topology
+from repro.topology.classes import ClassRule, no_classes
+
+#: One routing option: the next node and the channel class to ride.
+Candidate = tuple[Coord, Channel]
+
+
+class RoutingFunction(ABC):
+    """Base class for all routing algorithms."""
+
+    def __init__(self, topology: Topology, rule: ClassRule = no_classes) -> None:
+        self.topology = topology
+        self.rule = rule
+
+    @property
+    @abstractmethod
+    def channel_classes(self) -> tuple[Channel, ...]:
+        """Every channel class the algorithm uses (defines link VC sets)."""
+
+    @abstractmethod
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        """Legal outputs for a packet at ``cur`` bound for ``dst``.
+
+        ``in_channel`` is the class the packet's head arrived on, or None
+        at the source router.  An empty list at ``cur == dst`` means
+        *eject*; an empty list elsewhere is a routing dead-end and treated
+        as a bug by the simulator.
+        """
+
+    def target_of(self, packet, cur: Coord) -> Coord:
+        """The node the routing function steers ``packet`` toward at ``cur``.
+
+        Unicast algorithms steer toward ``packet.dst``.  Path-based
+        multicast algorithms override this to return the next unvisited
+        waypoint, which the simulator then passes to :meth:`candidates`.
+        """
+        return packet.dst
+
+    # -- helpers shared by implementations ------------------------------------
+
+    def _outputs_matching(
+        self,
+        cur: Coord,
+        directions: Sequence[tuple[int, int]],
+        classes: Sequence[Channel] | None = None,
+    ) -> list[Candidate]:
+        """All (next, class) pairs leaving ``cur`` along the given directions.
+
+        Classes are filtered to those instantiable on each link under the
+        class rule.
+        """
+        classes = tuple(classes) if classes is not None else self.channel_classes
+        out: list[Candidate] = []
+        wanted = set(directions)
+        for link in self.topology.out_links(cur):
+            if (link.dim, link.sign) not in wanted:
+                continue
+            tag = self.rule(link)
+            for ch in classes:
+                if ch.dim == link.dim and ch.sign == link.sign and ch.cls == tag:
+                    out.append((link.dst, ch))
+        return out
+
+    def require_candidates(
+        self, cur: Coord, dst: Coord, in_channel: Channel | None
+    ) -> list[Candidate]:
+        """Candidates, raising :class:`RoutingError` on a dead-end."""
+        if cur == dst:
+            return []
+        found = self.candidates(cur, dst, in_channel)
+        if not found:
+            raise RoutingError(
+                f"{type(self).__name__}: no legal output at {cur} for dst {dst}"
+                f" arriving on {in_channel}"
+            )
+        return found
+
+    @property
+    def name(self) -> str:
+        """Display name (class name unless overridden)."""
+        return type(self).__name__

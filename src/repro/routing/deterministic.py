@@ -1,0 +1,72 @@
+"""Deterministic dimension-order routing (XY, YX and the n-D general case).
+
+Dimension-order routing resolves offsets one dimension at a time in a
+fixed order — the end point of the paper's §5.3.2 derivation (all
+partitions split to single channels, Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.channel import Channel
+from repro.errors import RoutingError
+from repro.routing.base import Candidate, RoutingFunction
+from repro.topology.base import Coord, Topology
+from repro.topology.classes import ClassRule, no_classes
+
+
+class DimensionOrderRouting(RoutingFunction):
+    """Route offsets in a fixed dimension order (default X, Y, Z, ...).
+
+    >>> from repro.topology import Mesh
+    >>> r = DimensionOrderRouting(Mesh(4, 4))
+    >>> r.candidates((0, 0), (2, 2), None)
+    [((1, 0), Channel(X+))]
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        order: Sequence[int] | None = None,
+        rule: ClassRule = no_classes,
+    ) -> None:
+        super().__init__(topology, rule)
+        self._order = tuple(order) if order is not None else tuple(range(topology.n_dims))
+        if sorted(self._order) != list(range(topology.n_dims)):
+            raise RoutingError(
+                f"order {self._order} must be a permutation of all"
+                f" {topology.n_dims} dimensions"
+            )
+        self._classes = tuple(
+            Channel(dim, sign) for dim in range(topology.n_dims) for sign in (+1, -1)
+        )
+
+    @property
+    def channel_classes(self) -> tuple[Channel, ...]:
+        return self._classes
+
+    @property
+    def name(self) -> str:
+        letters = "".join(Channel(d, +1).dim_letter for d in self._order)
+        return f"{letters}-order"
+
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        if cur == dst:
+            return []
+        productive = dict(self.topology.minimal_directions(cur, dst))
+        for dim in self._order:
+            if dim in productive:
+                return self._outputs_matching(cur, [(dim, productive[dim])])
+        return []
+
+
+def xy_routing(topology: Topology) -> DimensionOrderRouting:
+    """XY routing: resolve X first, then Y."""
+    return DimensionOrderRouting(topology, order=(0, 1) + tuple(range(2, topology.n_dims)))
+
+
+def yx_routing(topology: Topology) -> DimensionOrderRouting:
+    """YX routing: resolve Y first, then X."""
+    rest = tuple(d for d in range(topology.n_dims) if d > 1)
+    return DimensionOrderRouting(topology, order=(1, 0) + rest)

@@ -1,0 +1,29 @@
+"""DyXY (Li, Zeng & Jone 2006): congestion-aware minimal adaptive routing.
+
+Figure 7(b) of the paper shows DyXY's channel structure is exactly the
+EbDa 2D minimum-channel design ``PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]``:
+one X VC, two Y VCs, six channels total.  DyXY's novelty on top of that
+structure is *selection* — it picks among legal outputs by local congestion
+— which in this library is a
+:func:`~repro.routing.selection.congestion_aware` policy applied to the
+table-routed candidates.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import dyxy_partitions
+from repro.routing.table import TurnTableRouting
+from repro.topology.base import Topology
+from repro.topology.classes import ClassRule, no_classes
+
+
+class DyXY(TurnTableRouting):
+    """The DyXY routing function (pair selection left to the policy).
+
+    Use together with ``selection=congestion_aware`` in the simulator to
+    reproduce the published behaviour; with any other policy this is
+    simply the 2D minimal fully adaptive EbDa design.
+    """
+
+    def __init__(self, topology: Topology, rule: ClassRule = no_classes) -> None:
+        super().__init__(topology, dyxy_partitions(), rule, label="DyXY")

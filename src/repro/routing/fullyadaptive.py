@@ -1,0 +1,68 @@
+"""Fully adaptive routing functions.
+
+Two very different algorithms share this module:
+
+* :class:`MinimalFullyAdaptive` — the EbDa minimum-channel construction of
+  Section 4 (``(n+1) * 2^(n-1)`` channels), deadlock-free by Theorems 1-3.
+  It is a thin convenience wrapper over
+  :class:`~repro.routing.table.TurnTableRouting`.
+* :class:`UnrestrictedAdaptive` — the *negative control*: every minimal
+  direction is always allowed with a single channel per link.  Its CDG is
+  cyclic and the simulator demonstrates it deadlocking under load; this is
+  the configuration every theory in this literature exists to forbid.
+"""
+
+from __future__ import annotations
+
+from repro.core.channel import Channel
+from repro.core.minimal import minimal_fully_adaptive
+from repro.routing.base import Candidate, RoutingFunction
+from repro.routing.table import TurnTableRouting
+from repro.topology.base import Coord, Topology
+from repro.topology.classes import ClassRule, no_classes
+
+
+class MinimalFullyAdaptive(TurnTableRouting):
+    """Section 4's minimum-channel fully adaptive routing.
+
+    For 2D this instantiates the 6-channel Figure 7(b) design (the DyXY
+    channel structure); for 3D the 16-channel Figure 9(b) design.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        rule: ClassRule = no_classes,
+        pair_dim: int | None = None,
+    ) -> None:
+        design = minimal_fully_adaptive(topology.n_dims, pair_dim=pair_dim)
+        super().__init__(topology, design, rule, label=f"fully-adaptive-{topology.n_dims}D")
+
+
+class UnrestrictedAdaptive(RoutingFunction):
+    """All minimal directions always allowed — deadlock-PRONE baseline.
+
+    One channel per link, no turn restriction.  Do not use outside
+    negative-control experiments.
+    """
+
+    def __init__(self, topology: Topology, rule: ClassRule = no_classes) -> None:
+        super().__init__(topology, rule)
+        self._classes = tuple(
+            Channel(dim, sign)
+            for dim in range(topology.n_dims)
+            for sign in (+1, -1)
+        )
+
+    @property
+    def channel_classes(self) -> tuple[Channel, ...]:
+        return self._classes
+
+    @property
+    def name(self) -> str:
+        return "unrestricted-adaptive"
+
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        if cur == dst:
+            return []
+        return self._outputs_matching(cur, self.topology.minimal_directions(cur, dst))

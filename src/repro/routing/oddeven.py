@@ -1,0 +1,91 @@
+"""The Odd-Even turn model (Chiu 2000), native implementation (§6.2).
+
+Rules (for minimal routing in a 2D mesh, no VCs):
+
+* **Rule 1** — at a node in an *even* column, EN and ES turns are
+  prohibited (a packet travelling east may not turn north/south there);
+* **Rule 2** — at a node in an *odd* column, NW and SW turns are
+  prohibited (a packet may not turn west there).
+
+The classic distributed formulation below additionally prevents a packet
+from painting itself into a corner (it must leave the east-going phase in
+a column from which the remaining north/south segment is legal).
+"""
+
+from __future__ import annotations
+
+from repro.core.channel import Channel
+from repro.errors import RoutingError
+from repro.routing.base import Candidate, RoutingFunction
+from repro.topology.base import Coord, Topology
+from repro.topology.classes import ClassRule, no_classes
+
+_2D_CLASSES = (
+    Channel.parse("X+"),
+    Channel.parse("X-"),
+    Channel.parse("Y+"),
+    Channel.parse("Y-"),
+)
+
+
+class OddEven(RoutingFunction):
+    """Chiu's Odd-Even adaptive routing for 2D meshes.
+
+    This follows the published minimal ROUTE function: the candidate set
+    depends on the current column's parity, the source column (for
+    westbound packets) and the destination column.
+    """
+
+    def __init__(self, topology: Topology, rule: ClassRule = no_classes) -> None:
+        if topology.n_dims != 2:
+            raise RoutingError("Odd-Even is a 2D algorithm")
+        super().__init__(topology, rule)
+
+    @property
+    def channel_classes(self) -> tuple[Channel, ...]:
+        return _2D_CLASSES
+
+    @property
+    def name(self) -> str:
+        return "odd-even"
+
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        if cur == dst:
+            return []
+        cx, cy = cur
+        dx = dst[0] - cx
+        dy = dst[1] - cy
+        odd_col = cx % 2 == 1
+        arrived_east = (
+            in_channel is not None and in_channel.dim == 0 and in_channel.sign == +1
+        )
+        dirs: list[tuple[int, int]] = []
+
+        if dx == 0:
+            # Pure vertical segment: always allowed.
+            dirs.append((1, +1) if dy > 0 else (1, -1))
+        elif dx > 0:  # eastbound
+            if dy == 0:
+                dirs.append((0, +1))
+            else:
+                # Rule 1 bans EN/ES at even columns: a vertical move is an
+                # E->N/S turn only when the packet arrived eastbound, so it
+                # is legal at odd columns or when the packet did not arrive
+                # over X+ (Chiu's "current column == source column" case).
+                if odd_col or not arrived_east:
+                    dirs.append((1, +1) if dy > 0 else (1, -1))
+                # Continuing east is legal unless the destination column is
+                # even and only one east hop remains — the final vertical
+                # segment would then need a banned EN/ES turn at an even
+                # column, so the verticals must be finished in this column.
+                if dst[0] % 2 == 1 or dx != 1:
+                    dirs.append((0, +1))
+        else:  # westbound
+            # Rule 2 bans NW/SW at odd columns: a westbound packet takes
+            # its vertical moves in even columns only (it must eventually
+            # turn west in the very column where the vertical ends).
+            if dy != 0 and not odd_col:
+                dirs.append((1, +1) if dy > 0 else (1, -1))
+            dirs.append((0, -1))
+
+        return self._outputs_matching(cur, dirs)

@@ -1,0 +1,99 @@
+"""Output selection policies.
+
+Routing functions return *sets* of legal candidates; a selection policy
+picks one.  Selection never affects deadlock freedom (any subset of an
+acyclic relation is acyclic) — it only affects performance, which is why
+the paper treats DyXY as "the same partitioning, congestion-aware
+selection".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import RoutingError
+from repro.routing.base import Candidate
+from repro.topology.base import Coord
+
+
+@dataclass
+class SelectionContext:
+    """Information a policy may use when ranking candidates."""
+
+    cur: Coord
+    dst: Coord
+    rng: random.Random
+    #: Free buffer slots downstream of each candidate, filled by the
+    #: simulator: ``credits(candidate) -> int``.
+    credits: Callable[[Candidate], int] = field(default=lambda _c: 0)
+    cycle: int = 0
+
+
+#: A policy maps (candidates, context) -> the chosen candidate.
+SelectionPolicy = Callable[[Sequence[Candidate], SelectionContext], Candidate]
+
+
+def first_candidate(candidates: Sequence[Candidate], ctx: SelectionContext) -> Candidate:
+    """Deterministic: always the first legal candidate."""
+    _require(candidates)
+    return candidates[0]
+
+
+def random_candidate(candidates: Sequence[Candidate], ctx: SelectionContext) -> Candidate:
+    """Uniformly random among legal candidates (seeded via the context)."""
+    _require(candidates)
+    return ctx.rng.choice(list(candidates))
+
+
+def zigzag(candidates: Sequence[Candidate], ctx: SelectionContext) -> Candidate:
+    """Prefer the dimension with the largest remaining offset.
+
+    The classic adaptive tie-breaker: balancing offsets keeps both
+    dimensions available longest, preserving adaptivity downstream.
+    """
+    _require(candidates)
+
+    def remaining(cand: Candidate) -> int:
+        nxt, _ch = cand
+        dim = _moved_dim(ctx.cur, nxt)
+        return -abs(ctx.dst[dim] - ctx.cur[dim])
+
+    return min(candidates, key=remaining)
+
+
+def congestion_aware(candidates: Sequence[Candidate], ctx: SelectionContext) -> Candidate:
+    """Pick the candidate with most free downstream buffer slots (DyXY).
+
+    Ties break toward the largest remaining offset, then first.
+    """
+    _require(candidates)
+
+    def score(item: tuple[int, Candidate]) -> tuple[int, int, int]:
+        idx, cand = item
+        nxt, _ch = cand
+        dim = _moved_dim(ctx.cur, nxt)
+        return (-ctx.credits(cand), -abs(ctx.dst[dim] - ctx.cur[dim]), idx)
+
+    return min(enumerate(candidates), key=score)[1]
+
+
+NAMED_POLICIES: dict[str, SelectionPolicy] = {
+    "first": first_candidate,
+    "random": random_candidate,
+    "zigzag": zigzag,
+    "congestion": congestion_aware,
+}
+
+
+def _require(candidates: Sequence[Candidate]) -> None:
+    if not candidates:
+        raise RoutingError("selection invoked with no candidates")
+
+
+def _moved_dim(cur: Coord, nxt: Coord) -> int:
+    for dim, (a, b) in enumerate(zip(cur, nxt)):
+        if a != b:
+            return dim
+    raise RoutingError(f"candidate does not move: {cur} -> {nxt}")

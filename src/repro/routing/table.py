@@ -1,0 +1,223 @@
+"""Turn-table routing: executing an EbDa design.
+
+:class:`TurnTableRouting` turns a partition sequence into a working
+routing function: a packet may ride channel class ``b`` after class ``a``
+iff ``a == b`` (continuing straight) or ``a -> b`` is an extracted turn.
+
+Turn legality alone is not enough for a *connected* routing function — a
+greedy router could take a legal turn into a state from which the
+destination is no longer reachable (e.g. going north first under
+north-last).  The table therefore precomputes, per destination, the set of
+(node, class) states that can still reach it, and only offers moves that
+stay inside that set.  This is the standard way turn models are realised
+in RTL ("if-else" priority structures, §5.4); reachability filtering
+computes those priorities mechanically for any design.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.channel import Channel
+from repro.core.extraction import extract_turns
+from repro.core.sequence import PartitionSequence
+from repro.core.turns import TurnSet
+from repro.errors import RoutingError
+from repro.routing.base import Candidate, RoutingFunction
+from repro.topology.base import Coord, Topology
+from repro.topology.classes import ClassRule, no_classes
+
+
+class TurnTableRouting(RoutingFunction):
+    """Minimal routing constrained to a design's allowed turns.
+
+    Parameters
+    ----------
+    topology, rule:
+        Where and how the design's channel classes are instantiated.
+    design:
+        The EbDa partition sequence (validated on construction).
+    transitions:
+        Passed through to :func:`~repro.core.extraction.extract_turns`.
+    directions:
+        ``"minimal"`` uses the topology's minimal-direction oracle;
+        ``"progressive"`` uses ``progressive_directions`` where available
+        (irregular topologies whose minimal oracle can dead-end).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        design: PartitionSequence,
+        rule: ClassRule = no_classes,
+        *,
+        transitions: str = "all",
+        directions: str = "minimal",
+        ui_turns: bool = True,
+        fallback: str = "none",
+        label: str | None = None,
+    ) -> None:
+        super().__init__(topology, rule)
+        self.design = design.validate()
+        self.turnset: TurnSet = extract_turns(design, transitions=transitions)
+        if not ui_turns:
+            # Ablation/fault-tolerance studies: strip the Theorem-2/3 U- and
+            # I-turns, keeping only 90-degree turns.  Still safe (a subset
+            # of an acyclic relation), but rerouting around faults loses the
+            # reversal capability the paper motivates U-turns with.
+            from repro.core.turns import TurnKind
+
+            self.turnset = self.turnset.restrict(
+                lambda t: t.kind == TurnKind.DEGREE90
+            )
+        self._classes = design.all_channels
+        if directions not in ("minimal", "progressive"):
+            raise RoutingError(f"unknown directions mode {directions!r}")
+        if fallback not in ("none", "escape"):
+            raise RoutingError(f"unknown fallback mode {fallback!r}")
+        self._directions_mode = directions
+        # "escape": when no productive turn-legal move exists (e.g. routed
+        # into a fault pocket), offer any turn-legal move whose state can
+        # still reach the destination.  Safe: the design's concrete CDG is
+        # acyclic, so every turn-legal walk visits each wire at most once
+        # and must terminate — no livelock is possible.
+        self._fallback = fallback
+        self._label = label
+        self._reach_cache: dict[Coord, frozenset[tuple[Coord, Channel]]] = {}
+
+    @property
+    def channel_classes(self) -> tuple[Channel, ...]:
+        return self._classes
+
+    @property
+    def name(self) -> str:
+        return self._label or f"EbDa[{self.design.arrow_notation()}]"
+
+    # -- direction oracle ------------------------------------------------------
+
+    def _productive(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
+        if self._directions_mode == "progressive":
+            oracle = getattr(self.topology, "progressive_directions", None)
+            if oracle is not None:
+                return oracle(cur, dst)
+        return self.topology.minimal_directions(cur, dst)
+
+    # -- transition legality ----------------------------------------------------
+
+    def transition_legal(self, in_channel: Channel | None, out_channel: Channel) -> bool:
+        """May a packet on ``in_channel`` continue on ``out_channel``?"""
+        if in_channel is None or in_channel == out_channel:
+            return True
+        return self.turnset.allows(in_channel, out_channel)
+
+    # -- reachability ------------------------------------------------------------
+
+    def _reachable_states(self, dst: Coord) -> frozenset[tuple[Coord, Channel]]:
+        """(node, class) states from which ``dst`` is reachable.
+
+        Backward fixpoint over the productive-move/legal-transition graph.
+        A state (v, c) reaches dst when v == dst, or some productive legal
+        move lands in a reachable state.
+        """
+        cached = self._reach_cache.get(dst)
+        if cached is not None:
+            return cached
+
+        # Forward adjacency: state -> list of successor states.
+        # Build lazily per destination since productivity depends on dst.
+        reachable: set[tuple[Coord, Channel]] = {
+            (dst, c) for c in self._classes
+        }
+        # Iterate to fixpoint; state count is small (nodes x classes).
+        changed = True
+        states = [
+            (node, c) for node in self.topology.nodes for c in self._classes
+        ]
+        succ: dict[tuple[Coord, Channel], list[tuple[Coord, Channel]]] = {}
+        for node in self.topology.nodes:
+            if node == dst:
+                continue
+            if self._fallback == "escape":
+                moves = self._all_moves(node)
+            else:
+                moves = self._raw_moves(node, dst)
+            for c in self._classes:
+                succ[(node, c)] = [
+                    (nxt, ch) for nxt, ch in moves if self.transition_legal(c, ch)
+                ]
+        while changed:
+            changed = False
+            for state in states:
+                if state in reachable:
+                    continue
+                for nxt_state in succ.get(state, ()):
+                    if nxt_state in reachable:
+                        reachable.add(state)
+                        changed = True
+                        break
+        frozen = frozenset(reachable)
+        self._reach_cache[dst] = frozen
+        return frozen
+
+    def _raw_moves(self, cur: Coord, dst: Coord) -> list[Candidate]:
+        """Productive (next, class) moves ignoring turn legality."""
+        return self._outputs_matching(cur, self._productive(cur, dst))
+
+    def _all_moves(self, cur: Coord) -> list[Candidate]:
+        """Every instantiable (next, class) move, productive or not."""
+        dirs = {(l.dim, l.sign) for l in self.topology.out_links(cur)}
+        return self._outputs_matching(cur, sorted(dirs))
+
+    # -- the routing function -----------------------------------------------------
+
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        if cur == dst:
+            return []
+        reachable = self._reachable_states(dst)
+
+        def legal_reachable(moves: list[Candidate]) -> list[Candidate]:
+            out = []
+            for nxt, ch in moves:
+                if not self.transition_legal(in_channel, ch):
+                    continue
+                if nxt != dst and (nxt, ch) not in reachable:
+                    continue
+                out.append((nxt, ch))
+            return out
+
+        out = legal_reachable(self._raw_moves(cur, dst))
+        if not out and self._fallback == "escape":
+            # No productive legal move (fault pocket): escape via any
+            # turn-legal move that keeps the destination reachable — this
+            # is where Theorem-2/3 U-turns earn their keep.
+            out = legal_reachable(self._all_moves(cur))
+        # Offer the most progress-making moves first so that greedy
+        # selection policies route quasi-minimally; on plain meshes every
+        # candidate ties (all minimal), on elevator topologies this ranks
+        # nearer-elevator routes ahead of legal detours.
+        out.sort(key=lambda cand: self.topology.distance(cand[0], dst))
+        return out
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Every (src, dst) pair routable from injection?
+
+        The design is *connected* when a freshly injected packet at any
+        source has at least one candidate toward every destination.
+        """
+        for src in self.topology.nodes:
+            for dst in self.topology.nodes:
+                if src == dst:
+                    continue
+                if not self.candidates(src, dst, None):
+                    return False
+        return True
+
+    def dead_pairs(self) -> list[tuple[Coord, Coord]]:
+        """All (src, dst) pairs with no route from injection (diagnostics)."""
+        out = []
+        for src in self.topology.nodes:
+            for dst in self.topology.nodes:
+                if src != dst and not self.candidates(src, dst, None):
+                    out.append((src, dst))
+        return out

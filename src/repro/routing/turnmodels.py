@@ -1,0 +1,115 @@
+"""Native implementations of the three classic 2D turn models (Glass & Ni).
+
+These are the baselines the paper's Table 1 recovers.  Each is written the
+way an RTL routing unit would implement it (offset tests), independently
+of the EbDa machinery — the test suite confirms they allow exactly the
+same moves as their EbDa partition-sequence counterparts.
+"""
+
+from __future__ import annotations
+
+from repro.core.channel import Channel
+from repro.errors import RoutingError
+from repro.routing.base import Candidate, RoutingFunction
+from repro.topology.base import Coord, Topology
+from repro.topology.classes import ClassRule, no_classes
+
+_2D_CLASSES = (
+    Channel.parse("X+"),
+    Channel.parse("X-"),
+    Channel.parse("Y+"),
+    Channel.parse("Y-"),
+)
+
+
+class _TurnModel2D(RoutingFunction):
+    """Shared plumbing for the 2D turn models (no VCs)."""
+
+    def __init__(self, topology: Topology, rule: ClassRule = no_classes) -> None:
+        if topology.n_dims != 2:
+            raise RoutingError(f"{type(self).__name__} is a 2D algorithm")
+        super().__init__(topology, rule)
+
+    @property
+    def channel_classes(self) -> tuple[Channel, ...]:
+        return _2D_CLASSES
+
+    def _moves(self, cur: Coord, dirs: list[tuple[int, int]]) -> list[Candidate]:
+        return self._outputs_matching(cur, dirs)
+
+
+class WestFirst(_TurnModel2D):
+    """West-first: route west first; never turn *into* west afterwards.
+
+    Fully adaptive whenever the destination is not to the west.
+    """
+
+    @property
+    def name(self) -> str:
+        return "west-first"
+
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        if cur == dst:
+            return []
+        dx = dst[0] - cur[0]
+        dy = dst[1] - cur[1]
+        if dx < 0:
+            # Must go west exclusively until the X offset is resolved.
+            return self._moves(cur, [(0, -1)])
+        dirs: list[tuple[int, int]] = []
+        if dx > 0:
+            dirs.append((0, +1))
+        if dy > 0:
+            dirs.append((1, +1))
+        elif dy < 0:
+            dirs.append((1, -1))
+        return self._moves(cur, dirs)
+
+
+class NorthLast(_TurnModel2D):
+    """North-last: go north only when north is the only remaining direction."""
+
+    @property
+    def name(self) -> str:
+        return "north-last"
+
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        if cur == dst:
+            return []
+        dx = dst[0] - cur[0]
+        dy = dst[1] - cur[1]
+        if dx == 0 and dy > 0:
+            return self._moves(cur, [(1, +1)])
+        dirs: list[tuple[int, int]] = []
+        if dx > 0:
+            dirs.append((0, +1))
+        elif dx < 0:
+            dirs.append((0, -1))
+        if dy < 0:
+            dirs.append((1, -1))
+        return self._moves(cur, dirs)
+
+
+class NegativeFirst(_TurnModel2D):
+    """Negative-first: take all negative-direction hops before any positive."""
+
+    @property
+    def name(self) -> str:
+        return "negative-first"
+
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        if cur == dst:
+            return []
+        dx = dst[0] - cur[0]
+        dy = dst[1] - cur[1]
+        negative: list[tuple[int, int]] = []
+        positive: list[tuple[int, int]] = []
+        if dx > 0:
+            positive.append((0, +1))
+        elif dx < 0:
+            negative.append((0, -1))
+        if dy > 0:
+            positive.append((1, +1))
+        elif dy < 0:
+            negative.append((1, -1))
+        return self._moves(cur, negative if negative else positive)

@@ -1,0 +1,63 @@
+"""Cycle-based flit-level wormhole network simulator."""
+
+from repro.sim.buffers import WireState
+from repro.sim.deadlock import build_waitfor_graph, held_wires, waitfor_cycle
+from repro.sim.flit import Flit, Packet
+from repro.sim.network import NetworkSimulator
+from repro.sim.patterns import (
+    NAMED_PATTERNS,
+    TrafficPattern,
+    bit_complement,
+    bit_reverse,
+    hotspot,
+    neighbor,
+    rotate90,
+    shuffle,
+    tornado,
+    transpose,
+    uniform,
+)
+from repro.sim.runner import (
+    RunConfig,
+    RunResult,
+    compare_table,
+    run_point,
+    saturation_rate,
+    sweep_rates,
+)
+from repro.sim.stats import SimStats
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.traffic import ScriptedTraffic, TrafficConfig, TrafficGenerator
+
+__all__ = [
+    "WireState",
+    "build_waitfor_graph",
+    "held_wires",
+    "waitfor_cycle",
+    "Flit",
+    "Packet",
+    "NetworkSimulator",
+    "NAMED_PATTERNS",
+    "TrafficPattern",
+    "bit_complement",
+    "bit_reverse",
+    "hotspot",
+    "neighbor",
+    "rotate90",
+    "shuffle",
+    "tornado",
+    "transpose",
+    "uniform",
+    "RunConfig",
+    "RunResult",
+    "compare_table",
+    "run_point",
+    "saturation_rate",
+    "sweep_rates",
+    "SimStats",
+    "Trace",
+    "TraceEvent",
+    "ScriptedTraffic",
+    "TrafficConfig",
+    "TrafficGenerator",
+]

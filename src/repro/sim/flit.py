@@ -1,0 +1,112 @@
+"""Packets and flits (wormhole switching, Assumptions 1-2).
+
+Wormhole switching splits a packet into flow-control units (*flits*): one
+head flit carrying the route, body flits, and a tail flit that releases
+resources.  Packets can have arbitrary length (Assumption 2) and, in the
+library's default (EbDa-relaxed) mode, multiple packets may occupy one
+buffer — the assumption that distinguishes EbDa from Duato's theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.topology.base import Coord
+
+
+@dataclass
+class Packet:
+    """One message injected into the network.
+
+    Attributes
+    ----------
+    pid:
+        Unique packet id (monotone per simulation).
+    src, dst:
+        Source and destination routers.
+    length:
+        Number of flits (>= 1; a single-flit packet is its own head and tail).
+    created:
+        Cycle the packet entered the source queue.
+    entered:
+        Cycle the head flit left the source queue (None until then).
+    delivered:
+        Cycle the tail flit was consumed at the destination (None until then).
+    waypoints:
+        For path-based multicast: intermediate destinations, in visit
+        order; each absorbs a copy of the packet as the worm passes
+        through (``dst`` stays the final stop).  Empty for unicast.
+    copies:
+        Waypoints whose copy has been fully delivered (tail passed).
+    """
+
+    pid: int
+    src: Coord
+    dst: Coord
+    length: int
+    created: int
+    entered: int | None = None
+    delivered: int | None = None
+    waypoints: tuple[Coord, ...] = ()
+    copies: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("packets need at least one flit")
+        if self.dst in self.waypoints or self.src in self.waypoints:
+            raise ValueError("waypoints must exclude the source and final destination")
+
+    @property
+    def destinations(self) -> tuple[Coord, ...]:
+        """All delivery points: waypoints then the final destination."""
+        return self.waypoints + (self.dst,)
+
+    def flits(self) -> Iterator["Flit"]:
+        """Generate the packet's flits in order."""
+        for seq in range(self.length):
+            yield Flit(
+                packet=self,
+                seq=seq,
+                is_head=seq == 0,
+                is_tail=seq == self.length - 1,
+            )
+
+    @property
+    def total_latency(self) -> int | None:
+        """Creation-to-delivery latency, once delivered."""
+        if self.delivered is None:
+            return None
+        return self.delivered - self.created
+
+    @property
+    def network_latency(self) -> int | None:
+        """Injection-to-delivery latency (excludes source queueing)."""
+        if self.delivered is None or self.entered is None:
+            return None
+        return self.delivered - self.entered
+
+    def __repr__(self) -> str:
+        return f"Packet(#{self.pid} {self.src}->{self.dst} len={self.length})"
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flow-control unit of a packet."""
+
+    packet: Packet
+    seq: int
+    is_head: bool
+    is_tail: bool
+
+    @property
+    def pid(self) -> int:
+        return self.packet.pid
+
+    @property
+    def dst(self) -> Coord:
+        return self.packet.dst
+
+    def __repr__(self) -> str:
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit({kind}#{self.pid}.{self.seq})"

@@ -1,0 +1,432 @@
+"""The cycle-based wormhole network simulator.
+
+One :class:`NetworkSimulator` instance owns the complete runtime state of
+a network: per-wire FIFO buffers with wormhole ownership, per-node source
+queues, and the routing/selection machinery.  Each :meth:`step` executes
+one cycle in three phases:
+
+1. **ejection** — front flits that reached their destination are consumed
+   (sinks always accept: deadlocks observed are network deadlocks);
+2. **route computation / VC allocation** — head flits at buffer fronts
+   (and source-queue heads) acquire a free output wire among the routing
+   function's candidates, chosen by the selection policy;
+3. **switch allocation / traversal** — every physical link moves at most
+   one flit per cycle; winners are rotated round-robin among requesting
+   wires, gated by downstream buffer space (credits).
+
+A progress watchdog detects deadlock: if no flit moves for ``watchdog``
+consecutive cycles while flits are in flight, the simulation is declared
+deadlocked (the wait-for graph in :mod:`repro.sim.deadlock` produces the
+cyclic-wait witness).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Sequence
+
+from repro.errors import DeadlockDetected, RoutingError, SimulationError
+from repro.routing.base import RoutingFunction
+from repro.routing.selection import SelectionContext, SelectionPolicy, first_candidate
+from repro.sim.buffers import WireState
+from repro.sim.flit import Flit, Packet
+from repro.sim.stats import SimStats
+from repro.sim.traffic import TrafficGenerator
+from repro.topology.base import Coord, Link, Topology
+from repro.topology.classes import ClassRule, no_classes
+from repro.topology.wires import Wire, wires_for
+
+
+class _InjectionState:
+    """Progress of the packet currently streaming out of a source queue."""
+
+    __slots__ = ("packet", "flits", "next_seq", "out_wire")
+
+    def __init__(self, packet: Packet) -> None:
+        self.packet = packet
+        self.flits = list(packet.flits())
+        self.next_seq = 0
+        self.out_wire: Wire | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.next_seq >= len(self.flits)
+
+    def current_flit(self) -> Flit:
+        return self.flits[self.next_seq]
+
+
+class NetworkSimulator:
+    """A complete wormhole network bound to one routing function.
+
+    Parameters
+    ----------
+    topology, routing, rule:
+        The network, its routing algorithm and the spatial-class rule the
+        algorithm's channel classes expect.
+    buffer_depth:
+        Flit capacity of each wire's input buffer.
+    pipeline_delay:
+        Extra per-hop cycles modelling the router pipeline depth (RC/VA/
+        SA/ST stages beyond the single link-traversal cycle).  0 keeps the
+        idealised one-cycle router.
+    selection:
+        Output selection policy among legal candidates.
+    atomic_buffers:
+        ``False`` (default) is the EbDa-relaxed discipline: several packets
+        may queue in one buffer.  ``True`` enforces Duato's Assumption 3.
+    switching:
+        ``"wormhole"`` (default) streams flits as soon as one slot frees;
+        ``"vct"`` (virtual cut-through) allocates an output only when the
+        downstream buffer can hold the *whole* packet; ``"saf"``
+        (store-and-forward) additionally holds the head until the entire
+        packet has been stored at the current router.  Per the paper's
+        Assumption 1, SAF and VCT are special cases of wormhole, so every
+        EbDa design must be deadlock-free in all three modes.
+    watchdog:
+        Zero-progress cycles before declaring deadlock.
+    seed:
+        Seed for the selection policy's RNG (traffic has its own seed).
+    tracer:
+        Optional :class:`~repro.sim.trace.Trace` recording every event.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingFunction,
+        rule: ClassRule = no_classes,
+        *,
+        buffer_depth: int = 4,
+        pipeline_delay: int = 0,
+        selection: SelectionPolicy = first_candidate,
+        atomic_buffers: bool = False,
+        switching: str = "wormhole",
+        watchdog: int = 500,
+        seed: int = 0,
+        tracer=None,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing
+        self.rule = rule
+        self.selection = selection
+        self.atomic_buffers = atomic_buffers
+        if switching not in ("wormhole", "vct", "saf"):
+            raise SimulationError(f"unknown switching mode {switching!r}")
+        self.switching = switching
+        if pipeline_delay < 0:
+            raise SimulationError("pipeline_delay cannot be negative")
+        self.pipeline_delay = pipeline_delay
+        self.watchdog = watchdog
+        self.tracer = tracer
+        self.rng = random.Random(seed)
+
+        wires = sorted(wires_for(topology, routing.channel_classes, rule))
+        if not wires:
+            raise SimulationError("routing channel classes instantiate no wires")
+        self.wires: tuple[Wire, ...] = tuple(wires)
+        self.state: dict[Wire, WireState] = {
+            w: WireState(w, buffer_depth) for w in self.wires
+        }
+        self._wire_lookup: dict[tuple[Coord, Coord, object], Wire] = {
+            (w.src, w.dst, w.channel): w for w in self.wires
+        }
+        self.source_queues: dict[Coord, deque[Packet]] = {
+            node: deque() for node in topology.nodes
+        }
+        self._injecting: dict[Coord, _InjectionState | None] = {
+            node: None for node in topology.nodes
+        }
+        #: (wire, pid) -> allocated output wire for that packet at wire.dst.
+        self.route_assignment: dict[tuple[Wire, int], Wire] = {}
+
+        self.cycle = 0
+        self.stats = SimStats()
+        self._stall_cycles = 0
+
+    # -- state queries ----------------------------------------------------------
+
+    def flits_in_network(self) -> int:
+        """Flits currently buffered in wires."""
+        return sum(len(ws.buffer) for ws in self.state.values())
+
+    def packets_in_flight(self) -> int:
+        """Packets injected but not fully delivered."""
+        return self.stats.packets_injected - self.stats.packets_delivered
+
+    def is_idle(self) -> bool:
+        """No flits buffered, nothing queued at sources, nothing streaming."""
+        return (
+            self.flits_in_network() == 0
+            and all(not q for q in self.source_queues.values())
+            and all(s is None for s in self._injecting.values())
+        )
+
+    def credits_of(self, candidate: tuple[Coord, object], cur: Coord) -> int:
+        """Free downstream slots for a (next_node, channel) candidate."""
+        wire = self._wire_lookup.get((cur, candidate[0], candidate[1]))
+        if wire is None:
+            return 0
+        return self.state[wire].free_slots
+
+    # -- traffic entry ------------------------------------------------------------
+
+    def offer_packet(self, packet: Packet) -> None:
+        """Queue a packet at its source node."""
+        self.topology.validate_node(packet.src)
+        self.topology.validate_node(packet.dst)
+        self.source_queues[packet.src].append(packet)
+        self.stats.packets_injected += 1
+        if self.tracer is not None:
+            self.tracer.packet_offered(self.cycle, packet)
+
+    # -- one cycle ------------------------------------------------------------------
+
+    def step(self, new_packets: Sequence[Packet] = ()) -> int:
+        """Advance one cycle; returns the number of flit movements."""
+        for packet in new_packets:
+            self.offer_packet(packet)
+
+        moves = 0
+        moves += self._eject_phase()
+        self._allocation_phase()
+        moves += self._traversal_phase()
+
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        self.stats.flit_moves += moves
+
+        if moves == 0 and not self.is_idle():
+            self._stall_cycles += 1
+            if self._stall_cycles >= self.watchdog and not self.stats.deadlocked:
+                self.stats.deadlocked = True
+                self.stats.deadlock_cycle = self.cycle
+                if self.tracer is not None:
+                    self.tracer.deadlock_declared(self.cycle)
+        else:
+            self._stall_cycles = 0
+        return moves
+
+    # -- phase 1: ejection ---------------------------------------------------------
+
+    def _eject_phase(self) -> int:
+        moves = 0
+        for wire in self.wires:
+            ws = self.state[wire]
+            flit = ws.front()
+            if flit is None or flit.packet.dst != wire.dst:
+                continue
+            if not ws.front_ready(self.cycle, self.pipeline_delay):
+                continue
+            ws.pop()
+            moves += 1
+            if self.tracer is not None:
+                self.tracer.ejected(self.cycle, flit, wire.dst)
+            if flit.is_tail:
+                packet = flit.packet
+                packet.delivered = self.cycle
+                assert packet.entered is not None
+                self.stats.record_delivery(
+                    packet.delivered - packet.created,
+                    packet.delivered - packet.entered,
+                    packet.length,
+                )
+                if self.atomic_buffers:
+                    ws.owner = None
+        return moves
+
+    # -- phase 2: routing and VC allocation ------------------------------------------
+
+    def _allocation_phase(self) -> None:
+        # Heads buffered in the network.
+        for wire in self.wires:
+            ws = self.state[wire]
+            flit = ws.front()
+            if flit is None or not flit.is_head:
+                continue
+            router = wire.dst
+            if flit.packet.dst == router:
+                continue  # ejected next cycle
+            key = (wire, flit.pid)
+            if key in self.route_assignment:
+                continue
+            if self.switching == "saf" and not self._fully_stored(ws, flit.packet):
+                continue  # store-and-forward: wait for the whole packet
+            self._try_allocate(router, flit.packet, wire.channel, key)
+
+        # Source-queue heads.
+        for node in self.topology.nodes:
+            inj = self._injecting[node]
+            if inj is None:
+                queue = self.source_queues[node]
+                if not queue:
+                    continue
+                inj = _InjectionState(queue.popleft())
+                self._injecting[node] = inj
+            if inj.out_wire is None:
+                self._try_allocate(node, inj.packet, None, inj)
+
+    @staticmethod
+    def _fully_stored(ws: WireState, packet) -> bool:
+        """Are all of the packet's flits buffered in this wire (SAF gate)?"""
+        return sum(1 for f in ws.buffer if f.pid == packet.pid) == packet.length
+
+    def _try_allocate(self, router, packet, in_channel, slot) -> None:
+        if self.switching in ("vct", "saf"):
+            capacity = next(iter(self.state.values())).capacity
+            if packet.length > capacity:
+                raise SimulationError(
+                    f"{self.switching} switching needs buffers that hold a"
+                    f" whole packet: length {packet.length} > depth {capacity}"
+                )
+        target = self.routing.target_of(packet, router)
+        candidates = self.routing.candidates(router, target, in_channel)
+        if not candidates:
+            raise RoutingError(
+                f"{self.routing.name}: dead-end at {router} for {packet}"
+                f" arriving on {in_channel}"
+            )
+        available = []
+        for nxt, ch in candidates:
+            wire = self._wire_lookup.get((router, nxt, ch))
+            if wire is None or self.state[wire].owner is not None:
+                continue
+            if (
+                self.switching in ("vct", "saf")
+                and self.state[wire].free_slots < packet.length
+            ):
+                continue  # cut-through: reserve space for the whole packet
+            available.append((nxt, ch))
+        if not available:
+            return  # blocked this cycle; retry next cycle
+        ctx = SelectionContext(
+            cur=router,
+            dst=packet.dst,
+            rng=self.rng,
+            credits=lambda cand, _r=router: self.credits_of(cand, _r),
+            cycle=self.cycle,
+        )
+        nxt, ch = self.selection(available, ctx)
+        out_wire = self._wire_lookup[(router, nxt, ch)]
+        self.state[out_wire].owner = packet.pid
+        if self.tracer is not None:
+            self.tracer.allocated(self.cycle, router, packet.pid, out_wire)
+        if isinstance(slot, _InjectionState):
+            slot.out_wire = out_wire
+        else:
+            self.route_assignment[slot] = out_wire
+
+    # -- phase 3: switch allocation and traversal --------------------------------------
+
+    def _traversal_phase(self) -> int:
+        # Snapshot buffer space: at most one arrival per wire per cycle
+        # (one flit per physical link), so a single free slot suffices.
+        space = {wire: self.state[wire].free_slots for wire in self.wires}
+
+        # Gather requests per physical output link.
+        by_link: dict[Link, list[tuple[int, object, Wire, Flit]]] = {}
+        order = 0
+        for wire in self.wires:
+            ws = self.state[wire]
+            flit = ws.front()
+            if flit is None or flit.packet.dst == wire.dst:
+                continue
+            if not ws.front_ready(self.cycle, self.pipeline_delay):
+                continue
+            out_wire = self.route_assignment.get((wire, flit.pid))
+            if out_wire is None:
+                continue
+            by_link.setdefault(out_wire.link, []).append((order, wire, out_wire, flit))
+            order += 1
+        for node in self.topology.nodes:
+            inj = self._injecting[node]
+            if inj is None or inj.out_wire is None or inj.done:
+                continue
+            by_link.setdefault(inj.out_wire.link, []).append(
+                (order, node, inj.out_wire, inj.current_flit())
+            )
+            order += 1
+
+        moves = 0
+        for link in sorted(by_link):
+            requests = [r for r in by_link[link] if space[r[2]] >= 1]
+            if not requests:
+                continue
+            winner = requests[self.cycle % len(requests)]
+            _order, source, out_wire, flit = winner
+            self._move_flit(source, out_wire, flit)
+            space[out_wire] -= 1
+            moves += 1
+        return moves
+
+    def _move_flit(self, source, out_wire: Wire, flit: Flit) -> None:
+        out_state = self.state[out_wire]
+        if isinstance(source, Wire):
+            ws = self.state[source]
+            popped = ws.pop()
+            assert popped is flit, "FIFO front changed mid-cycle"
+            if flit.is_tail:
+                del self.route_assignment[(source, flit.pid)]
+                if self.atomic_buffers:
+                    ws.owner = None
+                # Path-based multicast: a waypoint absorbs its copy once
+                # the whole worm (tail included) has passed through it.
+                router = source.dst
+                packet = flit.packet
+                if router in packet.waypoints and router not in packet.copies:
+                    packet.copies.add(router)
+                    self.stats.multicast_copies += 1
+                    if self.tracer is not None:
+                        self.tracer.copy_absorbed(self.cycle, packet.pid, router)
+        else:  # injection from a source node
+            inj = self._injecting[source]
+            assert inj is not None and inj.current_flit() is flit
+            inj.next_seq += 1
+            if flit.is_head:
+                inj.packet.entered = self.cycle
+            if inj.done:
+                self._injecting[source] = None
+        out_state.push(flit, self.cycle)
+        if self.tracer is not None:
+            self.tracer.flit_moved(self.cycle, flit, source, out_wire)
+        if flit.is_tail and not self.atomic_buffers:
+            # EbDa-relaxed: the wire is re-allocatable as soon as the tail
+            # is in the buffer; another packet may queue behind it.
+            out_state.owner = None
+
+    # -- driving loops ----------------------------------------------------------------
+
+    def run(
+        self,
+        cycles: int,
+        traffic: TrafficGenerator | None = None,
+        *,
+        drain: bool = False,
+        drain_limit: int = 100_000,
+        raise_on_deadlock: bool = False,
+    ) -> SimStats:
+        """Run ``cycles`` cycles (plus optional drain) and return the stats.
+
+        ``traffic`` generates packets each cycle; with ``drain=True`` the
+        simulation continues without new traffic until the network empties
+        (or ``drain_limit`` extra cycles pass).
+        """
+        for _ in range(cycles):
+            new = traffic.packets_for_cycle(self.cycle) if traffic else ()
+            self.step(new)
+            if self.stats.deadlocked:
+                break
+        if drain and not self.stats.deadlocked:
+            extra = 0
+            while not self.is_idle() and extra < drain_limit:
+                self.step()
+                extra += 1
+                if self.stats.deadlocked:
+                    break
+        if self.stats.deadlocked and raise_on_deadlock:
+            from repro.sim.deadlock import waitfor_cycle
+
+            cycle_pids = waitfor_cycle(self)
+            raise DeadlockDetected(cycle_pids or ())
+        return self.stats

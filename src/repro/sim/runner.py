@@ -1,0 +1,163 @@
+"""Experiment runner: single points, injection-rate sweeps, saturation.
+
+This is the harness the performance benchmarks (V2/V3 in DESIGN.md) drive.
+Every run is fully described by a :class:`RunConfig`, making experiments
+reproducible and easy to tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.routing.base import RoutingFunction
+from repro.routing.selection import SelectionPolicy, first_candidate
+from repro.sim.network import NetworkSimulator
+from repro.sim.patterns import TrafficPattern, uniform
+from repro.sim.stats import SimStats
+from repro.sim.traffic import TrafficConfig, TrafficGenerator
+from repro.topology.base import Topology
+from repro.topology.classes import ClassRule, no_classes
+
+#: A factory producing a fresh routing function per run (routing objects
+#: carry per-destination caches, but they are stateless across runs; a
+#: factory keeps configs picklable/reusable).
+RoutingFactory = Callable[[Topology], RoutingFunction]
+
+
+@dataclass
+class RunConfig:
+    """Everything needed to reproduce one simulation point."""
+
+    cycles: int = 2000
+    injection_rate: float = 0.05
+    packet_length: int = 4
+    pattern: TrafficPattern = uniform
+    buffer_depth: int = 4
+    selection: SelectionPolicy = first_candidate
+    atomic_buffers: bool = False
+    watchdog: int = 500
+    drain: bool = True
+    seed: int = 1
+
+    def with_rate(self, rate: float) -> "RunConfig":
+        return replace(self, injection_rate=rate)
+
+
+@dataclass
+class RunResult:
+    """A simulation point: the config used plus the resulting stats."""
+
+    routing_name: str
+    config: RunConfig
+    stats: SimStats
+    n_nodes: int
+
+    @property
+    def avg_latency(self) -> float:
+        return self.stats.avg_total_latency
+
+    @property
+    def throughput(self) -> float:
+        return self.stats.throughput(self.n_nodes)
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.stats.deadlocked
+
+    def row(self) -> str:
+        lat = f"{self.avg_latency:8.1f}" if self.stats.latencies else "     n/a"
+        status = "DEADLOCK" if self.deadlocked else "ok"
+        return (
+            f"{self.routing_name:28s} rate={self.config.injection_rate:.3f}"
+            f" lat={lat} thr={self.throughput:.4f} [{status}]"
+        )
+
+
+def run_point(
+    topology: Topology,
+    routing: RoutingFunction,
+    config: RunConfig,
+    rule: ClassRule = no_classes,
+) -> RunResult:
+    """Run one simulation point."""
+    sim = NetworkSimulator(
+        topology,
+        routing,
+        rule,
+        buffer_depth=config.buffer_depth,
+        selection=config.selection,
+        atomic_buffers=config.atomic_buffers,
+        watchdog=config.watchdog,
+        seed=config.seed,
+    )
+    traffic = TrafficGenerator(
+        topology,
+        TrafficConfig(
+            injection_rate=config.injection_rate,
+            packet_length=config.packet_length,
+            pattern=config.pattern,
+            seed=config.seed + 7919,
+        ),
+    )
+    stats = sim.run(config.cycles, traffic, drain=config.drain)
+    return RunResult(routing.name, config, stats, len(topology.nodes))
+
+
+def sweep_rates(
+    topology: Topology,
+    routing_factory: RoutingFactory,
+    rates: Sequence[float],
+    config: RunConfig,
+    rule: ClassRule = no_classes,
+) -> list[RunResult]:
+    """Latency/throughput curve over injection rates (one fresh net per point)."""
+    results = []
+    for rate in rates:
+        routing = routing_factory(topology)
+        results.append(run_point(topology, routing, config.with_rate(rate), rule))
+    return results
+
+
+def saturation_rate(
+    results: Sequence[RunResult],
+    *,
+    latency_factor: float = 3.0,
+) -> float | None:
+    """First injection rate whose latency exceeds ``latency_factor`` x the
+    zero-load latency (or that deadlocks); None when never saturated."""
+    if not results:
+        return None
+    base = next(
+        (r.avg_latency for r in results if r.stats.latencies), None
+    )
+    if base is None:
+        return None
+    for r in results:
+        if r.deadlocked:
+            return r.config.injection_rate
+        if r.stats.latencies and r.avg_latency > latency_factor * base:
+            return r.config.injection_rate
+    return None
+
+
+def compare_table(results_by_algo: dict[str, Sequence[RunResult]]) -> str:
+    """Multi-algorithm comparison table (rows = rates, cols = algorithms)."""
+    algos = list(results_by_algo)
+    if not algos:
+        return "(no results)"
+    rates = [r.config.injection_rate for r in results_by_algo[algos[0]]]
+    header = "rate     " + "  ".join(f"{a:>22s}" for a in algos)
+    lines = [header]
+    for i, rate in enumerate(rates):
+        cells = []
+        for a in algos:
+            r = results_by_algo[a][i]
+            if r.deadlocked:
+                cells.append(f"{'DEADLOCK':>22s}")
+            elif r.stats.latencies:
+                cells.append(f"{r.avg_latency:>14.1f} cycles")
+            else:
+                cells.append(f"{'n/a':>22s}")
+        lines.append(f"{rate:<8.3f} " + "  ".join(cells))
+    return "\n".join(lines)

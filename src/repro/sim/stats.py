@@ -1,0 +1,77 @@
+"""Simulation statistics: latency, throughput, progress accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over a simulation run."""
+
+    cycles: int = 0
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    flits_delivered: int = 0
+    flit_moves: int = 0
+    #: (total latency, network latency) per delivered packet.
+    latencies: list[tuple[int, int]] = field(default_factory=list)
+    #: Multicast copies absorbed at waypoints (path-based multicast).
+    multicast_copies: int = 0
+    deadlocked: bool = False
+    deadlock_cycle: int | None = None
+
+    def record_delivery(self, total: int, network: int, flits: int) -> None:
+        self.packets_delivered += 1
+        self.flits_delivered += flits
+        self.latencies.append((total, network))
+
+    @property
+    def avg_total_latency(self) -> float:
+        """Mean creation-to-delivery latency (cycles)."""
+        if not self.latencies:
+            return float("nan")
+        return mean(t for t, _n in self.latencies)
+
+    @property
+    def avg_network_latency(self) -> float:
+        """Mean injection-to-delivery latency (cycles)."""
+        if not self.latencies:
+            return float("nan")
+        return mean(n for _t, n in self.latencies)
+
+    @property
+    def max_total_latency(self) -> int:
+        return max((t for t, _n in self.latencies), default=0)
+
+    def latency_percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) of total latency."""
+        if not self.latencies:
+            return float("nan")
+        values = sorted(t for t, _n in self.latencies)
+        idx = min(len(values) - 1, max(0, round(q / 100 * (len(values) - 1))))
+        return float(values[idx])
+
+    def throughput(self, n_nodes: int) -> float:
+        """Delivered flits per node per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flits_delivered / (self.cycles * n_nodes)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / injected packets (1.0 once drained)."""
+        if self.packets_injected == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_injected
+
+    def summary(self, n_nodes: int) -> str:
+        """One-line human-readable summary."""
+        status = "DEADLOCK" if self.deadlocked else "ok"
+        return (
+            f"[{status}] cycles={self.cycles} injected={self.packets_injected}"
+            f" delivered={self.packets_delivered}"
+            f" avg_lat={self.avg_total_latency:.1f}"
+            f" thr={self.throughput(n_nodes):.4f} flits/node/cycle"
+        )

@@ -1,0 +1,139 @@
+"""Simulation tracing: per-event observability for debugging and teaching.
+
+Attach a :class:`Trace` to a :class:`~repro.sim.network.NetworkSimulator`
+and every interesting event — injection, VC allocation, flit movement,
+ejection, multicast copies, deadlock declaration — is recorded with its
+cycle.  :meth:`Trace.timeline` renders one packet's journey:
+
+    #3 (0,0)->(2,1) len=4
+      cycle   2: offered at (0, 0)
+      cycle   3: VA -> X+@(0, 0)->(1, 0)
+      cycle   3: head moves (0, 0) -> (1, 0) [X+]
+      ...
+      cycle  12: tail ejected at (2, 1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.sim.flit import Flit, Packet
+from repro.topology.base import Coord
+from repro.topology.wires import Wire
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulator event."""
+
+    cycle: int
+    kind: str  # offered | allocated | moved | ejected | copy | deadlock
+    pid: int | None
+    detail: str
+    #: The node the event lands at (movement target, ejection point...).
+    node: Coord | None = None
+    #: "head" / "body" / "tail" for flit events.
+    role: str = ""
+
+    def __str__(self) -> str:
+        who = f"#{self.pid} " if self.pid is not None else ""
+        return f"cycle {self.cycle:4d}: {who}{self.detail}"
+
+
+class Trace:
+    """Event recorder; pass as ``tracer=`` to :class:`NetworkSimulator`.
+
+    ``capacity`` bounds memory (oldest events are dropped past it).
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+
+    # -- hooks the simulator calls ---------------------------------------------
+
+    def packet_offered(self, cycle: int, packet: Packet) -> None:
+        self._add(
+            cycle, "offered", packet.pid,
+            f"offered at {packet.src} -> {packet.dst}", node=packet.src,
+        )
+
+    def allocated(self, cycle: int, router: Coord, pid: int, wire: Wire) -> None:
+        self._add(cycle, "allocated", pid, f"VA at {router} -> {wire}", node=router)
+
+    def flit_moved(self, cycle: int, flit: Flit, source, wire: Wire) -> None:
+        role = "head" if flit.is_head else ("tail" if flit.is_tail else "body")
+        origin = source.dst if isinstance(source, Wire) else source
+        self._add(
+            cycle, "moved", flit.pid,
+            f"{role} moves {origin} -> {wire.dst} [{wire.channel}]",
+            node=wire.dst, role=role,
+        )
+
+    def ejected(self, cycle: int, flit: Flit, node: Coord) -> None:
+        role = "head" if flit.is_head else ("tail" if flit.is_tail else "body")
+        self._add(cycle, "ejected", flit.pid, f"{role} ejected at {node}",
+                  node=node, role=role)
+
+    def copy_absorbed(self, cycle: int, pid: int, node: Coord) -> None:
+        self._add(cycle, "copy", pid, f"multicast copy absorbed at {node}", node=node)
+
+    def deadlock_declared(self, cycle: int) -> None:
+        self._add(cycle, "deadlock", None, "watchdog declared deadlock")
+
+    def _add(
+        self,
+        cycle: int,
+        kind: str,
+        pid: int | None,
+        detail: str,
+        node: Coord | None = None,
+        role: str = "",
+    ) -> None:
+        if len(self.events) >= self.capacity:
+            del self.events[: self.capacity // 10]
+        self.events.append(TraceEvent(cycle, kind, pid, detail, node, role))
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of one kind."""
+        return [e for e in self.events if e.kind == kind]
+
+    def for_packet(self, pid: int) -> list[TraceEvent]:
+        """All events concerning one packet, in order."""
+        return [e for e in self.events if e.pid == pid]
+
+    def timeline(self, pid: int) -> str:
+        """Human-readable journey of one packet."""
+        events = self.for_packet(pid)
+        if not events:
+            return f"#{pid}: no events recorded"
+        lines = [f"packet #{pid}:"]
+        lines.extend(f"  {e}" for e in events)
+        return "\n".join(lines)
+
+    def hops_of(self, pid: int) -> list[Coord]:
+        """The node sequence a packet's head visited."""
+        return [
+            e.node
+            for e in self.for_packet(pid)
+            if e.kind == "moved" and e.role == "head" and e.node is not None
+        ]
+
+    def render(self, *, kinds: Iterable[str] | None = None, limit: int = 200) -> str:
+        """Flat listing of (optionally filtered) events."""
+        wanted = set(kinds) if kinds else None
+        shown = [
+            str(e)
+            for e in self.events
+            if wanted is None or e.kind in wanted
+        ]
+        clipped = shown[:limit]
+        if len(shown) > limit:
+            clipped.append(f"... ({len(shown) - limit} more)")
+        return "\n".join(clipped)

@@ -1,0 +1,135 @@
+"""Irregular topologies: a mesh with failed links (Theorem validity claim).
+
+The paper asserts its theorems hold on irregular networks.  We model
+irregularity as a 2D/3D mesh with a set of failed bidirectional links.
+Minimal-direction oracles are no longer exact (a productive direction may
+be missing), so this topology also provides a BFS-based reachability
+oracle used by Up*/Down* routing and by fault-tolerant EbDa designs that
+exploit Theorem 2's U-turns for rerouting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import cached_property
+from typing import Iterable
+
+from repro.errors import TopologyError
+from repro.topology.base import Coord, Link, Topology
+from repro.topology.mesh import Mesh
+
+
+class FaultyMesh(Topology):
+    """A mesh with a set of failed (removed) bidirectional links.
+
+    >>> t = FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0))])
+    >>> t.has_link((0, 0), (1, 0)) or t.has_link((1, 0), (0, 0))
+    False
+    """
+
+    def __init__(self, base: Mesh, failed: Iterable[tuple[Coord, Coord]]) -> None:
+        self._base = base
+        normalized: set[frozenset[Coord]] = set()
+        for u, v in failed:
+            base.link(u, v)  # raises TopologyError when the link is absent
+            normalized.add(frozenset((u, v)))
+        self._failed = normalized
+        if not self._connected():
+            raise TopologyError("failed links disconnect the network")
+
+    def __repr__(self) -> str:
+        pairs = sorted(tuple(sorted(f)) for f in self._failed)
+        return f"FaultyMesh({self._base!r}, failed={pairs})"
+
+    @property
+    def base(self) -> Mesh:
+        """The underlying healthy mesh."""
+        return self._base
+
+    @property
+    def failed_links(self) -> tuple[tuple[Coord, Coord], ...]:
+        """The failed links as sorted endpoint pairs."""
+        return tuple(sorted(tuple(sorted(f)) for f in self._failed))
+
+    @property
+    def n_dims(self) -> int:
+        return self._base.n_dims
+
+    @cached_property
+    def nodes(self) -> tuple[Coord, ...]:
+        return self._base.nodes
+
+    @cached_property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(
+            l for l in self._base.links if frozenset((l.src, l.dst)) not in self._failed
+        )
+
+    def _connected(self) -> bool:
+        nodes = self._base.nodes
+        alive = {
+            l.src: [] for l in self._base.links
+        }
+        adj: dict[Coord, list[Coord]] = {n: [] for n in nodes}
+        for l in self._base.links:
+            if frozenset((l.src, l.dst)) not in self._failed:
+                adj[l.src].append(l.dst)
+        seen = {nodes[0]}
+        queue = deque([nodes[0]])
+        while queue:
+            cur = queue.popleft()
+            for nxt in adj[cur]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return len(seen) == len(nodes)
+
+    def minimal_directions(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
+        """Mesh-minimal directions whose links survive.
+
+        May be empty even when ``cur != dst`` (all productive links failed);
+        callers needing guaranteed progress should use
+        :meth:`progressive_directions`.
+        """
+        self.validate_node(cur)
+        self.validate_node(dst)
+        dirs: list[tuple[int, int]] = []
+        for dim, sign in self._base.minimal_directions(cur, dst):
+            if self._step(cur, dim, sign) is not None:
+                dirs.append((dim, sign))
+        return tuple(dirs)
+
+    @cached_property
+    def _dist_cache(self) -> dict[Coord, dict[Coord, int]]:
+        # BFS from every node over surviving links (meshes here are small).
+        adj: dict[Coord, list[Coord]] = {n: [] for n in self.nodes}
+        for l in self.links:
+            adj[l.src].append(l.dst)
+        out: dict[Coord, dict[Coord, int]] = {}
+        for start in self.nodes:
+            dist = {start: 0}
+            queue = deque([start])
+            while queue:
+                cur = queue.popleft()
+                for nxt in adj[cur]:
+                    if nxt not in dist:
+                        dist[nxt] = dist[cur] + 1
+                        queue.append(nxt)
+            out[start] = dist
+        return out
+
+    def distance(self, src: Coord, dst: Coord) -> int:
+        self.validate_node(src)
+        self.validate_node(dst)
+        return self._dist_cache[src][dst]
+
+    def progressive_directions(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
+        """Directions that strictly reduce the surviving-graph distance."""
+        self.validate_node(cur)
+        self.validate_node(dst)
+        here = self.distance(cur, dst)
+        dirs: list[tuple[int, int]] = []
+        for link in self.out_links(cur):
+            if self.distance(link.dst, dst) < here:
+                dirs.append((link.dim, link.sign))
+        return tuple(dirs)

@@ -1,0 +1,81 @@
+"""n-dimensional mesh topology (Assumption 3)."""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.errors import TopologyError
+from repro.topology.base import Coord, Link, Topology, grid_nodes
+
+
+class Mesh(Topology):
+    """A dense n-dimensional mesh.
+
+    ``Mesh(4, 4)`` is the classic 4x4 2D mesh; ``Mesh(4, 4, 2)`` a 3D one.
+    Every interior node connects to both neighbours along each dimension
+    with a pair of unidirectional links.
+
+    >>> m = Mesh(3, 3)
+    >>> len(m.nodes), len(m.links)
+    (9, 24)
+    """
+
+    def __init__(self, *shape: int) -> None:
+        if not shape:
+            raise TopologyError("a mesh needs at least one dimension")
+        if any(k < 2 for k in shape):
+            raise TopologyError(f"every mesh dimension needs size >= 2, got {shape}")
+        self._shape = tuple(shape)
+
+    def __repr__(self) -> str:
+        return f"Mesh{self._shape}"
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Per-dimension sizes."""
+        return self._shape
+
+    @property
+    def n_dims(self) -> int:
+        return len(self._shape)
+
+    @cached_property
+    def nodes(self) -> tuple[Coord, ...]:
+        return grid_nodes(self._shape)
+
+    @cached_property
+    def links(self) -> tuple[Link, ...]:
+        out: list[Link] = []
+        for node in self.nodes:
+            for dim, size in enumerate(self._shape):
+                if node[dim] + 1 < size:
+                    up = node[:dim] + (node[dim] + 1,) + node[dim + 1:]
+                    out.append(Link(node, up, dim, +1))
+                    out.append(Link(up, node, dim, -1))
+        return tuple(out)
+
+    def minimal_directions(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
+        self.validate_node(cur)
+        self.validate_node(dst)
+        dirs: list[tuple[int, int]] = []
+        for dim in range(self.n_dims):
+            if dst[dim] > cur[dim]:
+                dirs.append((dim, +1))
+            elif dst[dim] < cur[dim]:
+                dirs.append((dim, -1))
+        return tuple(dirs)
+
+    def distance(self, src: Coord, dst: Coord) -> int:
+        self.validate_node(src)
+        self.validate_node(dst)
+        return sum(abs(a - b) for a, b in zip(src, dst))
+
+    def minimal_path_count(self, src: Coord, dst: Coord) -> int:
+        """Number of distinct minimal paths (multinomial coefficient)."""
+        from math import factorial
+
+        deltas = [abs(a - b) for a, b in zip(src, dst)]
+        total = factorial(sum(deltas))
+        for d in deltas:
+            total //= factorial(d)
+        return total

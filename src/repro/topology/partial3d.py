@@ -1,0 +1,166 @@
+"""Vertically partially connected 3D mesh (Section 6.3).
+
+TSV-based 3D NoCs often provide vertical (Z) links only at a subset of
+(x, y) positions — the *elevators*.  Packets travel within a layer via the
+full 2D mesh and change layers only at elevator columns.  This is the
+substrate for the Elevator-First baseline and the paper's §6.3 design.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable
+
+from repro.errors import TopologyError
+from repro.topology.base import Coord, Link, Topology, grid_nodes
+
+
+class PartiallyConnected3D(Topology):
+    """A 3D mesh whose Z links exist only at elevator (x, y) positions.
+
+    Parameters
+    ----------
+    x, y, z:
+        Grid sizes (z = number of layers).
+    elevators:
+        Iterable of (x, y) positions that have vertical links through all
+        layers.  Defaults to the four quadrant centres, giving a connected
+        and reasonably balanced placement.
+
+    >>> t = PartiallyConnected3D(4, 4, 2, elevators=[(0, 0), (3, 3)])
+    >>> sum(1 for l in t.links if l.dim == 2)
+    4
+    """
+
+    def __init__(
+        self,
+        x: int,
+        y: int,
+        z: int,
+        elevators: Iterable[tuple[int, int]] | None = None,
+    ) -> None:
+        if x < 2 or y < 2 or z < 2:
+            raise TopologyError("partial 3D mesh needs x, y, z >= 2")
+        self._shape = (x, y, z)
+        if elevators is None:
+            elevators = [
+                (x // 4, y // 4),
+                (3 * x // 4, y // 4),
+                (x // 4, 3 * y // 4),
+                (3 * x // 4, 3 * y // 4),
+            ]
+        self._elevators = tuple(sorted(set(elevators)))
+        for ex, ey in self._elevators:
+            if not (0 <= ex < x and 0 <= ey < y):
+                raise TopologyError(f"elevator ({ex}, {ey}) outside the {x}x{y} layer")
+        if not self._elevators:
+            raise TopologyError("at least one elevator is required")
+
+    def __repr__(self) -> str:
+        return f"PartiallyConnected3D{self._shape}(elevators={self._elevators})"
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self._shape
+
+    @property
+    def elevators(self) -> tuple[tuple[int, int], ...]:
+        """The (x, y) positions owning vertical links."""
+        return self._elevators
+
+    @property
+    def n_dims(self) -> int:
+        return 3
+
+    @cached_property
+    def nodes(self) -> tuple[Coord, ...]:
+        return grid_nodes(self._shape)
+
+    @cached_property
+    def links(self) -> tuple[Link, ...]:
+        x, y, z = self._shape
+        out: list[Link] = []
+        for node in self.nodes:
+            # full 2D mesh within each layer
+            for dim, size in ((0, x), (1, y)):
+                if node[dim] + 1 < size:
+                    up = node[:dim] + (node[dim] + 1,) + node[dim + 1:]
+                    out.append(Link(node, up, dim, +1))
+                    out.append(Link(up, node, dim, -1))
+            # vertical links only at elevators
+            if (node[0], node[1]) in set(self._elevators) and node[2] + 1 < z:
+                up = (node[0], node[1], node[2] + 1)
+                out.append(Link(node, up, 2, +1))
+                out.append(Link(up, node, 2, -1))
+        return tuple(out)
+
+    def nearest_elevator(self, node: Coord) -> tuple[int, int]:
+        """The elevator minimising in-layer Manhattan distance from ``node``."""
+        return min(
+            self._elevators,
+            key=lambda e: abs(e[0] - node[0]) + abs(e[1] - node[1]),
+        )
+
+    def _via_elevator(self, cur: Coord, elevator: tuple[int, int], dst: Coord) -> int:
+        """Quasi-minimal hops from ``cur`` to ``dst`` through ``elevator``."""
+        ex, ey = elevator
+        return (
+            abs(cur[0] - ex) + abs(cur[1] - ey)
+            + abs(cur[2] - dst[2])
+            + abs(ex - dst[0]) + abs(ey - dst[1])
+        )
+
+    def minimal_directions(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
+        """Productive directions under elevator-aware (quasi-minimal) routing.
+
+        Within a layer this is plain mesh minimality.  When a layer change
+        is needed, a move is productive when it shortens the route through
+        *some* elevator — not only the nearest one.  Turn-restricted designs
+        (such as the §6.3 partitioning, whose ``Z+`` lives in the first
+        partition) often must route through a farther elevator that is
+        reachable with first-partition channels; the permissive oracle keeps
+        those routes available while every offered move still strictly
+        decreases a per-elevator potential, so no livelock is possible.
+        """
+        self.validate_node(cur)
+        self.validate_node(dst)
+        dirs: list[tuple[int, int]] = []
+        if cur[2] != dst[2]:
+            z_sign = +1 if dst[2] > cur[2] else -1
+            if (cur[0], cur[1]) in set(self._elevators):
+                dirs.append((2, z_sign))
+            here = {e: self._via_elevator(cur, e, dst) for e in self._elevators}
+            for dim in (0, 1):
+                for sign in (+1, -1):
+                    nxt = self._step(cur, dim, sign)
+                    if nxt is None:
+                        continue
+                    if any(
+                        self._via_elevator(nxt, e, dst) < here[e]
+                        for e in self._elevators
+                    ):
+                        dirs.append((dim, sign))
+        else:
+            for dim in (0, 1):
+                if dst[dim] > cur[dim]:
+                    dirs.append((dim, +1))
+                elif dst[dim] < cur[dim]:
+                    dirs.append((dim, -1))
+        return tuple(dirs)
+
+    def distance(self, src: Coord, dst: Coord) -> int:
+        """Hop count of the elevator-aware quasi-minimal route."""
+        self.validate_node(src)
+        self.validate_node(dst)
+        if src[2] == dst[2]:
+            return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        best = None
+        for ex, ey in self._elevators:
+            hops = (
+                abs(src[0] - ex) + abs(src[1] - ey)
+                + abs(src[2] - dst[2])
+                + abs(ex - dst[0]) + abs(ey - dst[1])
+            )
+            best = hops if best is None else min(best, hops)
+        assert best is not None
+        return best

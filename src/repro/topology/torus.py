@@ -1,0 +1,91 @@
+"""k-ary n-cube (torus) topology (Assumption 3).
+
+Wrap-around links carry the same (dim, sign) label as regular links — a
+packet crossing the wrap in the increasing direction is still moving
+``D+``.  The minimal-direction oracle picks the shorter way around each
+ring (both ways on a tie), which is what gives tori their characteristic
+channel-dependency cycles and makes them the interesting verification
+target for Theorem 2's wrap-around U-turn remark.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.errors import TopologyError
+from repro.topology.base import Coord, Link, Topology, grid_nodes
+
+
+class Torus(Topology):
+    """A k-ary n-cube.
+
+    ``Torus(4, 4)`` is a 4-ary 2-cube.  Rings of size 2 would duplicate
+    links, so every dimension needs size >= 3.
+
+    >>> t = Torus(4, 4)
+    >>> len(t.nodes), len(t.links)
+    (16, 64)
+    """
+
+    def __init__(self, *shape: int) -> None:
+        if not shape:
+            raise TopologyError("a torus needs at least one dimension")
+        if any(k < 3 for k in shape):
+            raise TopologyError(f"every torus dimension needs size >= 3, got {shape}")
+        self._shape = tuple(shape)
+
+    def __repr__(self) -> str:
+        return f"Torus{self._shape}"
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Per-dimension ring sizes."""
+        return self._shape
+
+    @property
+    def n_dims(self) -> int:
+        return len(self._shape)
+
+    @cached_property
+    def nodes(self) -> tuple[Coord, ...]:
+        return grid_nodes(self._shape)
+
+    @cached_property
+    def links(self) -> tuple[Link, ...]:
+        out: list[Link] = []
+        for node in self.nodes:
+            for dim, size in enumerate(self._shape):
+                up = node[:dim] + ((node[dim] + 1) % size,) + node[dim + 1:]
+                out.append(Link(node, up, dim, +1))
+                out.append(Link(up, node, dim, -1))
+        return tuple(out)
+
+    def ring_offset(self, cur: int, dst: int, dim: int) -> int:
+        """Signed shortest offset along one ring (positive ties preferred)."""
+        size = self._shape[dim]
+        fwd = (dst - cur) % size
+        bwd = fwd - size
+        return fwd if fwd <= -bwd else bwd
+
+    def minimal_directions(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
+        self.validate_node(cur)
+        self.validate_node(dst)
+        dirs: list[tuple[int, int]] = []
+        for dim, size in enumerate(self._shape):
+            fwd = (dst[dim] - cur[dim]) % size
+            if fwd == 0:
+                continue
+            bwd = size - fwd
+            if fwd <= bwd:
+                dirs.append((dim, +1))
+            if bwd <= fwd:
+                dirs.append((dim, -1))
+        return tuple(dirs)
+
+    def distance(self, src: Coord, dst: Coord) -> int:
+        self.validate_node(src)
+        self.validate_node(dst)
+        return sum(
+            min((d - s) % k, (s - d) % k)
+            for s, d, k in zip(src, dst, self._shape)
+        )

@@ -1,0 +1,69 @@
+"""Unit tests for the §5.4 routing-logic generator."""
+
+import pytest
+
+from repro.analysis.codegen import decision_table, full_logic_listing, routing_logic
+from repro.core import Channel, catalog
+from repro.errors import RoutingError
+from repro.routing import MinimalFullyAdaptive, OddEven, TurnTableRouting, xy_routing
+from repro.topology import Mesh
+
+
+@pytest.fixture
+def mesh() -> Mesh:
+    return Mesh(4, 4)
+
+
+class TestXYLogic:
+    def test_matches_paper_snippet(self, mesh):
+        # §5.4: "if Xoffset > 0 and Yoffset > 0 then ... Channel <- E"
+        logic = routing_logic(xy_routing(mesh))
+        assert "if X_offset > 0 and Y_offset > 0 then Channel <- E;" in logic
+        assert "X_offset = 0 and Y_offset > 0 then Channel <- N;" in logic
+        assert logic.strip().endswith("end if;")
+
+    def test_single_choice_everywhere(self, mesh):
+        for decision in decision_table(xy_routing(mesh)):
+            assert decision.uniform
+            assert len(decision.outputs[0]) == 1
+
+
+class TestAdaptiveLogic:
+    def test_ne_region_offers_both(self, mesh):
+        # §5.4: "Channel <- E or N" for the fully adaptive NE region.
+        logic = routing_logic(MinimalFullyAdaptive(mesh))
+        assert "X_offset > 0 and Y_offset > 0 then Channel <- E or N;" in logic
+
+    def test_identical_turns_deduplicated(self, mesh):
+        logic = routing_logic(MinimalFullyAdaptive(mesh))
+        assert "N or N" not in logic
+
+
+class TestPositionDependence:
+    def test_odd_even_flagged(self, mesh):
+        table = decision_table(OddEven(mesh))
+        ne = next(d for d in table if d.region == (+1, +1))
+        assert not ne.uniform
+        assert "position-dependent" in ne.render()
+
+    def test_incoming_channel_state(self, mesh):
+        # north-last arriving northbound: only N remains
+        routing = TurnTableRouting(mesh, catalog.north_last())
+        table = decision_table(routing, in_channel=Channel.parse("Y+"))
+        for decision in table:
+            for options in decision.outputs:
+                assert all(c.dim == 1 and c.sign == +1 for c in options)
+
+
+class TestFullListing:
+    def test_covers_injection_and_all_classes(self, mesh):
+        routing = xy_routing(mesh)
+        listing = full_logic_listing(routing)
+        assert "injection" in listing
+        assert listing.count("arriving on") == len(routing.channel_classes)
+
+    def test_rejects_non_2d(self, mesh3d):
+        from repro.routing import DimensionOrderRouting
+
+        with pytest.raises(RoutingError):
+            routing_logic(DimensionOrderRouting(mesh3d))

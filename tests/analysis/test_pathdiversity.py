@@ -1,0 +1,88 @@
+"""Unit tests for adaptivity metrics."""
+
+import pytest
+
+from repro.analysis import (
+    adaptivity_report,
+    minimal_paths,
+    path_is_routable,
+    region_pairs,
+)
+from repro.routing import MinimalFullyAdaptive, WestFirst, xy_routing
+from repro.topology import Mesh
+
+
+class TestMinimalPaths:
+    def test_counts_match_binomial(self, mesh4):
+        paths = list(minimal_paths(mesh4, (0, 0), (2, 2)))
+        assert len(paths) == 6
+        assert all(len(p) == 5 for p in paths)
+        assert all(p[0] == (0, 0) and p[-1] == (2, 2) for p in paths)
+
+    def test_straight_line_single_path(self, mesh4):
+        assert len(list(minimal_paths(mesh4, (0, 0), (3, 0)))) == 1
+
+    def test_src_equals_dst(self, mesh4):
+        assert list(minimal_paths(mesh4, (1, 1), (1, 1))) == [((1, 1),)]
+
+
+class TestPathRoutable:
+    def test_xy_accepts_only_xy_shape(self, mesh4):
+        r = xy_routing(mesh4)
+        xy_path = ((0, 0), (1, 0), (2, 0), (2, 1), (2, 2))
+        yx_path = ((0, 0), (0, 1), (0, 2), (1, 2), (2, 2))
+        assert path_is_routable(r, xy_path)
+        assert not path_is_routable(r, yx_path)
+
+    def test_fully_adaptive_accepts_everything(self, mesh4):
+        r = MinimalFullyAdaptive(mesh4)
+        for path in minimal_paths(mesh4, (0, 3), (3, 0)):
+            assert path_is_routable(r, path)
+
+    def test_trivial_paths(self, mesh4):
+        r = xy_routing(mesh4)
+        assert path_is_routable(r, ((0, 0),))
+
+
+class TestAdaptivityReport:
+    def test_xy_scores_one_path_per_pair(self, mesh4):
+        rep = adaptivity_report(mesh4, xy_routing(mesh4))
+        pairs = 16 * 15
+        assert rep.routable_paths == pairs
+        assert rep.pairs == pairs
+        assert not rep.is_fully_adaptive
+
+    def test_fully_adaptive_scores_one(self, mesh4):
+        rep = adaptivity_report(mesh4, MinimalFullyAdaptive(mesh4))
+        assert rep.adaptivity == 1.0
+        assert rep.is_fully_adaptive
+
+    def test_explicit_pairs_subset(self, mesh4):
+        rep = adaptivity_report(mesh4, WestFirst(mesh4), [((0, 0), (2, 2))])
+        assert rep.pairs == 1
+        assert rep.is_fully_adaptive  # eastbound is fully adaptive
+
+    def test_path_explosion_guard(self):
+        big = Mesh(8, 8)
+        with pytest.raises(ValueError):
+            adaptivity_report(
+                big, xy_routing(big), [((0, 0), (7, 7))], max_paths_per_pair=10
+            )
+
+    def test_report_renders(self, mesh4):
+        rep = adaptivity_report(mesh4, xy_routing(mesh4), [((0, 0), (1, 1))])
+        assert "adaptivity" in str(rep)
+
+
+class TestRegionPairs:
+    def test_ne_pairs_have_ne_destinations(self, mesh4):
+        for src, dst in region_pairs(mesh4, (+1, +1)):
+            assert dst[0] >= src[0] and dst[1] >= src[1]
+
+    def test_regions_cover_all_pairs(self, mesh4):
+        total = sum(
+            len(region_pairs(mesh4, signs))
+            for signs in [(+1, +1), (-1, +1), (+1, -1), (-1, -1)]
+        )
+        # ties count as positive, so regions partition the pair set
+        assert total == 16 * 15

@@ -1,0 +1,30 @@
+"""Unit tests for report formatting."""
+
+from repro.analysis import banner, bullet_list, text_table
+
+
+class TestTextTable:
+    def test_alignment(self):
+        out = text_table(["name", "n"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("----")
+        assert len(lines) == 4
+
+    def test_wide_cells_extend_columns(self):
+        out = text_table(["x"], [["very-long-value"]])
+        assert "very-long-value" in out
+
+    def test_empty_rows(self):
+        out = text_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestHelpers:
+    def test_bullets(self):
+        assert bullet_list(["x", "y"]) == "  - x\n  - y"
+
+    def test_banner(self):
+        out = banner("Title", width=10)
+        assert out.splitlines()[0] == "=" * 10
+        assert "Title" in out

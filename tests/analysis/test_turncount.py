@@ -1,0 +1,80 @@
+"""Unit tests for turn accounting in paper notation."""
+
+import pytest
+
+from repro.analysis import (
+    census,
+    compass_channel,
+    compass_turn,
+    degree90_compass_set,
+    format_turn_table,
+    turn_table,
+)
+from repro.core import Channel, catalog, extract_turns, turn
+
+
+class TestCompassNotation:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("X+", "E1"),
+            ("X-", "W1"),
+            ("Y+", "N1"),
+            ("Y2-", "S2"),
+            ("Z4+", "U4"),
+            ("Z-", "D1"),
+        ],
+    )
+    def test_channels_with_vc(self, spec, expected):
+        assert compass_channel(Channel.parse(spec)) == expected
+
+    def test_channel_without_vc(self):
+        assert compass_channel(Channel.parse("X+"), with_vc=False) == "E"
+
+    def test_class_suffix(self):
+        assert compass_channel(Channel.parse("Y+@e"), with_vc=False) == "Ne"
+
+    def test_4th_dimension_falls_back(self):
+        assert compass_channel(Channel.parse("T+"), with_vc=False) == "T+"
+
+    def test_turn_label(self):
+        assert compass_turn(turn("X-", "Z4+")) == "W1U4"
+        assert compass_turn(turn("X+", "Y-"), with_vc=False) == "ES"
+
+
+class TestCensus:
+    def test_north_last(self):
+        c = census(catalog.north_last(), name="north-last")
+        assert c.degree90 == 6
+        assert c.u_turns == 2
+        assert c.i_turns == 0
+        assert c.total == 8
+        assert "north-last" in str(c)
+
+    def test_partial3d_counts(self):
+        c = census(catalog.partial3d_partitions())
+        assert c.degree90 == 30
+        assert c.u_turns == 6
+        assert c.i_turns == 2
+
+    def test_identical_groups_fewer_than_turns_with_vcs(self):
+        c = census(catalog.p5_west_first_vcs())
+        assert c.identical_groups < c.degree90
+
+
+class TestTurnTable:
+    def test_groups_by_rule_and_kind(self):
+        ts = extract_turns(catalog.north_last())
+        table = turn_table(ts, with_vc=False)
+        assert "Theorem1 in PA" in table
+        assert set(table["Theorem1 in PA"]) == {"Turns"}
+        assert "U-Turns" in table["Theorem2 in PA"]
+
+    def test_format_renders(self):
+        ts = extract_turns(catalog.north_last())
+        text = format_turn_table(ts, with_vc=False)
+        assert "Theorem3 PA->PB" in text
+
+    def test_degree90_compass_set(self):
+        labels = degree90_compass_set(catalog.north_last(), with_vc=False)
+        assert labels == {"WS", "SE", "ES", "SW", "EN", "WN"}

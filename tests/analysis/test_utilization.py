@@ -1,0 +1,78 @@
+"""Unit tests for link-utilization accounting and heatmaps."""
+
+import pytest
+
+from repro.analysis import link_utilization, mesh_heatmap, utilization_stats
+from repro.errors import SimulationError
+from repro.routing import MinimalFullyAdaptive, congestion_aware, xy_routing
+from repro.sim import NetworkSimulator, Packet, TrafficConfig, TrafficGenerator, transpose
+from repro.topology import Mesh
+
+
+class TestCounters:
+    def test_single_packet_loads_its_route_only(self, mesh4):
+        sim = NetworkSimulator(mesh4, xy_routing(mesh4))
+        sim.offer_packet(Packet(pid=0, src=(0, 0), dst=(2, 0), length=4, created=0))
+        for _ in range(50):
+            sim.step()
+        util = link_utilization(sim)
+        loaded = {link for link, v in util.items() if v > 0}
+        assert loaded == {
+            mesh4.link((0, 0), (1, 0)),
+            mesh4.link((1, 0), (2, 0)),
+        }
+
+    def test_empty_network_zero(self, mesh4):
+        sim = NetworkSimulator(mesh4, xy_routing(mesh4))
+        mean, peak, imbalance = utilization_stats(sim)
+        assert mean == peak == 0.0
+        assert imbalance == 1.0
+
+    def test_utilization_bounded_by_bandwidth(self, mesh4):
+        sim = NetworkSimulator(mesh4, MinimalFullyAdaptive(mesh4))
+        traffic = TrafficGenerator(
+            mesh4, TrafficConfig(injection_rate=0.3, packet_length=4, seed=2)
+        )
+        sim.run(400, traffic, drain=True)
+        assert all(v <= 1.0 + 1e-9 for v in link_utilization(sim).values())
+
+
+class TestBalanceComparison:
+    def test_adaptive_spreads_load_better_than_xy(self):
+        mesh = Mesh(6, 6)
+
+        def imbalance(routing, **kwargs):
+            sim = NetworkSimulator(mesh, routing, buffer_depth=4, **kwargs)
+            traffic = TrafficGenerator(
+                mesh,
+                TrafficConfig(
+                    injection_rate=0.05, packet_length=4, pattern=transpose, seed=3
+                ),
+            )
+            sim.run(800, traffic, drain=True)
+            return utilization_stats(sim)[2]
+
+        xy = imbalance(xy_routing(mesh))
+        adaptive = imbalance(
+            MinimalFullyAdaptive(mesh), selection=congestion_aware
+        )
+        assert adaptive < xy
+
+
+class TestHeatmap:
+    def test_renders_grid(self, mesh4):
+        sim = NetworkSimulator(mesh4, xy_routing(mesh4))
+        sim.offer_packet(Packet(pid=0, src=(0, 0), dst=(3, 3), length=2, created=0))
+        for _ in range(40):
+            sim.step()
+        art = mesh_heatmap(sim)
+        grid = art.split("peak")[0]
+        assert grid.count("o") == 16
+        assert "peak link load" in art
+
+    def test_rejects_non_2d(self, mesh3d):
+        from repro.routing import DimensionOrderRouting
+
+        sim = NetworkSimulator(mesh3d, DimensionOrderRouting(mesh3d))
+        with pytest.raises(SimulationError):
+            mesh_heatmap(sim)

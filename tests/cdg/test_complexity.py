@@ -1,0 +1,56 @@
+"""Unit tests for the Section-2 complexity accounting."""
+
+import pytest
+
+from repro.cdg import abstract_cycles, ebda_design_cost, section2_table, turn_combinations
+
+
+class TestAbstractCycles:
+    def test_paper_values(self):
+        assert abstract_cycles(2, 1) == 2
+        assert abstract_cycles(2, 2) == 8
+        assert abstract_cycles(3, 1) == 6
+        assert abstract_cycles(3, 2) == 24
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            abstract_cycles(1, 1)
+
+    def test_rejects_zero_vcs(self):
+        with pytest.raises(ValueError):
+            abstract_cycles(2, 0)
+
+
+class TestCombinations:
+    def test_paper_values(self):
+        assert turn_combinations(2, 1) == 16
+        assert turn_combinations(2, 2) == 65_536
+
+    def test_3d_grows_past_8_billion_with_vcs(self):
+        assert turn_combinations(3, 2) > 8_000_000_000
+
+
+class TestSection2Table:
+    def test_four_rows(self):
+        table = section2_table()
+        assert len(table) == 4
+        assert table[0].combinations == 16
+
+    def test_rows_render(self):
+        for row in section2_table():
+            assert "4^" in str(row)
+
+
+class TestEbdaCost:
+    def test_polynomial_vs_exponential(self):
+        for n in (2, 3, 4):
+            for v in (1, 2):
+                assert ebda_design_cost(n, v) < turn_combinations(n, v)
+
+    def test_values(self):
+        assert ebda_design_cost(2, 1) == 2
+        assert ebda_design_cost(3, 1) == 4
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            ebda_design_cost(0, 1)

@@ -1,0 +1,87 @@
+"""Unit tests for the Glass-Ni turn-model enumeration."""
+
+import pytest
+
+from repro.cdg import (
+    ALL_TURNS_2D,
+    CLOCKWISE,
+    COUNTERCLOCKWISE,
+    all_candidates,
+    classify_orbit,
+    deadlock_free_candidates,
+    is_deadlock_free,
+    symmetry_orbit,
+    turn_label,
+    unique_turn_models,
+)
+from repro.cdg.turnmodel import TurnModelCandidate
+from repro.core import TurnKind
+
+
+class TestAbstractCycles:
+    def test_eight_turns_total(self):
+        assert len(ALL_TURNS_2D) == 8
+        assert len(set(ALL_TURNS_2D)) == 8
+
+    def test_all_are_90_degree(self):
+        assert all(t.kind == TurnKind.DEGREE90 for t in ALL_TURNS_2D)
+
+    def test_cycles_close(self):
+        # consecutive turns share the middle channel, and the cycle wraps
+        for cyc in (CLOCKWISE, COUNTERCLOCKWISE):
+            for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+                assert a.dst == b.src
+
+    def test_labels(self):
+        assert turn_label(CLOCKWISE[0]) == "ES"
+        assert turn_label(COUNTERCLOCKWISE[0]) == "EN"
+
+
+class TestCandidates:
+    def test_sixteen(self):
+        assert len(all_candidates()) == 16
+
+    def test_each_allows_six_turns(self):
+        for cand in all_candidates():
+            assert len(cand.allowed_turns) == 6
+
+    def test_paper_counts(self):
+        free = deadlock_free_candidates()
+        assert len(free) == 12
+
+    def test_west_first_combination_is_free(self):
+        # prohibit SW (cw) and NW (ccw)
+        cand = next(
+            c for c in all_candidates()
+            if {turn_label(c.prohibited_cw), turn_label(c.prohibited_ccw)} == {"SW", "NW"}
+        )
+        assert is_deadlock_free(cand).acyclic
+
+    def test_a_cyclic_combination_exists(self):
+        free = set(deadlock_free_candidates())
+        bad = [c for c in all_candidates() if c not in free]
+        assert len(bad) == 4
+        for cand in bad:
+            assert not is_deadlock_free(cand).acyclic
+
+
+class TestSymmetry:
+    def test_orbits_partition_the_free_set(self):
+        orbits = unique_turn_models()
+        assert len(orbits) == 3
+        union = set().union(*orbits)
+        assert len(union) == 12
+
+    def test_orbit_names(self):
+        names = sorted(classify_orbit(o) for o in unique_turn_models())
+        assert names == ["negative-first", "north-last", "west-first"]
+
+    def test_orbit_closure(self):
+        cand = all_candidates()[0]
+        orbit = symmetry_orbit(cand)
+        # applying the generators stays inside the orbit
+        from repro.cdg.turnmodel import _apply, _mirror, _rot90
+
+        for member in orbit:
+            assert _apply(_rot90, member) in orbit
+            assert _apply(_mirror, member) in orbit

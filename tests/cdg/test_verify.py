@@ -1,0 +1,77 @@
+"""Unit tests for the verification verdicts."""
+
+import pytest
+
+from repro.cdg import all_cycles, build_design_cdg, verify_design, verify_routing, verify_turnset
+from repro.core import PartitionSequence, catalog, extract_turns
+from repro.core.turns import TurnSet
+from repro.core.extraction import theorem1_turns
+from repro.core.partition import Partition
+from repro.routing import UnrestrictedAdaptive
+from repro.topology import Mesh, Torus, column_parity, row_parity
+from repro.topology.classes import dateline
+
+
+class TestVerifyDesign:
+    def test_all_catalog_2d_designs_acyclic(self, mesh4):
+        for name in ["xy", "west-first", "negative-first", "north-last",
+                     "dyxy", "fig7c", "partially-adaptive", "west-first-vcs"]:
+            assert verify_design(catalog.design(name), mesh4).acyclic, name
+
+    def test_odd_even_with_rule(self, mesh4):
+        assert verify_design(catalog.design("odd-even"), mesh4, column_parity).acyclic
+
+    def test_hamiltonian_with_rule(self, mesh4):
+        assert verify_design(catalog.design("hamiltonian"), mesh4, row_parity).acyclic
+
+    def test_3d_designs(self, mesh3d):
+        assert verify_design(catalog.fig9b_partitions(), mesh3d).acyclic
+        assert verify_design(catalog.fig9c_partitions(), mesh3d).acyclic
+
+    def test_verdict_reports_counts(self, mesh4, north_last_design):
+        v = verify_design(north_last_design, mesh4)
+        assert v.wires == 48
+        assert v.dependencies > 0
+        assert bool(v)
+        assert "ACYCLIC" in str(v)
+
+
+class TestNegativeControls:
+    def test_two_pairs_cyclic_with_witness(self, mesh4):
+        bad = Partition.of("X+ X- Y+ Y-")
+        ts = TurnSet({"bad": theorem1_turns(bad)})
+        v = verify_turnset(ts, mesh4)
+        assert not v.acyclic
+        assert len(v.cycle) >= 4
+        # witness is a real cycle: consecutive wires chain through routers
+        for a, b in zip(v.cycle, v.cycle[1:]):
+            assert a.dst == b.src
+        assert "CYCLIC" in str(v)
+
+    def test_unrestricted_routing_cyclic(self, mesh4):
+        assert not verify_routing(UnrestrictedAdaptive(mesh4), mesh4).acyclic
+
+    def test_plain_design_cyclic_on_torus(self):
+        # Theorem 1 presumes mesh geometry; a torus ring closes on a single
+        # class, so the same design must be flagged cyclic there...
+        torus = Torus(4, 4)
+        v = verify_design(catalog.north_last(), torus)
+        assert not v.acyclic
+
+    def test_dateline_design_acyclic_on_torus(self):
+        # ...until the dateline partitioning handles the wrap links.
+        from repro.core.torus_designs import dateline_design
+
+        torus = Torus(4, 4)
+        assert verify_design(dateline_design(2), torus, dateline).acyclic
+
+
+class TestAllCycles:
+    def test_enumerates_witnesses(self, mesh4):
+        from repro.cdg import build_turn_cdg
+
+        bad = PartitionSequence.parse("X+ X- Y+ Y-")
+        ts = extract_turns(bad, validate=False)
+        graph = build_turn_cdg(mesh4, ts, bad.all_channels)
+        cycles = all_cycles(graph, limit=5)
+        assert 1 <= len(cycles) <= 5

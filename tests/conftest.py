@@ -1,0 +1,55 @@
+"""Shared fixtures: topologies and designs reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PartitionSequence, catalog
+from repro.topology import FaultyMesh, Mesh, PartiallyConnected3D, Torus
+
+
+@pytest.fixture(scope="session")
+def mesh4() -> Mesh:
+    return Mesh(4, 4)
+
+
+@pytest.fixture(scope="session")
+def mesh3x3() -> Mesh:
+    return Mesh(3, 3)
+
+
+@pytest.fixture(scope="session")
+def mesh3d() -> Mesh:
+    return Mesh(3, 3, 3)
+
+
+@pytest.fixture(scope="session")
+def torus4() -> Torus:
+    return Torus(4, 4)
+
+
+@pytest.fixture(scope="session")
+def partial3d() -> PartiallyConnected3D:
+    return PartiallyConnected3D(4, 4, 2, elevators=[(1, 1), (3, 2)])
+
+
+@pytest.fixture(scope="session")
+def faulty_mesh() -> FaultyMesh:
+    return FaultyMesh(Mesh(4, 4), failed=[((1, 1), (2, 1)), ((2, 2), (2, 3))])
+
+
+@pytest.fixture(scope="session")
+def north_last_design() -> PartitionSequence:
+    return catalog.north_last()
+
+
+@pytest.fixture(scope="session")
+def west_first_design() -> PartitionSequence:
+    return catalog.p3_west_first()
+
+
+@pytest.fixture(params=sorted(catalog.NAMED_DESIGNS))
+def named_design(request) -> tuple[str, PartitionSequence]:
+    """Every catalog design, parameterised by name."""
+    name = request.param
+    return name, catalog.design(name)

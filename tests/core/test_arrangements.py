@@ -1,0 +1,105 @@
+"""Unit tests for dimension sets and the §5.1 arrangements."""
+
+import pytest
+
+from repro.core import (
+    DimensionSet,
+    arrangement1,
+    arrangement2,
+    arrangement3,
+    channels,
+    sets_from_vc_counts,
+)
+from repro.core.arrangements import repaired_set
+from repro.errors import PartitionError
+
+
+class TestDimensionSet:
+    def test_pairwise_layout(self):
+        sets = sets_from_vc_counts([2])
+        assert [str(c) for c in sets[0].channels] == ["X+", "X-", "X2+", "X2-"]
+
+    def test_pair_count(self):
+        s = sets_from_vc_counts([3])[0]
+        assert s.pair_count == 3
+
+    def test_pair_count_unbalanced(self):
+        s = DimensionSet(0, channels("X+ X2+ X-"))
+        assert s.pair_count == 1
+
+    def test_head_pair_crosses_vcs(self):
+        s = DimensionSet(0, channels("X2+ X1-"))
+        pos, neg = s.head_pair()
+        assert str(pos) == "X2+" and str(neg) == "X-"
+
+    def test_head_pair_missing_direction(self):
+        s = DimensionSet(0, channels("X+ X2+"))
+        with pytest.raises(PartitionError):
+            s.head_pair()
+
+    def test_without(self):
+        s = sets_from_vc_counts([2])[0]
+        rest = s.without(channels("X+ X-"))
+        assert [str(c) for c in rest.channels] == ["X2+", "X2-"]
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(PartitionError):
+            DimensionSet(0, channels("Y+"))
+
+    def test_rotations(self):
+        s = sets_from_vc_counts([2])[0]
+        assert [str(c) for c in s.rotated_channels(1).channels] == [
+            "X-", "X2+", "X2-", "X+",
+        ]
+        assert [str(c) for c in s.rotated_pairs(1).channels] == [
+            "X2+", "X2-", "X+", "X-",
+        ]
+
+    def test_rotation_of_empty_set(self):
+        s = DimensionSet(0, channels("X+ X-")).without(channels("X+ X-"))
+        assert s.rotated_channels(3).is_empty
+
+
+class TestArrangements:
+    def test_arrangement1_orders_by_pairs(self):
+        sets = sets_from_vc_counts([3, 2, 3])
+        ordered = arrangement1(sets)
+        assert [s.pair_count for s in ordered] == [3, 3, 2]
+        # stable: X (dim 0) before Z (dim 2) on ties
+        assert [s.dim for s in ordered] == [0, 2, 1]
+
+    def test_arrangement2_permutes_tied_leaders(self):
+        sets = sets_from_vc_counts([3, 2, 3])
+        orders = [tuple(s.dim for s in arr) for arr in arrangement2(sets)]
+        assert (0, 2, 1) in orders
+        assert (2, 0, 1) in orders
+        assert len(orders) == 2
+
+    def test_arrangement2_single_leader(self):
+        sets = sets_from_vc_counts([3, 1])
+        assert len(list(arrangement2(sets))) == 1
+
+    def test_arrangement3_counts_q_factorial(self):
+        s = sets_from_vc_counts([3])[0]
+        assert len(list(arrangement3(s))) == 6
+
+    def test_repaired_set(self):
+        s = sets_from_vc_counts([2])[0]
+        repaired = repaired_set(s, [1, 0])
+        assert [str(c) for c in repaired.channels] == ["X+", "X2-", "X2+", "X-"]
+        assert repaired.pair_count == 2
+
+    def test_repaired_rejects_bad_permutation(self):
+        s = sets_from_vc_counts([2])[0]
+        with pytest.raises(PartitionError):
+            repaired_set(s, [0, 0])
+
+
+class TestSetsFromVcCounts:
+    def test_mapping_input(self):
+        sets = sets_from_vc_counts({0: 1, 2: 2})
+        assert [s.dim for s in sets] == [0, 2]
+
+    def test_zero_vcs_rejected(self):
+        with pytest.raises(PartitionError):
+            sets_from_vc_counts([1, 0])

@@ -1,0 +1,67 @@
+"""Unit tests for the catalog of named designs."""
+
+import pytest
+
+from repro.core import catalog, check_sequence
+
+
+class TestNamedDesigns:
+    def test_every_design_valid(self, named_design):
+        name, seq = named_design
+        check_sequence(seq).raise_if_failed()
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            catalog.design("does-not-exist")
+
+    def test_table1_has_twelve_unique_options(self):
+        options = catalog.table1_options()
+        assert len(options) == 12
+        keys = {tuple(p.channel_set for p in seq) for seq in options}
+        assert len(keys) == 12
+
+    def test_table1_contains_highlighted_models(self):
+        notations = {seq.arrow_notation() for seq in catalog.table1_options()}
+        for text in catalog.TABLE1_HIGHLIGHTED.values():
+            assert text in notations
+
+    def test_table2_three_partitions_each(self):
+        assert all(len(seq) == 3 for seq in catalog.table2_options())
+
+    def test_table3_singleton_partitions(self):
+        for seq in catalog.table3_options():
+            assert len(seq) == 4
+            assert all(len(p) == 1 for p in seq)
+
+    def test_odd_even_uses_column_classes(self):
+        seq = catalog.odd_even_partitions()
+        classes = {c.cls for c in seq.all_channels}
+        assert classes == {"", "e", "o"}
+
+    def test_hamiltonian_uses_row_classes_on_x(self):
+        seq = catalog.hamiltonian_partitions()
+        x_classes = {c.cls for c in seq.all_channels if c.dim == 0}
+        assert x_classes == {"e", "o"}
+
+    def test_partial3d_channel_budget(self):
+        seq = catalog.partial3d_partitions()
+        assert seq.channel_count == 8
+        assert len(seq) == 2
+
+    def test_dyxy_is_2d_minimal(self):
+        seq = catalog.dyxy_partitions()
+        assert seq.channel_count == 6
+
+    def test_fig9b_and_fig9c_are_16_channels(self):
+        assert catalog.fig9b_partitions().channel_count == 16
+        assert catalog.fig9c_partitions().channel_count == 16
+
+    def test_north_last_matches_paper(self):
+        assert catalog.north_last().arrow_notation() == "X+ X- Y- -> Y+"
+
+    def test_p_series_partition_counts(self):
+        assert len(catalog.p1_xy()) == 4
+        assert len(catalog.p2_partially_adaptive()) == 3
+        assert len(catalog.p3_west_first()) == 2
+        assert len(catalog.p4_negative_first()) == 2
+        assert len(catalog.p5_west_first_vcs()) == 2

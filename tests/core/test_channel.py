@@ -1,0 +1,147 @@
+"""Unit tests for the channel algebra (Definitions 1, 3, 5, 6)."""
+
+import pytest
+
+from repro.core import (
+    NEG,
+    POS,
+    Channel,
+    channels,
+    complete_pairs,
+    dim_index,
+    dim_name,
+    parse_star,
+)
+from repro.core.channel import dims_covered
+from repro.errors import ChannelParseError
+
+
+class TestDimNames:
+    def test_first_dims_are_paper_letters(self):
+        assert [dim_name(i) for i in range(4)] == ["X", "Y", "Z", "T"]
+
+    def test_high_dims_use_numeric_names(self):
+        assert dim_name(9) == "D10"
+
+    def test_roundtrip_letters(self):
+        for i in range(7):
+            assert dim_index(dim_name(i)) == i
+
+    def test_numeric_name_roundtrip(self):
+        assert dim_index("D12") == 11
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ChannelParseError):
+            dim_index("Q")
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text, dim, sign, vc, cls",
+        [
+            ("X+", 0, POS, 1, ""),
+            ("X-", 0, NEG, 1, ""),
+            ("Y2-", 1, NEG, 2, ""),
+            ("Z10+", 2, POS, 10, ""),
+            ("Y+@e", 1, POS, 1, "e"),
+            ("X2-@odd", 0, NEG, 2, "odd"),
+            ("T+", 3, POS, 1, ""),
+        ],
+    )
+    def test_parse(self, text, dim, sign, vc, cls):
+        ch = Channel.parse(text)
+        assert (ch.dim, ch.sign, ch.vc, ch.cls) == (dim, sign, vc, cls)
+
+    @pytest.mark.parametrize("text", ["", "X", "+X", "X0+", "X+-", "5+", "X*"])
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(ChannelParseError):
+            Channel.parse(text)
+
+    def test_str_roundtrip(self):
+        for text in ["X+", "Y2-", "Z+@o", "T3+@even"]:
+            assert str(Channel.parse(text)) == text
+
+    def test_parse_star_expands_both_directions(self):
+        pos, neg = parse_star("Y2*")
+        assert pos == Channel(1, POS, 2)
+        assert neg == Channel(1, NEG, 2)
+
+    def test_parse_star_rejects_plain(self):
+        with pytest.raises(ChannelParseError):
+            parse_star("X+")
+
+    def test_channels_mixed_spec(self):
+        out = channels(["X+", Channel(1, NEG), "Z*"])
+        assert out == (
+            Channel(0, POS),
+            Channel(1, NEG),
+            Channel(2, POS),
+            Channel(2, NEG),
+        )
+
+    def test_channels_comma_separated(self):
+        assert channels("X+, Y-") == (Channel(0, POS), Channel(1, NEG))
+
+
+class TestValidation:
+    def test_zero_sign_rejected(self):
+        with pytest.raises(ChannelParseError):
+            Channel(0, 0)
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ChannelParseError):
+            Channel(-1, POS)
+
+    def test_zero_vc_rejected(self):
+        with pytest.raises(ChannelParseError):
+            Channel(0, POS, vc=0)
+
+
+class TestAlgebra:
+    def test_opposite_flips_sign_only(self):
+        ch = Channel.parse("Y2+@e")
+        assert ch.opposite == Channel(1, NEG, 2, "e")
+        assert ch.opposite.opposite == ch
+
+    def test_pair_requires_opposite_signs(self):
+        assert Channel.parse("X+").forms_pair_with(Channel.parse("X-"))
+        assert not Channel.parse("X+").forms_pair_with(Channel.parse("X+"))
+        assert not Channel.parse("X+").forms_pair_with(Channel.parse("Y-"))
+
+    def test_pair_ignores_vc_and_class(self):
+        # Definition 3: X2+ and X1- form a complete X-pair.
+        assert Channel.parse("X2+").forms_pair_with(Channel.parse("X-"))
+        assert Channel.parse("X+@e").forms_pair_with(Channel.parse("X-@o"))
+
+    def test_with_vc_and_cls(self):
+        ch = Channel.parse("X+")
+        assert ch.with_vc(3) == Channel(0, POS, 3)
+        assert ch.with_cls("e") == Channel(0, POS, 1, "e")
+
+    def test_channels_are_hashable_value_objects(self):
+        assert Channel.parse("X+") == Channel(0, POS)
+        assert len({Channel.parse("X+"), Channel(0, POS)}) == 1
+
+
+class TestCompletePairs:
+    def test_single_pair_detected(self):
+        pairs = complete_pairs(channels("X+ X- Y+"))
+        assert list(pairs) == [0]
+
+    def test_cross_vc_pair_detected(self):
+        pairs = complete_pairs(channels("X2+ X1-"))
+        assert list(pairs) == [0]
+
+    def test_no_pair_when_one_direction_missing(self):
+        assert complete_pairs(channels("X+ Y+ Z-")) == {}
+
+    def test_multiple_pairs(self):
+        pairs = complete_pairs(channels("X+ X- Y+ Y- Z+"))
+        assert sorted(pairs) == [0, 1]
+
+    def test_pair_payload_groups_by_sign(self):
+        pos, neg = complete_pairs(channels("Y1+ Y2+ Y1-"))[1]
+        assert len(pos) == 2 and len(neg) == 1
+
+    def test_dims_covered(self):
+        assert dims_covered(channels("X+ Z- Z+")) == (0, 2)

@@ -1,0 +1,88 @@
+"""Unit tests for Algorithm 2 and the §5.3 derivations."""
+
+from itertools import islice
+
+import pytest
+
+from repro.core import (
+    PartitionSequence,
+    arrangement1,
+    check_sequence,
+    derivation_space_size,
+    derive_by_rotation,
+    fully_deterministic,
+    sets_from_vc_counts,
+    split_partitions,
+    trace_orders,
+)
+
+
+class TestDeriveByRotation:
+    def test_all_derived_designs_are_valid(self):
+        sets = arrangement1(sets_from_vc_counts([2, 2]))
+        for seq in islice(derive_by_rotation(sets), 20):
+            check_sequence(seq).raise_if_failed()
+
+    def test_yields_multiple_distinct_options(self):
+        sets = arrangement1(sets_from_vc_counts([1, 1]))
+        options = list(derive_by_rotation(sets))
+        keys = {tuple(p.channel_set for p in seq) for seq in options}
+        assert len(keys) == len(options) >= 2
+
+    def test_limit_respected(self):
+        sets = arrangement1(sets_from_vc_counts([2, 2]))
+        assert len(list(derive_by_rotation(sets, limit=3))) <= 3
+
+    def test_space_size(self):
+        sets = arrangement1(sets_from_vc_counts([2, 2]))
+        assert derivation_space_size(sets) == 2 * 4
+        assert derivation_space_size([]) == 0
+
+
+class TestSplitPartitions:
+    def test_each_split_is_valid(self):
+        seq = PartitionSequence.parse("X+ X- Y+ -> Y-")
+        splits = list(split_partitions(seq))
+        assert splits
+        for s in splits:
+            check_sequence(s).raise_if_failed()
+            assert s.channel_count == seq.channel_count
+            assert len(s) == len(seq) + 1
+
+    def test_singletons_not_split(self):
+        seq = PartitionSequence.parse("X+ -> Y+")
+        assert list(split_partitions(seq)) == []
+
+    def test_split_preserves_channel_order(self):
+        seq = PartitionSequence.parse("X+ X- Y+")
+        first = next(iter(split_partitions(seq)))
+        assert [str(c) for c in first.all_channels] == ["X+", "X-", "Y+"]
+
+
+class TestFullyDeterministic:
+    def test_all_singletons(self):
+        seq = PartitionSequence.parse("X+ X- Y+ -> Y-")
+        det = fully_deterministic(seq)
+        assert all(len(p) == 1 for p in det)
+        assert det.channel_count == 4
+        check_sequence(det).raise_if_failed()
+
+
+class TestTraceOrders:
+    def test_original_first(self):
+        seq = PartitionSequence.parse("X+ -> Y+")
+        first = next(iter(trace_orders(seq)))
+        assert first.arrow_notation() == seq.arrow_notation()
+
+    def test_counts_factorial(self):
+        seq = PartitionSequence.parse("X+ -> Y+ -> X-")
+        assert len(list(trace_orders(seq))) == 6
+
+    def test_all_orders_valid(self):
+        seq = PartitionSequence.parse("X+ X- Y+ -> Y-")
+        for variant in trace_orders(seq):
+            check_sequence(variant).raise_if_failed()
+
+    def test_limit(self):
+        seq = PartitionSequence.parse("X+ -> Y+ -> X- -> Y-")
+        assert len(list(trace_orders(seq, limit=5))) == 5

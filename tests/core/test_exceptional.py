@@ -1,0 +1,50 @@
+"""Unit tests for the §5.2.2 exceptional no-VC partitioning."""
+
+import pytest
+
+from repro.core import (
+    check_sequence,
+    negative_first,
+    option_for_signs,
+    positive_first,
+    two_partition_options,
+)
+from repro.errors import PartitionError
+
+
+class TestTwoPartitionOptions:
+    def test_counts_2n(self):
+        assert len(list(two_partition_options(2))) == 4
+        assert len(list(two_partition_options(3))) == 8
+
+    def test_reversed_doubles(self):
+        assert len(list(two_partition_options(3, include_reversed=True))) == 16
+
+    def test_all_options_valid(self):
+        for seq in two_partition_options(3, include_reversed=True):
+            check_sequence(seq).raise_if_failed()
+
+    def test_no_partition_has_a_pair(self):
+        for seq in two_partition_options(3):
+            assert all(p.pair_count == 0 for p in seq)
+
+    def test_partitions_complementary(self):
+        for seq in two_partition_options(2):
+            pa, pb = seq
+            assert {c.opposite for c in pa} == set(pb.channel_set)
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(PartitionError):
+            list(two_partition_options(0))
+
+
+class TestNamedOptions:
+    def test_negative_first_2d_matches_paper_p4(self):
+        assert negative_first(2).arrow_notation() == "X- Y- -> X+ Y+"
+
+    def test_positive_first(self):
+        assert positive_first(3).arrow_notation() == "X+ Y+ Z+ -> X- Y- Z-"
+
+    def test_option_for_signs(self):
+        seq = option_for_signs([+1, -1])
+        assert seq.arrow_notation() == "X+ Y- -> X- Y+"

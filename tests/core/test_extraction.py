@@ -1,0 +1,100 @@
+"""Unit tests for the turn extraction engine (the Figure 8 machinery)."""
+
+import pytest
+
+from repro.core import (
+    Partition,
+    PartitionSequence,
+    TurnKind,
+    extract_turns,
+    theorem1_turns,
+    theorem2_turns,
+    theorem3_turns,
+)
+from repro.core.extraction import injection_channels
+from repro.errors import TheoremViolation
+
+
+class TestTheorem1Turns:
+    def test_cross_dim_pairs_only(self):
+        turns = theorem1_turns(Partition.of("X+ X- Y-"))
+        labels = {str(t) for t in turns}
+        assert labels == {"X+->Y-", "X-->Y-", "Y-->X+", "Y-->X-"}
+
+    def test_single_channel_has_no_turns(self):
+        assert theorem1_turns(Partition.of("X+")) == ()
+
+    def test_count_for_full_3d_partition(self):
+        # 4 channels, one dim paired: 10 cross-dimension ordered pairs.
+        turns = theorem1_turns(Partition.of("X+ Y+ Z+ Z-"))
+        assert len(turns) == 10
+
+
+class TestTheorem2Turns:
+    def test_one_uturn_for_pair(self):
+        turns = theorem2_turns(Partition.of("X+ X- Y+"))
+        assert [str(t) for t in turns] == ["X+->X-"]
+
+    def test_numbering_order_controls_direction(self):
+        turns = theorem2_turns(Partition.of("X- X+ Y+"))
+        assert [str(t) for t in turns] == ["X-->X+"]
+
+    def test_three_vc_partition_counts(self):
+        # Figure 4(a): 9 U-turns and 6 I-turns.
+        part = Partition.of("Y1+ Y1- Y2+ Y2- Y3+ Y3- X+")
+        turns = theorem2_turns(part)
+        u = [t for t in turns if t.kind == TurnKind.UTURN]
+        i = [t for t in turns if t.kind == TurnKind.ITURN]
+        assert (len(u), len(i)) == (9, 6)
+
+    def test_unpaired_dim_gets_all_iturns(self):
+        part = Partition.of("Y1+ Y2+ Y3+ X+")
+        turns = theorem2_turns(part)
+        assert all(t.kind == TurnKind.ITURN for t in turns)
+        assert len(turns) == 6  # 3 channels, all ordered pairs
+
+
+class TestTheorem3Turns:
+    def test_full_cross_product(self):
+        a = Partition.of("X+ Y-", name="PA")
+        b = Partition.of("X- Y+", name="PB")
+        turns = theorem3_turns(a, b)
+        assert len(turns) == 4
+        assert str(turns[0]).startswith("X+")
+
+
+class TestExtractTurns:
+    def test_rules_layout_matches_figure8(self):
+        seq = PartitionSequence.parse("X+ X- Y- -> Y+")
+        ts = extract_turns(seq)
+        assert "Theorem1 in PA" in ts.rules
+        assert "Theorem2 in PA" in ts.rules
+        assert "Theorem3 PA->PB" in ts.rules
+
+    def test_validates_by_default(self):
+        bad = PartitionSequence.parse("X+ X- Y+ Y-")
+        with pytest.raises(TheoremViolation):
+            extract_turns(bad)
+        # ... unless explicitly disabled (for negative-control experiments)
+        extract_turns(bad, validate=False)
+
+    def test_consecutive_transitions_are_subset(self):
+        seq = PartitionSequence.parse("X+ -> Y+ -> X- -> Y-")
+        all_t = extract_turns(seq, transitions="all")
+        consecutive = extract_turns(seq, transitions="consecutive")
+        assert consecutive.turns < all_t.turns
+
+    def test_unknown_transition_mode(self):
+        seq = PartitionSequence.parse("X+ -> Y+")
+        with pytest.raises(ValueError):
+            extract_turns(seq, transitions="sometimes")
+
+    def test_north_last_turn_inventory(self):
+        # Theorem 3 example: 6 x 90-degree, S->N U-turn, one X U-turn.
+        ts = extract_turns(PartitionSequence.parse("X+ X- Y- -> Y+"))
+        assert len(ts.of_kind(TurnKind.DEGREE90)) == 6
+        assert len(ts.of_kind(TurnKind.UTURN)) == 2
+
+    def test_injection_channels(self):
+        seq = PartitionSequence.parse("X+ -> Y+")
+        assert [str(c) for c in injection_channels(seq)] == ["X+", "Y+"]

@@ -1,0 +1,89 @@
+"""Unit tests for the Theorem-2 numbering arithmetic (Figure 4)."""
+
+import pytest
+
+from repro.core import Partition, channels
+from repro.core.numbering import (
+    UITurnCensus,
+    census_for_ordering,
+    census_for_partition,
+    identity_holds,
+    iturn_count,
+    total_ui_turns,
+    uturn_count,
+)
+
+
+class TestFormulas:
+    def test_total(self):
+        assert total_ui_turns(6) == 15
+        assert total_ui_turns(1) == 0
+        assert total_ui_turns(0) == 0
+
+    def test_total_rejects_negative(self):
+        with pytest.raises(ValueError):
+            total_ui_turns(-1)
+
+    def test_uturn_count(self):
+        assert uturn_count(3, 3) == 9
+        assert uturn_count(0, 5) == 0
+
+    def test_iturn_count(self):
+        assert iturn_count(3, 3) == 6
+        assert iturn_count(1, 1) == 0
+        assert iturn_count(4, 0) == 6
+
+    def test_identity_examples(self):
+        assert identity_holds(3, 3)
+        assert identity_holds(1, 1)
+        assert identity_holds(5, 2)
+
+
+class TestCensusForOrdering:
+    def test_figure4a(self):
+        census = census_for_ordering(channels("Y1+ Y1- Y2+ Y2- Y3+ Y3-"))
+        assert len(census.u_turns) == 9
+        assert len(census.i_turns) == 6
+        assert census.total == census.expected_total == 15
+        assert census.matches_formula()
+
+    def test_figure4b_alternative_order_same_counts(self):
+        census = census_for_ordering(channels("Y2+ Y1- Y1+ Y3- Y3+ Y2-"))
+        assert (len(census.u_turns), len(census.i_turns)) == (9, 6)
+
+    def test_single_pair(self):
+        census = census_for_ordering(channels("X+ X-"))
+        assert len(census.u_turns) == 1
+        assert not census.i_turns
+
+    def test_rejects_mixed_dims(self):
+        with pytest.raises(ValueError):
+            census_for_ordering(channels("X+ Y+"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            census_for_ordering(())
+
+    def test_turns_are_strictly_ascending(self):
+        order = channels("Y1+ Y1- Y2+ Y2-")
+        census = census_for_ordering(order)
+        rank = {ch: i for i, ch in enumerate(order)}
+        for t in census.u_turns + census.i_turns:
+            assert rank[t.src] < rank[t.dst]
+
+
+class TestCensusForPartition:
+    def test_paired_dim_uses_ascending(self):
+        part = Partition.of("X+ X- Y+")
+        census = census_for_partition(part, 0)
+        assert len(census.u_turns) == 1
+
+    def test_unpaired_dim_all_iturns_both_ways(self):
+        part = Partition.of("Y1+ Y2+ X+")
+        census = census_for_partition(part, 1)
+        assert not census.u_turns
+        assert len(census.i_turns) == 2  # both directions between the VCs
+
+    def test_missing_dim_rejected(self):
+        with pytest.raises(ValueError):
+            census_for_partition(Partition.of("X+"), 1)

@@ -1,0 +1,97 @@
+"""Unit tests for partitions (Definition 2) and their structure."""
+
+import pytest
+
+from repro.core import Channel, Partition, channels
+from repro.errors import PartitionError
+
+
+class TestConstruction:
+    def test_of_parses_spec(self):
+        p = Partition.of("X+ X- Y-", name="PA")
+        assert p.name == "PA"
+        assert len(p) == 3
+
+    def test_star_notation(self):
+        p = Partition.of("Z* X+")
+        assert p.channel_set == frozenset(channels("Z+ Z- X+"))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition.of("X+ X+")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition(())
+
+    def test_order_preserved(self):
+        p = Partition.of("Y- X+ Y+")
+        assert [str(c) for c in p] == ["Y-", "X+", "Y+"]
+
+
+class TestStructure:
+    def test_dims(self):
+        assert Partition.of("X+ Z- Z+").dims == (0, 2)
+
+    def test_complete_pair_dims(self):
+        p = Partition.of("X+ X- Y+")
+        assert p.complete_pair_dims == (0,)
+        assert p.pair_count == 1
+
+    def test_pair_across_vcs_counts(self):
+        # Note to Theorem 1: X1+ with X2- is one complete pair.
+        p = Partition.of("X+ X2- Y+")
+        assert p.pair_count == 1
+
+    def test_two_pair_partition(self):
+        p = Partition.of("X+ X- Y+ Y-")
+        assert p.pair_count == 2
+
+    def test_channels_in_dim_keeps_order(self):
+        p = Partition.of("Y2+ X+ Y1- Y1+")
+        assert [str(c) for c in p.channels_in_dim(1)] == ["Y2+", "Y-", "Y+"]
+
+    def test_contains(self):
+        p = Partition.of("X+ Y-")
+        assert Channel.parse("X+") in p
+        assert Channel.parse("X-") not in p
+
+
+class TestDisjointness:
+    def test_disjoint_partitions(self):
+        a = Partition.of("X+ Y+")
+        b = Partition.of("X- Y-")
+        assert a.is_disjoint_from(b)
+
+    def test_overlapping_partitions(self):
+        a = Partition.of("X+ Y+")
+        b = Partition.of("X+ Y-")
+        assert not a.is_disjoint_from(b)
+
+    def test_vc_distinguishes(self):
+        # Definition 6: different VC numbers are disjoint channels.
+        a = Partition.of("Y1+")
+        b = Partition.of("Y2+")
+        assert a.is_disjoint_from(b)
+
+    def test_class_distinguishes(self):
+        a = Partition.of("Y+@e")
+        b = Partition.of("Y+@o")
+        assert a.is_disjoint_from(b)
+
+
+class TestSubPartition:
+    def test_sub_partition_keeps_order(self):
+        p = Partition.of("X+ X- Y- Z+")
+        sub = p.sub_partition(channels("Y- X+"))
+        assert [str(c) for c in sub] == ["X+", "Y-"]
+
+    def test_sub_partition_rejects_foreign_channels(self):
+        p = Partition.of("X+ Y-")
+        with pytest.raises(PartitionError):
+            p.sub_partition(channels("Z+"))
+
+    def test_renamed(self):
+        p = Partition.of("X+", name="PA")
+        assert p.renamed("PB").name == "PB"
+        assert p.renamed("PB").channel_set == p.channel_set

@@ -1,0 +1,95 @@
+"""Unit tests for Algorithm 1 (the partitioning procedure)."""
+
+import pytest
+
+from repro.core import (
+    Partition,
+    arrangement1,
+    catalog,
+    check_sequence,
+    head_selector,
+    merge_deficient,
+    partition_sets,
+    partition_vc_budget,
+    sets_from_vc_counts,
+)
+from repro.errors import PartitionError
+
+
+class TestPartitionSets:
+    def test_2d_no_vc_yields_north_last_family(self):
+        seq = partition_vc_budget([1, 1])
+        assert seq.arrow_notation() == "X+ X- Y+ -> Y-"
+        check_sequence(seq).raise_if_failed()
+
+    def test_2d_one_extra_y_vc_yields_dyxy_structure(self):
+        seq = partition_vc_budget([1, 2])
+        assert len(seq) == 2
+        assert seq.channel_count == 6
+        # Same channel inventory as the Figure 7(b)/DyXY design.
+        assert {frozenset(map(str, p.channel_set)) for p in seq} == {
+            frozenset({"Y+", "Y-", "X+"}),
+            frozenset({"Y2+", "Y2-", "X-"}),
+        }
+
+    def test_worked_example_3_2_3(self):
+        # §5's worked example: Z first, resulting in Figure 9(c).
+        sets = sorted(
+            arrangement1(sets_from_vc_counts([3, 2, 3])),
+            key=lambda s: (-s.pair_count, -s.dim),
+        )
+        seq = partition_sets(sets)
+        expected = catalog.fig9c_partitions()
+        assert [p.channel_set for p in seq] == [p.channel_set for p in expected]
+
+    def test_every_channel_assigned_exactly_once(self):
+        seq = partition_vc_budget([2, 2, 2])
+        assert seq.channel_count == 12
+        check_sequence(seq).raise_if_failed()
+
+    def test_head_selector_variant_valid(self):
+        seq = partition_vc_budget([2, 2], selector=head_selector)
+        check_sequence(seq).raise_if_failed()
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_sets([])
+
+    def test_partitions_named_sequentially(self):
+        seq = partition_vc_budget([2, 2])
+        assert [p.name for p in seq] == ["PA", "PB", "PC"]
+
+    def test_higher_dimensional_budget(self):
+        seq = partition_vc_budget([1, 1, 1, 1])
+        check_sequence(seq).raise_if_failed()
+        assert seq.channel_count == 8
+
+
+class TestMergeDeficient:
+    def test_orphan_merges_into_compatible_host(self):
+        parts = [
+            Partition.of("X+ X- Y+", name="PA"),
+            Partition.of("Z+", name="PB"),
+        ]
+        merged = merge_deficient(parts)
+        assert len(merged) == 1
+        assert merged[0].pair_count == 1
+
+    def test_orphan_kept_when_merge_would_violate_theorem1(self):
+        parts = [
+            Partition.of("X+ X- Y+", name="PA"),
+            Partition.of("Y-", name="PB"),
+        ]
+        merged = merge_deficient(parts)
+        assert len(merged) == 2
+
+    def test_no_merge_when_all_full(self):
+        parts = [
+            Partition.of("X+ Y+", name="PA"),
+            Partition.of("X- Y-", name="PB"),
+        ]
+        assert merge_deficient(parts) == parts
+
+    def test_single_partition_untouched(self):
+        parts = [Partition.of("X+")]
+        assert merge_deficient(parts) == parts

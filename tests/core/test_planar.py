@@ -1,0 +1,56 @@
+"""Unit tests for the planar-adaptive design."""
+
+import pytest
+
+from repro.cdg import verify_design
+from repro.core import check_sequence, planar_adaptive_design, planar_channel_count
+from repro.errors import PartitionError
+from repro.topology import Mesh
+
+
+class TestConstruction:
+    def test_channel_formula(self):
+        for n in range(2, 7):
+            assert planar_adaptive_design(n).channel_count == planar_channel_count(n)
+            assert planar_channel_count(n) == 4 * n - 4
+
+    def test_two_partitions_per_plane(self):
+        assert len(planar_adaptive_design(4)) == 2 * 3
+
+    def test_all_partitions_pair_free(self):
+        for part in planar_adaptive_design(5):
+            assert part.pair_count == 0
+
+    def test_theorem_compliance(self):
+        for n in (2, 3, 4, 5):
+            check_sequence(planar_adaptive_design(n)).raise_if_failed()
+
+    def test_2d_reduces_to_negative_first_family(self):
+        assert planar_adaptive_design(2).arrow_notation() == "X- Y- -> X+ Y+"
+
+    def test_interior_dims_get_two_vcs(self):
+        design = planar_adaptive_design(4)
+        vcs = {}
+        for ch in design.all_channels:
+            vcs.setdefault(ch.dim, set()).add(ch.vc)
+        assert vcs[0] == {1}
+        assert vcs[1] == {1, 2}
+        assert vcs[2] == {1, 2}
+        assert vcs[3] == {1}
+
+    def test_1d_rejected(self):
+        with pytest.raises(PartitionError):
+            planar_adaptive_design(1)
+        with pytest.raises(PartitionError):
+            planar_channel_count(1)
+
+
+class TestVerification:
+    @pytest.mark.parametrize("n, size", [(2, 4), (3, 3)])
+    def test_acyclic_on_meshes(self, n, size):
+        mesh = Mesh(*([size] * n))
+        assert verify_design(planar_adaptive_design(n), mesh).acyclic
+
+    def test_4d_acyclic(self):
+        mesh = Mesh(2, 2, 2, 2)
+        assert verify_design(planar_adaptive_design(4), mesh).acyclic

@@ -1,0 +1,76 @@
+"""Unit tests for the 2^n region model (Section 4)."""
+
+import pytest
+
+from repro.core import (
+    Partition,
+    PartitionSequence,
+    all_regions,
+    covers_all_regions,
+    region_name,
+    region_of,
+    regions_covered,
+    uncovered_regions,
+)
+
+
+class TestAllRegions:
+    def test_counts(self):
+        assert len(all_regions(1)) == 2
+        assert len(all_regions(2)) == 4
+        assert len(all_regions(4)) == 16
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            all_regions(0)
+
+
+class TestRegionNames:
+    @pytest.mark.parametrize(
+        "region, name",
+        [
+            ((+1, +1), "NE"),
+            ((-1, +1), "NW"),
+            ((+1, -1), "SE"),
+            ((-1, -1), "SW"),
+            ((+1, +1, +1), "NEU"),
+            ((-1, -1, -1), "SWD"),
+            ((+1, -1, +1), "SEU"),
+        ],
+    )
+    def test_compass_names(self, region, name):
+        assert region_name(region) == name
+
+    def test_high_dims_get_suffix(self):
+        assert region_name((+1, +1, +1, -1)).startswith("NEU")
+        assert "D4-" in region_name((+1, +1, +1, -1))
+
+
+class TestRegionsCovered:
+    def test_partition_with_pair_covers_two_regions(self):
+        part = Partition.of("X+ Y+ Y-")
+        assert set(regions_covered(part, 2)) == {(+1, +1), (+1, -1)}
+
+    def test_partition_missing_dim_covers_nothing(self):
+        part = Partition.of("X+ X-")
+        assert regions_covered(part, 2) == ()
+
+    def test_full_coverage_check(self):
+        seq = PartitionSequence.of("X+ Y+ Y-", "X- Y2+ Y2-")
+        assert covers_all_regions(seq, 2)
+
+    def test_uncovered_regions(self):
+        seq = PartitionSequence.of("X+ Y+")
+        assert set(uncovered_regions(seq, 2)) == {(-1, +1), (+1, -1), (-1, -1)}
+
+
+class TestRegionOf:
+    def test_ties_positive(self):
+        assert region_of((1, 1), (1, 3)) == (+1, +1)
+
+    def test_mixed(self):
+        assert region_of((2, 2), (0, 5)) == (-1, +1)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            region_of((0, 0), (1, 1, 1))

@@ -1,0 +1,81 @@
+"""Unit tests for partition sequences (the Theorem 3 design object)."""
+
+import pytest
+
+from repro.core import Channel, Partition, PartitionSequence
+from repro.errors import PartitionError, TheoremViolation
+
+
+class TestConstruction:
+    def test_of_autonames(self):
+        seq = PartitionSequence.of("X+ X- Y-", "Y+")
+        assert [p.name for p in seq] == ["PA", "PB"]
+
+    def test_parse_arrow_notation(self):
+        seq = PartitionSequence.parse("X- -> X+ Y+ Y-")
+        assert len(seq) == 2
+        assert seq.arrow_notation() == "X- -> X+ Y+ Y-"
+
+    def test_named_partitions_kept(self):
+        part = Partition.of("X+", name="CUSTOM")
+        seq = PartitionSequence.of(part, "X-")
+        assert seq[0].name == "CUSTOM"
+
+    def test_overlap_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionSequence.of("X+ Y+", "X+ Y-")
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionSequence(())
+
+
+class TestQueries:
+    def test_all_channels_in_order(self):
+        seq = PartitionSequence.parse("X+ X- Y- -> Y+")
+        assert [str(c) for c in seq.all_channels] == ["X+", "X-", "Y-", "Y+"]
+
+    def test_channel_count(self):
+        assert PartitionSequence.parse("X+ Y+ -> X- Y-").channel_count == 4
+
+    def test_partition_index(self):
+        seq = PartitionSequence.parse("X+ -> Y+ -> X-")
+        assert seq.partition_index(Channel.parse("Y+")) == 1
+        assert seq.partition_index(Channel.parse("X-")) == 2
+
+    def test_partition_index_missing_channel(self):
+        seq = PartitionSequence.parse("X+ -> Y+")
+        with pytest.raises(PartitionError):
+            seq.partition_index(Channel.parse("Z+"))
+
+    def test_covers(self):
+        seq = PartitionSequence.parse("X+ -> Y+")
+        assert seq.covers(Channel.parse("X+"))
+        assert not seq.covers(Channel.parse("X-"))
+
+    def test_reversed_traces_backward(self):
+        seq = PartitionSequence.parse("X+ -> Y+")
+        assert seq.reversed().arrow_notation() == "Y+ -> X+"
+
+
+class TestValidation:
+    def test_valid_sequence_passes(self):
+        seq = PartitionSequence.parse("X+ X- Y- -> Y+")
+        assert seq.validate() is seq
+
+    def test_two_pairs_in_one_partition_fails(self):
+        seq = PartitionSequence.parse("X+ X- Y+ Y-")
+        with pytest.raises(TheoremViolation) as exc:
+            seq.validate()
+        assert exc.value.theorem == 1
+
+    def test_pair_across_vcs_counts_for_theorem1(self):
+        # Note to Theorem 1: {X1+ X2- Y1+ Y2-} holds two complete pairs.
+        seq = PartitionSequence.parse("X1+ X2- Y1+ Y2-")
+        with pytest.raises(TheoremViolation):
+            seq.validate()
+
+    def test_many_channels_one_pair_is_fine(self):
+        # Note to Theorem 1: {X1+ Y1+ Y1- Y2+ Y2-} is cycle-free.
+        seq = PartitionSequence.parse("X+ Y+ Y- Y2+ Y2-")
+        seq.validate()

@@ -1,0 +1,119 @@
+"""Unit tests for the executable theorems."""
+
+import pytest
+
+from repro.core import (
+    Partition,
+    PartitionSequence,
+    check_sequence,
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    require_theorem1,
+)
+from repro.core.theorems import ascending_rank, uturn_allowed
+from repro.core.turns import Turn, turn
+from repro.errors import TheoremViolation
+
+
+class TestTheorem1:
+    def test_one_pair_ok(self):
+        assert check_theorem1(Partition.of("X+ X- Y+")).ok
+
+    def test_no_pair_ok(self):
+        assert check_theorem1(Partition.of("X+ Y- Z+")).ok
+
+    def test_two_pairs_fail(self):
+        report = check_theorem1(Partition.of("X+ X- Y+ Y-"))
+        assert not report.ok
+        assert report.theorem == 1
+        assert report.violations
+
+    def test_max_channels_n_plus_one(self):
+        # n+1 channels with one pair: the largest useful partition in 3D.
+        assert check_theorem1(Partition.of("X+ X- Y+ Z-")).ok
+
+    def test_many_vcs_one_dim_ok(self):
+        assert check_theorem1(Partition.of("X+ Y+ Y- Y2+ Y2- Y3+ Y3-")).ok
+
+    def test_require_raises(self):
+        with pytest.raises(TheoremViolation):
+            require_theorem1(Partition.of("X+ X- Y+ Y-"))
+
+    def test_report_is_truthy_protocol(self):
+        assert bool(check_theorem1(Partition.of("X+")))
+
+
+class TestSubPartitionCorollary:
+    def test_sub_partition_of_cycle_free_is_cycle_free(self):
+        # Corollary of Theorem 1.
+        p = Partition.of("X+ X- Y+ Z-")
+        for keep in (["X+", "Y+"], ["X+", "X-"], ["Z-"]):
+            sub = p.sub_partition([c for c in p if str(c) in keep])
+            assert check_theorem1(sub).ok
+
+
+class TestTheorem2:
+    def test_rank_follows_construction_order(self):
+        p = Partition.of("Y2+ X+ Y1- Y1+")
+        from repro.core import Channel
+
+        assert ascending_rank(p, Channel.parse("Y2+")) == 0
+        assert ascending_rank(p, Channel.parse("Y-")) == 1
+        assert ascending_rank(p, Channel.parse("Y+")) == 2
+
+    def test_uturn_ascending_only(self):
+        p = Partition.of("X+ X- Y+")
+        from repro.core import Channel
+
+        assert uturn_allowed(p, Channel.parse("X+"), Channel.parse("X-"))
+        assert not uturn_allowed(p, Channel.parse("X-"), Channel.parse("X+"))
+
+    def test_uturn_direction_depends_on_order(self):
+        p = Partition.of("X- X+ Y+")
+        from repro.core import Channel
+
+        assert uturn_allowed(p, Channel.parse("X-"), Channel.parse("X+"))
+        assert not uturn_allowed(p, Channel.parse("X+"), Channel.parse("X-"))
+
+    def test_iturns_free_in_unpaired_dim(self):
+        # Corollary of Theorem 2: no pair along Y -> all I-turns allowed.
+        p = Partition.of("Y1+ Y2+ X+")
+        from repro.core import Channel
+
+        assert uturn_allowed(p, Channel.parse("Y+"), Channel.parse("Y2+"))
+        assert uturn_allowed(p, Channel.parse("Y2+"), Channel.parse("Y+"))
+
+    def test_cross_dim_is_not_a_uturn(self):
+        p = Partition.of("X+ Y+")
+        from repro.core import Channel
+
+        assert not uturn_allowed(p, Channel.parse("X+"), Channel.parse("Y+"))
+
+    def test_check_theorem2_flags_descending(self):
+        p = Partition.of("X+ X- Y+")
+        bad = [turn("X-", "X+")]
+        report = check_theorem2(p, bad)
+        assert not report.ok
+
+    def test_check_theorem2_accepts_ascending(self):
+        p = Partition.of("X+ X- Y+")
+        assert check_theorem2(p, [turn("X+", "X-")]).ok
+
+
+class TestTheorem3:
+    def test_valid_sequence(self):
+        seq = PartitionSequence.parse("X- -> X+ Y+ Y-")
+        assert check_theorem3(seq).ok
+
+    def test_detects_theorem1_violation_inside(self):
+        seq = PartitionSequence.parse("X+ X- Y+ Y- -> Z+")
+        report = check_theorem3(seq)
+        assert not report.ok
+
+    def test_check_sequence_alias(self):
+        assert check_sequence(PartitionSequence.parse("X+ -> Y+")).ok
+
+    def test_raise_if_failed_passes_through(self):
+        report = check_theorem3(PartitionSequence.parse("X+ -> Y+"))
+        assert report.raise_if_failed() is report

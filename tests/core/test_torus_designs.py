@@ -1,0 +1,42 @@
+"""Unit tests for the torus dateline designs."""
+
+import pytest
+
+from repro.core import check_sequence
+from repro.core.torus_designs import dateline_design, ring_channels
+from repro.errors import PartitionError
+
+
+class TestDatelineDesign:
+    def test_1d_structure(self):
+        seq = dateline_design(1)
+        assert len(seq) == 3
+        assert seq.arrow_notation() == "X+@r X-@r -> X2+@w X2-@w -> X2+@r X2-@r"
+
+    def test_partitions_per_dimension(self):
+        assert len(dateline_design(2)) == 6
+        assert len(dateline_design(3)) == 9
+
+    def test_theorem_compliance(self):
+        for n in (1, 2, 3):
+            check_sequence(dateline_design(n)).raise_if_failed()
+
+    def test_each_partition_holds_one_pair(self):
+        for part in dateline_design(2):
+            assert part.pair_count == 1
+
+    def test_two_vcs_per_dimension(self):
+        seq = dateline_design(2)
+        vcs = {(c.dim, c.vc) for c in seq.all_channels}
+        assert vcs == {(0, 1), (0, 2), (1, 1), (1, 2)}
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(PartitionError):
+            dateline_design(0)
+
+    def test_adaptive_arrangement_not_offered(self):
+        with pytest.raises(PartitionError):
+            dateline_design(2, dimension_order=False)
+
+    def test_ring_channels_six_classes(self):
+        assert len(set(ring_channels())) == 6

@@ -1,0 +1,98 @@
+"""Unit tests for turns and turn sets."""
+
+import pytest
+
+from repro.core import Channel, Turn, TurnKind, TurnSet, turn, turnset_from_strings
+
+
+class TestTurnKinds:
+    def test_degree90(self):
+        assert turn("X+", "Y-").kind == TurnKind.DEGREE90
+
+    def test_uturn(self):
+        assert turn("X+", "X-").kind == TurnKind.UTURN
+
+    def test_uturn_across_vcs(self):
+        assert turn("X1+", "X2-").kind == TurnKind.UTURN
+
+    def test_iturn(self):
+        assert turn("X1+", "X2+").kind == TurnKind.ITURN
+
+    def test_iturn_across_classes(self):
+        assert turn("Y+@e", "Y+@o").kind == TurnKind.ITURN
+
+    def test_parse_roundtrip(self):
+        t = Turn.parse("X2+->Y-")
+        assert str(t) == "X2+->Y-"
+
+    def test_reverse(self):
+        assert turn("X+", "Y-").reverse == turn("Y-", "X+")
+
+
+class TestTurnSet:
+    def _ts(self):
+        return TurnSet(
+            {
+                "ruleA": [turn("X+", "Y-"), turn("Y-", "X+")],
+                "ruleB": [turn("X+", "X-")],
+            }
+        )
+
+    def test_len_and_iter(self):
+        ts = self._ts()
+        assert len(ts) == 3
+        assert all(isinstance(t, Turn) for t in ts)
+
+    def test_membership_by_turn_and_pair(self):
+        ts = self._ts()
+        assert turn("X+", "Y-") in ts
+        assert (Channel.parse("X+"), Channel.parse("Y-")) in ts
+        assert turn("Y-", "X-") not in ts
+
+    def test_allows(self):
+        ts = self._ts()
+        assert ts.allows(Channel.parse("X+"), Channel.parse("X-"))
+        assert not ts.allows(Channel.parse("X-"), Channel.parse("X+"))
+
+    def test_of_kind(self):
+        ts = self._ts()
+        assert len(ts.of_kind(TurnKind.DEGREE90)) == 2
+        assert len(ts.of_kind(TurnKind.UTURN)) == 1
+        assert ts.of_kind(TurnKind.ITURN) == ()
+
+    def test_count_by_kind(self):
+        counts = self._ts().count_by_kind()
+        assert counts[TurnKind.DEGREE90] == 2
+        assert counts[TurnKind.UTURN] == 1
+
+    def test_channels(self):
+        chans = self._ts().channels()
+        assert Channel.parse("X-") in chans
+        assert len(chans) == 3
+
+    def test_dedup_across_rules(self):
+        ts = TurnSet({"a": [turn("X+", "Y+")], "b": [turn("X+", "Y+")]})
+        assert len(ts) == 1
+
+    def test_equality_ignores_provenance(self):
+        a = TurnSet({"a": [turn("X+", "Y+")]})
+        b = TurnSet({"zzz": [turn("X+", "Y+")]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_restrict(self):
+        ts = self._ts().restrict(lambda t: t.kind == TurnKind.UTURN)
+        assert len(ts) == 1
+
+    def test_merged_with(self):
+        merged = self._ts().merged_with(TurnSet({"ruleC": [turn("Y-", "Y+")]}))
+        assert len(merged) == 4
+        assert "ruleC" in merged.rules
+
+    def test_describe_mentions_kinds(self):
+        text = self._ts().describe()
+        assert "U-Turns" in text and "Turns" in text
+
+    def test_from_strings(self):
+        ts = turnset_from_strings(["X+->Y+", "Y+->X-"])
+        assert len(ts) == 2

@@ -1,0 +1,105 @@
+"""End-to-end integration: budget -> Algorithm 1 -> turns -> CDG -> simulation.
+
+The full pipeline a user of the library runs, across topologies.
+"""
+
+import pytest
+
+from repro.cdg import verify_design, verify_routing
+from repro.core import catalog, extract_turns, partition_vc_budget
+from repro.core.torus_designs import dateline_design
+from repro.routing import TurnTableRouting, UpDownRouting
+from repro.sim import NetworkSimulator, TrafficConfig, TrafficGenerator
+from repro.topology import (
+    FaultyMesh,
+    Mesh,
+    PartiallyConnected3D,
+    Torus,
+    column_parity,
+    row_parity,
+)
+from repro.topology.classes import dateline
+
+
+def _simulate(topology, routing, rule, *, cycles=400, rate=0.08, seed=13, length=4):
+    sim = NetworkSimulator(topology, routing, rule, buffer_depth=4, watchdog=1000)
+    traffic = TrafficGenerator(
+        topology, TrafficConfig(injection_rate=rate, packet_length=length, seed=seed)
+    )
+    stats = sim.run(cycles, traffic, drain=True)
+    assert not stats.deadlocked, routing.name
+    assert stats.packets_delivered == stats.packets_injected, routing.name
+    return stats
+
+
+class TestBudgetToSimulation:
+    @pytest.mark.parametrize("budget", [[1, 1], [1, 2], [2, 2]])
+    def test_2d_pipeline(self, budget):
+        mesh = Mesh(4, 4)
+        design = partition_vc_budget(budget)
+        assert verify_design(design, mesh).acyclic
+        routing = TurnTableRouting(mesh, design)
+        assert routing.is_connected()
+        assert verify_routing(routing, mesh).acyclic
+        stats = _simulate(mesh, routing, lambda l: "")
+        assert stats.packets_delivered > 0
+
+    def test_3d_pipeline(self):
+        mesh = Mesh(3, 3, 3)
+        design = partition_vc_budget([1, 1, 2])
+        assert verify_design(design, mesh).acyclic
+        routing = TurnTableRouting(mesh, design)
+        assert routing.is_connected()
+        _simulate(mesh, routing, lambda l: "", cycles=250, rate=0.05)
+
+
+class TestClassBasedDesigns:
+    def test_odd_even_full_stack(self):
+        mesh = Mesh(4, 4)
+        design = catalog.odd_even_partitions()
+        assert verify_design(design, mesh, column_parity).acyclic
+        routing = TurnTableRouting(mesh, design, column_parity)
+        _simulate(mesh, routing, column_parity)
+
+    def test_hamiltonian_full_stack(self):
+        mesh = Mesh(4, 4)
+        design = catalog.hamiltonian_partitions()
+        routing = TurnTableRouting(mesh, design, row_parity)
+        assert routing.is_connected()
+        _simulate(mesh, routing, row_parity)
+
+
+class TestTorusStack:
+    def test_dateline_design_simulates_clean(self):
+        torus = Torus(4, 4)
+        design = dateline_design(2)
+        assert verify_design(design, torus, dateline).acyclic
+        routing = TurnTableRouting(torus, design, dateline)
+        assert routing.is_connected()
+        _simulate(torus, routing, dateline, cycles=300, rate=0.05)
+
+
+class TestIrregularStack:
+    def test_updown_on_faulty_mesh(self):
+        topo = FaultyMesh(Mesh(4, 4), failed=[((1, 1), (2, 1)), ((0, 2), (0, 3))])
+        routing = UpDownRouting(topo)
+        assert verify_routing(routing, topo, routing.class_rule).acyclic
+        _simulate(topo, routing, routing.class_rule, cycles=300, rate=0.05)
+
+    def test_ebda_design_with_progressive_directions(self):
+        topo = FaultyMesh(Mesh(4, 4), failed=[((1, 1), (2, 1))])
+        design = catalog.design("negative-first")
+        routing = TurnTableRouting(topo, design, directions="progressive")
+        # one failed link leaves most pairs routable; the progressive oracle
+        # detours around the fault while respecting the turn set
+        dead = routing.dead_pairs()
+        assert len(dead) < 20
+
+
+class TestPartial3DStack:
+    def test_full_stack(self):
+        topo = PartiallyConnected3D(4, 4, 2, elevators=[(1, 1), (3, 2)])
+        design = catalog.partial3d_partitions()
+        routing = TurnTableRouting(topo, design)
+        assert routing.is_connected()
+        _simulate(topo, routing, lambda l: "", cycles=300, rate=0.04)

@@ -1,0 +1,67 @@
+"""Property tests: catalog designs hold on arbitrary mesh shapes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdg import verify_design
+from repro.core import catalog
+from repro.routing import TurnTableRouting
+from repro.topology import Mesh, column_parity, no_classes, row_parity
+from repro.topology.classes import rule_for_design
+
+#: 2D catalog designs and the class rules they expect.
+DESIGNS_2D = [
+    "xy", "north-last", "west-first", "negative-first", "partially-adaptive",
+    "west-first-vcs", "dyxy", "fig7c", "odd-even", "hamiltonian",
+]
+
+
+@given(
+    name=st.sampled_from(DESIGNS_2D),
+    kx=st.integers(min_value=2, max_value=6),
+    ky=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_2d_designs_acyclic_on_any_mesh(name, kx, ky):
+    mesh = Mesh(kx, ky)
+    assert verify_design(catalog.design(name), mesh, rule_for_design(name)).acyclic
+
+
+@given(
+    name=st.sampled_from(DESIGNS_2D),
+    kx=st.integers(min_value=3, max_value=5),
+    ky=st.integers(min_value=3, max_value=5),
+)
+@settings(max_examples=15, deadline=None)
+def test_2d_designs_connected_on_any_mesh(name, kx, ky):
+    mesh = Mesh(kx, ky)
+    routing = TurnTableRouting(mesh, catalog.design(name), rule_for_design(name))
+    assert routing.is_connected()
+
+
+@given(
+    name=st.sampled_from(["fig9b", "fig9c"]),
+    shape=st.tuples(
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=2, max_value=3),
+    ),
+)
+@settings(max_examples=10, deadline=None)
+def test_3d_designs_acyclic_on_any_mesh(name, shape):
+    mesh = Mesh(*shape)
+    assert verify_design(catalog.design(name), mesh).acyclic
+
+
+@given(
+    n=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=6, deadline=None)
+def test_negative_first_generalises(n):
+    from repro.core import negative_first
+
+    size = 4 if n == 2 else (3 if n == 3 else 2)
+    mesh = Mesh(*([size] * n))
+    design = negative_first(n)
+    assert verify_design(design, mesh).acyclic
+    assert TurnTableRouting(mesh, design).is_connected()

@@ -1,0 +1,66 @@
+"""Property tests for turn extraction invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdg import cross_partition_edges_ascend
+from repro.core import TurnKind, extract_turns, partition_vc_budget
+from repro.core.theorems import ascending_rank
+
+vc_budgets = st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=3)
+
+
+@given(vc_budgets)
+@settings(max_examples=40, deadline=None)
+def test_cross_partition_turns_always_ascend(budget):
+    seq = partition_vc_budget(budget)
+    assert cross_partition_edges_ascend(seq, extract_turns(seq))
+
+
+@given(vc_budgets)
+@settings(max_examples=40, deadline=None)
+def test_intra_partition_ui_turns_respect_numbering(budget):
+    seq = partition_vc_budget(budget)
+    ts = extract_turns(seq)
+    index = {ch: i for i, part in enumerate(seq) for ch in part}
+    for t in ts.turns:
+        if t.kind == TurnKind.DEGREE90:
+            continue
+        src_p, dst_p = index[t.src], index[t.dst]
+        if src_p == dst_p:
+            part = seq[src_p]
+            if t.src.dim in part.complete_pair_dims:
+                assert ascending_rank(part, t.src) < ascending_rank(part, t.dst)
+        else:
+            assert src_p < dst_p
+
+
+@given(vc_budgets)
+@settings(max_examples=40, deadline=None)
+def test_turn_endpoints_are_design_channels(budget):
+    seq = partition_vc_budget(budget)
+    ts = extract_turns(seq)
+    inventory = set(seq.all_channels)
+    for t in ts.turns:
+        assert t.src in inventory and t.dst in inventory
+        assert t.src != t.dst
+
+
+@given(vc_budgets)
+@settings(max_examples=40, deadline=None)
+def test_no_turn_duplicated_and_none_reversed_across_partitions(budget):
+    seq = partition_vc_budget(budget)
+    ts = extract_turns(seq)
+    index = {ch: i for i, part in enumerate(seq) for ch in part}
+    pairs = {(t.src, t.dst) for t in ts.turns}
+    for src, dst in pairs:
+        if index[src] != index[dst]:
+            # the reverse of a cross-partition turn is never allowed
+            assert (dst, src) not in pairs
+
+
+@given(vc_budgets)
+@settings(max_examples=30, deadline=None)
+def test_consecutive_mode_is_subset(budget):
+    seq = partition_vc_budget(budget)
+    assert extract_turns(seq, transitions="consecutive").turns <= extract_turns(seq).turns

@@ -1,0 +1,61 @@
+"""Property tests for the §4 capacity claims.
+
+"The maximum number of channels that can be grouped inside a partition is
+n+1 ... Adding more channels into the partition either violates Theorem 1
+or does not increase the adaptiveness."
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NEG,
+    POS,
+    Channel,
+    Partition,
+    check_theorem1,
+    regions_covered,
+)
+
+
+@st.composite
+def full_partitions(draw):
+    """A maximal (n+1)-channel partition: one pair + one channel per other dim."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    pair_dim = draw(st.integers(min_value=0, max_value=n - 1))
+    chans = [Channel(pair_dim, POS), Channel(pair_dim, NEG)]
+    for dim in range(n):
+        if dim != pair_dim:
+            chans.append(Channel(dim, draw(st.sampled_from((POS, NEG)))))
+    return n, Partition(tuple(draw(st.permutations(chans))))
+
+
+@given(full_partitions())
+@settings(max_examples=60, deadline=None)
+def test_full_partition_has_n_plus_one_channels(case):
+    n, partition = case
+    assert len(partition) == n + 1
+    assert check_theorem1(partition).ok
+
+
+@given(full_partitions(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_extra_channel_violates_t1_or_adds_no_coverage(case, data):
+    n, partition = case
+    existing = set(partition.channel_set)
+    pool = [
+        Channel(d, s, v)
+        for d in range(n)
+        for s in (POS, NEG)
+        for v in (1, 2)
+        if Channel(d, s, v) not in existing
+    ]
+    extra = data.draw(st.sampled_from(pool))
+    bigger = Partition(partition.channels + (extra,))
+    if check_theorem1(bigger).ok:
+        # No Theorem-1 violation -> the addition was a VC/class duplicate of
+        # an existing direction: region coverage cannot grow.
+        assert set(regions_covered(bigger, n)) == set(regions_covered(partition, n))
+    else:
+        # The addition completed a second pair.
+        assert bigger.pair_count > 1

@@ -1,0 +1,97 @@
+"""Property tests for the simulator: conservation and deadlock freedom."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import MinimalFullyAdaptive, TurnTableRouting, xy_routing
+from repro.core import catalog
+from repro.sim import (
+    NetworkSimulator,
+    ScriptedTraffic,
+    TrafficConfig,
+    TrafficGenerator,
+)
+from repro.topology import Mesh
+
+MESH = Mesh(4, 4)
+
+
+@given(
+    rate=st.floats(min_value=0.01, max_value=0.25),
+    length=st.integers(min_value=1, max_value=8),
+    depth=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    atomic=st.booleans(),
+)
+@settings(max_examples=12, deadline=None)
+def test_conservation_under_random_configs(rate, length, depth, seed, atomic):
+    """Injected == delivered, no deadlock, for any safe configuration."""
+    sim = NetworkSimulator(
+        MESH,
+        MinimalFullyAdaptive(MESH),
+        buffer_depth=depth,
+        atomic_buffers=atomic,
+        watchdog=1000,
+        seed=seed,
+    )
+    traffic = TrafficGenerator(
+        MESH,
+        TrafficConfig(injection_rate=rate, packet_length=length, seed=seed),
+    )
+    stats = sim.run(300, traffic, drain=True)
+    assert not stats.deadlocked
+    assert stats.packets_delivered == stats.packets_injected
+    assert stats.flits_delivered == stats.packets_injected * length
+    assert sim.is_idle()
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            st.integers(min_value=1, max_value=6),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_scripted_packets_all_arrive(pairs):
+    """Arbitrary packet scripts complete under XY routing."""
+    script = {0: [(src, dst, length) for src, dst, length in pairs if src != dst]}
+    if not script[0]:
+        return
+    sim = NetworkSimulator(MESH, xy_routing(MESH), buffer_depth=2, watchdog=1000)
+    traffic = ScriptedTraffic(script)
+    for cycle in range(2000):
+        sim.step(traffic.packets_for_cycle(cycle))
+        if sim.is_idle():
+            break
+    assert sim.is_idle()
+    assert sim.stats.packets_delivered == len(script[0])
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    design_name=st.sampled_from(["north-last", "negative-first", "dyxy", "fig7c"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_latency_lower_bound(seed, design_name):
+    """No packet arrives faster than hops + flits - 1 cycles."""
+    routing = TurnTableRouting(MESH, catalog.design(design_name))
+    sim = NetworkSimulator(MESH, routing, buffer_depth=4, seed=seed)
+    traffic = TrafficGenerator(
+        MESH, TrafficConfig(injection_rate=0.05, packet_length=4, seed=seed)
+    )
+    packets = []
+    for cycle in range(300):
+        new = traffic.packets_for_cycle(cycle)
+        packets.extend(new)
+        sim.step(new)
+    while not sim.is_idle():
+        sim.step()
+    for p in packets:
+        assert p.delivered is not None
+        assert p.network_latency >= MESH.distance(p.src, p.dst) + p.length - 1

@@ -1,0 +1,125 @@
+"""Property tests for the core theory (hypothesis).
+
+These are the library's strongest guarantees: for *arbitrary* inputs in
+the supported domain, Algorithm 1 produces theorem-compliant designs and
+the numbering identities hold.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NEG,
+    POS,
+    Channel,
+    Partition,
+    PartitionSequence,
+    check_sequence,
+    check_theorem1,
+    minimal_fully_adaptive,
+    covers_all_regions,
+    partition_vc_budget,
+    min_channels,
+)
+from repro.core.numbering import census_for_ordering, identity_holds
+
+# -- strategies ---------------------------------------------------------------
+
+vc_budgets = st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4)
+
+
+@st.composite
+def orderings(draw):
+    """A shuffled ordering of one dimension's channels (1-3 VCs)."""
+    vcs = draw(st.integers(min_value=1, max_value=3))
+    chans = [Channel(0, s, v) for v in range(1, vcs + 1) for s in (POS, NEG)]
+    return draw(st.permutations(chans))
+
+
+@st.composite
+def one_pair_partitions(draw):
+    """A random partition with at most one complete pair (Theorem 1 domain)."""
+    n_dims = draw(st.integers(min_value=1, max_value=4))
+    pair_dim = draw(st.integers(min_value=0, max_value=n_dims - 1))
+    chans: list[Channel] = []
+    for dim in range(n_dims):
+        if dim == pair_dim:
+            vcs = draw(st.integers(min_value=1, max_value=2))
+            for v in range(1, vcs + 1):
+                chans.append(Channel(dim, POS, v))
+                chans.append(Channel(dim, NEG, v))
+        elif draw(st.booleans()):
+            sign = draw(st.sampled_from((POS, NEG)))
+            chans.append(Channel(dim, sign))
+    return Partition(tuple(draw(st.permutations(chans))))
+
+
+# -- properties ----------------------------------------------------------------
+
+@given(vc_budgets)
+@settings(max_examples=60, deadline=None)
+def test_algorithm1_always_theorem_compliant(budget):
+    seq = partition_vc_budget(budget)
+    assert check_sequence(seq).ok
+    # channel conservation: every budgeted channel appears exactly once
+    expected = {
+        Channel(d, s, v)
+        for d, count in enumerate(budget)
+        for v in range(1, count + 1)
+        for s in (POS, NEG)
+    }
+    assert set(seq.all_channels) == expected
+    assert seq.channel_count == len(expected)
+
+
+@given(vc_budgets)
+@settings(max_examples=40, deadline=None)
+def test_algorithm1_partitions_have_at_most_one_pair(budget):
+    for part in partition_vc_budget(budget):
+        assert part.pair_count <= 1
+
+
+@given(one_pair_partitions())
+@settings(max_examples=80, deadline=None)
+def test_theorem1_accepts_its_domain(partition):
+    assert check_theorem1(partition).ok
+
+
+@given(one_pair_partitions())
+@settings(max_examples=80, deadline=None)
+def test_subpartition_corollary(partition):
+    # Any sub-partition of a cycle-free partition is cycle-free.
+    for k in range(1, len(partition) + 1):
+        sub = partition.sub_partition(partition.channels[:k])
+        assert check_theorem1(sub).ok
+
+
+@given(orderings())
+@settings(max_examples=80, deadline=None)
+def test_numbering_counts_match_closed_form(ordering):
+    census = census_for_ordering(list(ordering))
+    assert census.matches_formula()
+    assert census.total == census.expected_total
+
+
+@given(st.integers(min_value=0, max_value=12), st.integers(min_value=0, max_value=12))
+def test_identity_holds_for_all_ab(a, b):
+    assert identity_holds(a, b)
+
+
+@given(st.integers(min_value=1, max_value=7))
+def test_minimal_construction_matches_formula_and_covers_regions(n):
+    seq = minimal_fully_adaptive(n)
+    assert seq.channel_count == min_channels(n)
+    assert check_sequence(seq).ok
+    if n <= 5:  # region enumeration is 2^n
+        assert covers_all_regions(seq, n)
+
+
+@given(vc_budgets, st.randoms(use_true_random=False))
+@settings(max_examples=30, deadline=None)
+def test_trace_order_permutations_stay_valid(budget, rng):
+    seq = partition_vc_budget(budget)
+    parts = list(seq.partitions)
+    rng.shuffle(parts)
+    assert check_sequence(PartitionSequence(tuple(parts))).ok

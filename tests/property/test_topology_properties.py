@@ -1,0 +1,87 @@
+"""Property tests for topology oracles."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Mesh, Torus
+
+mesh_shapes = st.lists(st.integers(min_value=2, max_value=5), min_size=1, max_size=3)
+torus_shapes = st.lists(st.integers(min_value=3, max_value=5), min_size=1, max_size=2)
+
+
+@st.composite
+def mesh_and_pair(draw):
+    shape = draw(mesh_shapes)
+    mesh = Mesh(*shape)
+    src = tuple(draw(st.integers(0, k - 1)) for k in shape)
+    dst = tuple(draw(st.integers(0, k - 1)) for k in shape)
+    return mesh, src, dst
+
+
+@st.composite
+def torus_and_pair(draw):
+    shape = draw(torus_shapes)
+    torus = Torus(*shape)
+    src = tuple(draw(st.integers(0, k - 1)) for k in shape)
+    dst = tuple(draw(st.integers(0, k - 1)) for k in shape)
+    return torus, src, dst
+
+
+@given(mesh_and_pair())
+@settings(max_examples=80, deadline=None)
+def test_mesh_minimal_moves_reduce_distance(case):
+    mesh, src, dst = case
+    for dim, sign in mesh.minimal_directions(src, dst):
+        nxt = mesh._step(src, dim, sign)
+        assert nxt is not None
+        assert mesh.distance(nxt, dst) == mesh.distance(src, dst) - 1
+
+
+@given(mesh_and_pair())
+@settings(max_examples=80, deadline=None)
+def test_mesh_distance_symmetric_and_zero_iff_equal(case):
+    mesh, src, dst = case
+    assert mesh.distance(src, dst) == mesh.distance(dst, src)
+    assert (mesh.distance(src, dst) == 0) == (src == dst)
+
+
+@given(mesh_and_pair())
+@settings(max_examples=50, deadline=None)
+def test_mesh_greedy_walk_terminates_in_distance_steps(case):
+    mesh, src, dst = case
+    cur = src
+    steps = 0
+    while cur != dst:
+        dim, sign = mesh.minimal_directions(cur, dst)[0]
+        cur = mesh._step(cur, dim, sign)
+        steps += 1
+    assert steps == mesh.distance(src, dst)
+
+
+@given(torus_and_pair())
+@settings(max_examples=80, deadline=None)
+def test_torus_minimal_moves_reduce_distance(case):
+    torus, src, dst = case
+    for dim, sign in torus.minimal_directions(src, dst):
+        nxt = torus._step(src, dim, sign)
+        assert nxt is not None
+        assert torus.distance(nxt, dst) == torus.distance(src, dst) - 1
+
+
+@given(torus_and_pair())
+@settings(max_examples=80, deadline=None)
+def test_torus_distance_bounded_by_half_rings(case):
+    torus, src, dst = case
+    bound = sum(k // 2 for k in torus.shape)
+    assert torus.distance(src, dst) <= bound
+
+
+@given(mesh_and_pair())
+@settings(max_examples=50, deadline=None)
+def test_mesh_links_consistent(case):
+    mesh, src, _dst = case
+    for link in mesh.out_links(src):
+        assert link.src == src
+        delta = [b - a for a, b in zip(link.src, link.dst)]
+        assert delta[link.dim] == link.sign
+        assert all(d == 0 for i, d in enumerate(delta) if i != link.dim)

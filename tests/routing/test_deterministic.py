@@ -1,0 +1,65 @@
+"""Unit tests for dimension-order routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import DimensionOrderRouting, xy_routing, yx_routing
+from repro.topology import Mesh, Torus
+
+
+class TestXY:
+    def test_resolves_x_first(self, mesh4):
+        r = xy_routing(mesh4)
+        cands = r.candidates((0, 0), (2, 2), None)
+        assert len(cands) == 1
+        assert cands[0][0] == (1, 0)
+
+    def test_then_y(self, mesh4):
+        r = xy_routing(mesh4)
+        cands = r.candidates((2, 0), (2, 2), None)
+        assert cands[0][0] == (2, 1)
+
+    def test_single_candidate_everywhere(self, mesh4):
+        r = xy_routing(mesh4)
+        for src in mesh4.nodes:
+            for dst in mesh4.nodes:
+                if src != dst:
+                    assert len(r.candidates(src, dst, None)) == 1
+
+    def test_route_walk_reaches_destination(self, mesh4):
+        r = xy_routing(mesh4)
+        cur, dst = (0, 3), (3, 0)
+        hops = 0
+        while cur != dst:
+            (cur, _ch), = r.candidates(cur, dst, None)
+            hops += 1
+        assert hops == mesh4.distance((0, 3), (3, 0))
+
+
+class TestYX:
+    def test_resolves_y_first(self, mesh4):
+        r = yx_routing(mesh4)
+        cands = r.candidates((0, 0), (2, 2), None)
+        assert cands[0][0] == (0, 1)
+
+    def test_name(self, mesh4):
+        assert yx_routing(mesh4).name == "YX-order"
+        assert xy_routing(mesh4).name == "XY-order"
+
+
+class TestGeneralOrder:
+    def test_3d_custom_order(self, mesh3d):
+        r = DimensionOrderRouting(mesh3d, order=(2, 0, 1))
+        cands = r.candidates((0, 0, 0), (1, 1, 1), None)
+        assert cands[0][0] == (0, 0, 1)
+
+    def test_order_must_be_permutation(self, mesh4):
+        with pytest.raises(RoutingError):
+            DimensionOrderRouting(mesh4, order=(0, 0))
+
+    def test_works_on_torus(self):
+        t = Torus(4, 4)
+        r = xy_routing(t)
+        cands = r.candidates((0, 0), (3, 0), None)
+        # shortest way is the wrap
+        assert cands[0][0] == (3, 0)

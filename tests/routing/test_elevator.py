@@ -1,0 +1,69 @@
+"""Unit tests for Elevator-First routing."""
+
+import pytest
+
+from repro.core import Channel
+from repro.errors import RoutingError
+from repro.routing import ElevatorFirst, elevator_first_turnset
+from repro.topology import Mesh, PartiallyConnected3D
+
+
+@pytest.fixture
+def topo():
+    return PartiallyConnected3D(4, 4, 2, elevators=[(1, 1), (3, 2)])
+
+
+class TestStructure:
+    def test_sixteen_paper_turns(self):
+        assert len(elevator_first_turnset()) == 16
+
+    def test_requires_partial3d(self, mesh3d):
+        with pytest.raises(RoutingError):
+            ElevatorFirst(mesh3d)
+
+    def test_ten_channel_classes(self, topo):
+        assert len(ElevatorFirst(topo).channel_classes) == 10
+
+
+class TestRouting:
+    def test_connected(self, topo):
+        r = ElevatorFirst(topo)
+        for src in topo.nodes:
+            for dst in topo.nodes:
+                if src != dst:
+                    assert r.candidates(src, dst, None), (src, dst)
+
+    def test_deterministic(self, topo):
+        r = ElevatorFirst(topo)
+        for src in topo.nodes:
+            for dst in topo.nodes:
+                if src != dst:
+                    assert len(r.candidates(src, dst, None)) == 1
+
+    def test_same_layer_uses_vc1(self, topo):
+        r = ElevatorFirst(topo)
+        (_n, ch), = r.candidates((0, 0, 0), (2, 0, 0), None)
+        assert ch.vc == 1 and ch.dim == 0
+
+    def test_rides_z_at_elevator(self, topo):
+        r = ElevatorFirst(topo)
+        (nxt, ch), = r.candidates((1, 1, 0), (1, 1, 1), None)
+        assert ch.dim == 2 and nxt == (1, 1, 1)
+
+    def test_destination_layer_after_z_uses_vc2(self, topo):
+        r = ElevatorFirst(topo)
+        (_n, ch), = r.candidates((1, 1, 1), (3, 1, 1), Channel.parse("Z+"))
+        assert ch.vc == 2
+
+    def test_full_walk_terminates(self, topo):
+        r = ElevatorFirst(topo)
+        for src, dst in [((0, 0, 0), (3, 3, 1)), ((3, 3, 1), (0, 0, 0)),
+                         ((2, 0, 0), (2, 0, 1))]:
+            cur, in_ch = src, None
+            hops = 0
+            while cur != dst:
+                (cur, in_ch), = [
+                    (n, c) for n, c in r.candidates(cur, dst, in_ch)
+                ][:1]
+                hops += 1
+                assert hops < 50

@@ -1,0 +1,71 @@
+"""Cross-validation: native turn models vs their EbDa partition designs.
+
+The paper's Table 1 claims the partitioning options regenerate the classic
+turn models.  These tests compare the *move sets* of native implementations
+against the corresponding TurnTableRouting designs over every reachable
+routing state.
+"""
+
+import pytest
+
+from repro.core import catalog
+from repro.routing import (
+    NegativeFirst,
+    TurnTableRouting,
+    WestFirst,
+    xy_routing,
+)
+from repro.topology import Mesh
+
+
+def _injection_moves(routing, mesh):
+    out = {}
+    for src in mesh.nodes:
+        for dst in mesh.nodes:
+            if src == dst:
+                continue
+            out[(src, dst)] = {
+                (n, (c.dim, c.sign)) for n, c in routing.candidates(src, dst, None)
+            }
+    return out
+
+
+class TestXYEquivalence:
+    def test_exact_move_sets(self, mesh4):
+        native = _injection_moves(xy_routing(mesh4), mesh4)
+        ebda = _injection_moves(TurnTableRouting(mesh4, catalog.design("xy")), mesh4)
+        assert native == ebda
+
+
+class TestWestFirstEquivalence:
+    def test_exact_move_sets(self, mesh4):
+        native = _injection_moves(WestFirst(mesh4), mesh4)
+        ebda = _injection_moves(
+            TurnTableRouting(mesh4, catalog.design("west-first")), mesh4
+        )
+        assert native == ebda
+
+
+class TestNegativeFirstEquivalence:
+    def test_exact_move_sets(self, mesh4):
+        native = _injection_moves(NegativeFirst(mesh4), mesh4)
+        ebda = _injection_moves(
+            TurnTableRouting(mesh4, catalog.design("negative-first")), mesh4
+        )
+        assert native == ebda
+
+
+class TestAdaptivityMatches:
+    @pytest.mark.parametrize(
+        "native_cls, design_name",
+        [(WestFirst, "west-first"), (NegativeFirst, "negative-first")],
+    )
+    def test_same_adaptivity(self, mesh4, native_cls, design_name):
+        from repro.analysis import adaptivity_report
+
+        native = adaptivity_report(mesh4, native_cls(mesh4))
+        ebda = adaptivity_report(
+            mesh4, TurnTableRouting(mesh4, catalog.design(design_name))
+        )
+        assert native.routable_paths == ebda.routable_paths
+        assert native.total_paths == ebda.total_paths

@@ -1,0 +1,52 @@
+"""Unit tests for the fully adaptive routing functions."""
+
+import pytest
+
+from repro.analysis import adaptivity_report
+from repro.cdg import verify_routing
+from repro.routing import DyXY, MinimalFullyAdaptive, UnrestrictedAdaptive
+from repro.topology import Mesh
+
+
+class TestMinimalFullyAdaptive:
+    def test_2d_fully_adaptive(self, mesh4):
+        r = MinimalFullyAdaptive(mesh4)
+        assert adaptivity_report(mesh4, r).is_fully_adaptive
+
+    def test_2d_deadlock_free(self, mesh4):
+        assert verify_routing(MinimalFullyAdaptive(mesh4), mesh4).acyclic
+
+    def test_3d_fully_adaptive(self, mesh3d):
+        r = MinimalFullyAdaptive(mesh3d)
+        report = adaptivity_report(mesh3d, r)
+        assert report.is_fully_adaptive
+
+    def test_pair_dim_configurable(self, mesh4):
+        r = MinimalFullyAdaptive(mesh4, pair_dim=0)
+        assert adaptivity_report(mesh4, r).is_fully_adaptive
+
+    def test_name(self, mesh4):
+        assert MinimalFullyAdaptive(mesh4).name == "fully-adaptive-2D"
+
+
+class TestDyXY:
+    def test_is_the_figure7b_design(self, mesh4):
+        r = DyXY(mesh4)
+        assert len(r.channel_classes) == 6
+        assert adaptivity_report(mesh4, r).is_fully_adaptive
+
+    def test_deadlock_free(self, mesh4):
+        assert verify_routing(DyXY(mesh4), mesh4).acyclic
+
+
+class TestUnrestrictedAdaptive:
+    def test_offers_all_minimal_moves(self, mesh4):
+        r = UnrestrictedAdaptive(mesh4)
+        assert len(r.candidates((0, 0), (2, 2), None)) == 2
+        assert len(r.candidates((0, 0), (2, 0), None)) == 1
+
+    def test_cyclic_cdg(self, mesh4):
+        assert not verify_routing(UnrestrictedAdaptive(mesh4), mesh4).acyclic
+
+    def test_single_channel_per_link(self, mesh4):
+        assert len(UnrestrictedAdaptive(mesh4).channel_classes) == 4

@@ -1,0 +1,148 @@
+"""Unit tests for dual-path Hamiltonian multicast."""
+
+import pytest
+
+from repro.cdg import verify_routing
+from repro.errors import RoutingError
+from repro.routing.multicast import (
+    DOWN_CLASSES,
+    UP_CLASSES,
+    HamiltonianPathRouting,
+    MulticastHamiltonianRouting,
+    dual_path_cost,
+    hamiltonian_label,
+    monotone_path_length,
+    plan_dual_path,
+    unicast_cost,
+)
+from repro.sim import NetworkSimulator, Packet
+from repro.topology import Mesh
+from repro.topology.classes import row_parity
+
+
+@pytest.fixture
+def mesh() -> Mesh:
+    return Mesh(4, 4)
+
+
+class TestLabelling:
+    def test_snake(self):
+        assert [hamiltonian_label((x, 0), 4) for x in range(4)] == [0, 1, 2, 3]
+        assert [hamiltonian_label((x, 1), 4) for x in range(4)] == [7, 6, 5, 4]
+        assert hamiltonian_label((0, 2), 4) == 8
+
+    def test_bijection(self, mesh):
+        labels = {hamiltonian_label(n, 4) for n in mesh.nodes}
+        assert labels == set(range(16))
+
+    def test_snake_neighbours_adjacent(self, mesh):
+        # consecutive labels are physically adjacent (it is a Hamiltonian path)
+        by_label = sorted(mesh.nodes, key=lambda n: hamiltonian_label(n, 4))
+        for a, b in zip(by_label, by_label[1:]):
+            assert mesh.distance(a, b) == 1
+
+
+class TestMonotoneRouting:
+    def test_up_moves_increase_labels(self, mesh):
+        r = HamiltonianPathRouting(mesh, "up")
+        for src in mesh.nodes:
+            for dst in mesh.nodes:
+                if r.label(dst) <= r.label(src):
+                    continue
+                for nxt, _ch in r.candidates(src, dst, None):
+                    assert r.label(src) < r.label(nxt) <= r.label(dst)
+
+    def test_down_is_mirror(self, mesh):
+        r = HamiltonianPathRouting(mesh, "down")
+        cands = r.candidates((3, 3), (0, 0), None)
+        assert cands
+        assert all(r.label(n) < r.label((3, 3)) for n, _c in cands)
+
+    def test_wrong_direction_unreachable(self, mesh):
+        up = HamiltonianPathRouting(mesh, "up")
+        assert up.candidates((3, 3), (0, 0), None) == []
+
+    def test_channel_classes_match_section62_partitions(self, mesh):
+        assert len(UP_CLASSES) == 3 and len(DOWN_CLASSES) == 3
+        assert HamiltonianPathRouting(mesh, "up").channel_classes == UP_CLASSES
+
+    def test_cdgs_acyclic(self, mesh):
+        for d in ("up", "down"):
+            assert verify_routing(HamiltonianPathRouting(mesh, d), mesh, row_parity).acyclic
+
+    def test_monotone_path_reaches_every_higher_label(self, mesh):
+        r = HamiltonianPathRouting(mesh, "up")
+        for src in mesh.nodes:
+            for dst in mesh.nodes:
+                if r.label(dst) > r.label(src):
+                    assert monotone_path_length(r, src, dst) >= mesh.distance(src, dst)
+
+    def test_rejects_bad_inputs(self, mesh3d):
+        with pytest.raises(RoutingError):
+            HamiltonianPathRouting(mesh3d, "up")
+        with pytest.raises(RoutingError):
+            HamiltonianPathRouting(Mesh(4, 4), "sideways")
+
+
+class TestPlanning:
+    def test_split_by_label(self, mesh):
+        high, low = plan_dual_path(mesh, (1, 1), [(3, 3), (0, 0), (3, 1)])
+        assert high is not None and low is not None
+        # (3,3)->15, (3,1)->4 are above label((1,1))=6? label (1,1) = 1*4 + (4-1-1)=6
+        # (3,1) has label 4 < 6 -> low; (0,0)=0 -> low; (3,3) -> high
+        assert high.destinations == ((3, 3),)
+        assert set(low.destinations) == {(3, 1), (0, 0)}
+
+    def test_visit_orders_monotone(self, mesh):
+        high, low = plan_dual_path(
+            mesh, (0, 0), [(3, 0), (3, 3), (1, 2), (2, 1)]
+        )
+        labels = [hamiltonian_label(d, 4) for d in high.destinations]
+        assert labels == sorted(labels)
+        assert low is None  # (0,0) has the lowest label
+
+    def test_duplicate_and_self_destinations_dropped(self, mesh):
+        high, low = plan_dual_path(mesh, (0, 0), [(1, 0), (1, 0), (0, 0)])
+        assert high.destinations == ((1, 0),)
+        assert low is None
+
+    def test_costs(self, mesh):
+        dsts = [(3, 3), (0, 3), (2, 0)]
+        dual = dual_path_cost(mesh, (0, 0), dsts)
+        uni = unicast_cost(mesh, (0, 0), dsts)
+        assert dual > 0 and uni > 0
+
+
+class TestWormSimulation:
+    def test_copies_absorbed_in_order(self, mesh):
+        routing = MulticastHamiltonianRouting(mesh, "up")
+        sim = NetworkSimulator(mesh, routing, row_parity, buffer_depth=4, watchdog=1000)
+        worm = Packet(
+            pid=0, src=(0, 0), dst=(0, 3), length=3, created=0,
+            waypoints=((3, 0), (3, 1)),
+        )
+        sim.offer_packet(worm)
+        for _ in range(500):
+            sim.step()
+            if sim.is_idle():
+                break
+        assert worm.delivered is not None
+        assert worm.copies == {(3, 0), (3, 1)}
+        assert sim.stats.multicast_copies == 2
+        assert not sim.stats.deadlocked
+
+    def test_target_of_advances_through_waypoints(self, mesh):
+        routing = MulticastHamiltonianRouting(mesh, "up")
+        worm = Packet(
+            pid=0, src=(0, 0), dst=(0, 3), length=1, created=0,
+            waypoints=((3, 0), (3, 1)),
+        )
+        assert routing.target_of(worm, (0, 0)) == (3, 0)
+        assert routing.target_of(worm, (3, 0)) == (3, 1)
+        worm.copies.update({(3, 0), (3, 1)})
+        assert routing.target_of(worm, (3, 1)) == (0, 3)
+
+    def test_waypoint_validation(self):
+        with pytest.raises(ValueError):
+            Packet(pid=0, src=(0, 0), dst=(1, 1), length=1, created=0,
+                   waypoints=((1, 1),))

@@ -1,0 +1,87 @@
+"""Unit tests for the native Odd-Even routing (Chiu's ROUTE function)."""
+
+import pytest
+
+from repro.core import Channel
+from repro.errors import RoutingError
+from repro.routing import OddEven
+from repro.topology import Mesh
+
+
+def _reachable_moves(routing, mesh):
+    for src in mesh.nodes:
+        for dst in mesh.nodes:
+            if src == dst:
+                continue
+            frontier = [(src, None)]
+            seen = set()
+            while frontier:
+                cur, in_ch = frontier.pop()
+                if cur == dst:
+                    continue
+                moves = routing.candidates(cur, dst, in_ch)
+                assert moves, f"dead end at {cur} for {src}->{dst} via {in_ch}"
+                for nxt, ch in moves:
+                    yield cur, in_ch, nxt, ch
+                    if (nxt, ch) not in seen:
+                        seen.add((nxt, ch))
+                        frontier.append((nxt, ch))
+
+
+class TestRules:
+    def test_rule1_no_en_es_at_even_columns(self, mesh4):
+        r = OddEven(mesh4)
+        for cur, in_ch, nxt, ch in _reachable_moves(r, mesh4):
+            if (
+                in_ch is not None
+                and in_ch.dim == 0 and in_ch.sign == +1
+                and ch.dim == 1
+            ):
+                assert cur[0] % 2 == 1, f"EN/ES at even column {cur}"
+
+    def test_rule2_no_nw_sw_at_odd_columns(self, mesh4):
+        r = OddEven(mesh4)
+        for cur, in_ch, nxt, ch in _reachable_moves(r, mesh4):
+            if (
+                in_ch is not None
+                and in_ch.dim == 1
+                and ch.dim == 0 and ch.sign == -1
+            ):
+                assert cur[0] % 2 == 0, f"NW/SW at odd column {cur}"
+
+    def test_minimal(self, mesh4):
+        r = OddEven(mesh4)
+        for cur, in_ch, nxt, ch in _reachable_moves(r, mesh4):
+            pass  # _reachable_moves already asserts no dead ends
+
+    def test_rejects_3d(self, mesh3d):
+        with pytest.raises(RoutingError):
+            OddEven(mesh3d)
+
+
+class TestSpecificDecisions:
+    def test_vertical_at_source_even_column(self, mesh4):
+        r = OddEven(mesh4)
+        # injected at even column, eastbound with vertical offset: vertical
+        # allowed (Chiu's source-column exception)
+        moves = {(n, str(c)) for n, c in r.candidates((0, 0), (2, 2), None)}
+        assert ((0, 1), "Y+") in moves
+
+    def test_no_vertical_turn_after_east_at_even(self, mesh4):
+        r = OddEven(mesh4)
+        moves = r.candidates((2, 0), (3, 2), Channel.parse("X+"))
+        assert all(c.dim == 0 for _n, c in moves)
+
+    def test_finish_verticals_before_even_destination_column(self, mesh4):
+        r = OddEven(mesh4)
+        # dst column 2 (even), one east hop left, vertical offset remains:
+        # east must not be offered from the odd column 1.
+        moves = r.candidates((1, 0), (2, 2), Channel.parse("X+"))
+        assert all(c.dim == 1 for _n, c in moves)
+
+    def test_westbound_verticals_in_even_columns_only(self, mesh4):
+        r = OddEven(mesh4)
+        odd_moves = r.candidates((3, 0), (0, 2), None)
+        assert {str(c) for _n, c in odd_moves} == {"X-"}
+        even_moves = r.candidates((2, 0), (0, 2), None)
+        assert {str(c) for _n, c in even_moves} == {"X-", "Y+"}

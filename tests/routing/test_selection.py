@@ -1,0 +1,73 @@
+"""Unit tests for output selection policies."""
+
+import random
+
+import pytest
+
+from repro.core import Channel
+from repro.errors import RoutingError
+from repro.routing import (
+    NAMED_POLICIES,
+    SelectionContext,
+    congestion_aware,
+    first_candidate,
+    random_candidate,
+    zigzag,
+)
+
+
+def _ctx(cur=(0, 0), dst=(3, 2), credits=None, seed=1):
+    return SelectionContext(
+        cur=cur,
+        dst=dst,
+        rng=random.Random(seed),
+        credits=credits or (lambda _c: 0),
+    )
+
+
+X = Channel.parse("X+")
+Y = Channel.parse("Y+")
+
+
+class TestFirst:
+    def test_picks_first(self):
+        cands = [((1, 0), X), ((0, 1), Y)]
+        assert first_candidate(cands, _ctx()) == ((1, 0), X)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            first_candidate([], _ctx())
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        cands = [((1, 0), X), ((0, 1), Y)]
+        picks = {random_candidate(cands, _ctx(seed=s))[0] for s in range(20)}
+        assert picks == {(1, 0), (0, 1)}
+
+
+class TestZigzag:
+    def test_prefers_larger_offset(self):
+        # dst (3,2) from (0,0): X offset 3 > Y offset 2
+        cands = [((0, 1), Y), ((1, 0), X)]
+        assert zigzag(cands, _ctx())[0] == (1, 0)
+
+    def test_single_candidate(self):
+        cands = [((0, 1), Y)]
+        assert zigzag(cands, _ctx()) == cands[0]
+
+
+class TestCongestionAware:
+    def test_prefers_more_credits(self):
+        cands = [((1, 0), X), ((0, 1), Y)]
+        credits = lambda cand: 4 if cand[0] == (0, 1) else 1
+        assert congestion_aware(cands, _ctx(credits=credits))[0] == (0, 1)
+
+    def test_ties_break_by_offset(self):
+        cands = [((0, 1), Y), ((1, 0), X)]
+        assert congestion_aware(cands, _ctx())[0] == (1, 0)
+
+
+class TestRegistry:
+    def test_named_policies(self):
+        assert set(NAMED_POLICIES) == {"first", "random", "zigzag", "congestion"}

@@ -1,0 +1,95 @@
+"""Unit tests for the native west-first / north-last / negative-first."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import NegativeFirst, NorthLast, WestFirst
+from repro.topology import Mesh
+
+
+def _walks(routing, mesh):
+    """Yield every reachable (cur, in_ch, out move) triple."""
+    for src in mesh.nodes:
+        for dst in mesh.nodes:
+            if src == dst:
+                continue
+            frontier = [(src, None)]
+            seen = set()
+            while frontier:
+                cur, in_ch = frontier.pop()
+                for nxt, ch in routing.candidates(cur, dst, in_ch):
+                    yield cur, dst, in_ch, nxt, ch
+                    if (nxt, ch) not in seen:
+                        seen.add((nxt, ch))
+                        frontier.append((nxt, ch))
+
+
+class TestWestFirst:
+    def test_west_offsets_resolved_first(self, mesh4):
+        r = WestFirst(mesh4)
+        cands = r.candidates((2, 0), (0, 2), None)
+        assert [(n, str(c)) for n, c in cands] == [((1, 0), "X-")]
+
+    def test_fully_adaptive_eastbound(self, mesh4):
+        r = WestFirst(mesh4)
+        cands = r.candidates((0, 0), (2, 2), None)
+        assert len(cands) == 2
+
+    def test_never_turns_into_west(self, mesh4):
+        r = WestFirst(mesh4)
+        for cur, dst, in_ch, nxt, ch in _walks(r, mesh4):
+            if in_ch is not None and ch.dim == 0 and ch.sign == -1:
+                assert in_ch.dim == 0 and in_ch.sign == -1
+
+    def test_rejects_3d(self, mesh3d):
+        with pytest.raises(RoutingError):
+            WestFirst(mesh3d)
+
+
+class TestNorthLast:
+    def test_north_only_when_last(self, mesh4):
+        r = NorthLast(mesh4)
+        assert [n for n, _c in r.candidates((1, 0), (1, 3), None)] == [(1, 1)]
+
+    def test_no_turn_out_of_north(self, mesh4):
+        r = NorthLast(mesh4)
+        for cur, dst, in_ch, nxt, ch in _walks(r, mesh4):
+            if in_ch is not None and in_ch.dim == 1 and in_ch.sign == +1:
+                assert ch.dim == 1 and ch.sign == +1
+
+    def test_adaptive_south(self, mesh4):
+        r = NorthLast(mesh4)
+        assert len(r.candidates((0, 3), (2, 1), None)) == 2
+
+
+class TestNegativeFirst:
+    def test_negative_hops_first(self, mesh4):
+        r = NegativeFirst(mesh4)
+        cands = r.candidates((1, 1), (3, 0), None)
+        assert [(n, str(c)) for n, c in cands] == [((1, 0), "Y-")]
+
+    def test_adaptive_within_phase(self, mesh4):
+        r = NegativeFirst(mesh4)
+        assert len(r.candidates((2, 2), (0, 0), None)) == 2
+        assert len(r.candidates((0, 0), (2, 2), None)) == 2
+
+    def test_never_negative_after_positive(self, mesh4):
+        r = NegativeFirst(mesh4)
+        for cur, dst, in_ch, nxt, ch in _walks(r, mesh4):
+            if in_ch is not None and in_ch.sign == +1:
+                assert ch.sign == +1
+
+
+@pytest.mark.parametrize("cls", [WestFirst, NorthLast, NegativeFirst])
+class TestCommon:
+    def test_connected(self, cls, mesh4):
+        r = cls(mesh4)
+        for src in mesh4.nodes:
+            for dst in mesh4.nodes:
+                if src != dst:
+                    assert r.candidates(src, dst, None), (src, dst)
+
+    def test_minimal_progress(self, cls, mesh4):
+        r = cls(mesh4)
+        for cur, dst, in_ch, nxt, ch in _walks(r, mesh4):
+            assert mesh4.distance(nxt, dst) == mesh4.distance(cur, dst) - 1

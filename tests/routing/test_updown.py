@@ -1,0 +1,67 @@
+"""Unit tests for Up*/Down* routing on irregular topologies."""
+
+import pytest
+
+from repro.cdg import verify_routing
+from repro.routing import UpDownRouting
+from repro.topology import FaultyMesh, Mesh
+
+
+class TestTreeLabels:
+    def test_root_defaults_to_first_node(self, faulty_mesh):
+        r = UpDownRouting(faulty_mesh)
+        assert r._levels[faulty_mesh.nodes[0]] == 0
+
+    def test_up_links_point_to_lower_level(self, faulty_mesh):
+        r = UpDownRouting(faulty_mesh)
+        for link in faulty_mesh.links:
+            if r.is_up(link):
+                la, lb = r._levels[link.src], r._levels[link.dst]
+                assert (lb < la) or (lb == la and link.dst < link.src)
+
+    def test_exactly_one_direction_is_up(self, faulty_mesh):
+        r = UpDownRouting(faulty_mesh)
+        for link in faulty_mesh.links:
+            back = faulty_mesh.link(link.dst, link.src)
+            assert r.is_up(link) != r.is_up(back)
+
+
+class TestRouting:
+    def test_connected(self, faulty_mesh):
+        r = UpDownRouting(faulty_mesh)
+        for src in faulty_mesh.nodes:
+            for dst in faulty_mesh.nodes:
+                if src != dst:
+                    assert r.candidates(src, dst, None), (src, dst)
+
+    def test_never_up_after_down(self, faulty_mesh):
+        r = UpDownRouting(faulty_mesh)
+        for src in faulty_mesh.nodes:
+            for dst in faulty_mesh.nodes:
+                if src == dst:
+                    continue
+                frontier = [(src, None)]
+                seen = set()
+                while frontier:
+                    cur, in_ch = frontier.pop()
+                    if cur == dst:
+                        continue
+                    for nxt, ch in r.candidates(cur, dst, in_ch):
+                        if in_ch is not None and in_ch.cls == "d":
+                            assert ch.cls == "d"
+                        if (nxt, ch) not in seen:
+                            seen.add((nxt, ch))
+                            frontier.append((nxt, ch))
+
+    def test_cdg_acyclic(self, faulty_mesh):
+        r = UpDownRouting(faulty_mesh)
+        assert verify_routing(r, faulty_mesh, r.class_rule).acyclic
+
+    def test_works_on_healthy_mesh_too(self, mesh3x3):
+        r = UpDownRouting(mesh3x3)
+        assert verify_routing(r, mesh3x3, r.class_rule).acyclic
+
+    def test_custom_root(self, mesh3x3):
+        r = UpDownRouting(mesh3x3, root=(2, 2))
+        assert r._levels[(2, 2)] == 0
+        assert r._levels[(0, 0)] == 4

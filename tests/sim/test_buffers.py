@@ -1,0 +1,55 @@
+"""Unit tests for per-wire buffer state."""
+
+import pytest
+
+from repro.core import Channel
+from repro.errors import SimulationError
+from repro.sim import Packet, WireState
+from repro.topology import Mesh, Wire
+
+
+@pytest.fixture
+def wire(mesh4):
+    link = mesh4.link((0, 0), (1, 0))
+    return Wire(link, Channel.parse("X+"))
+
+
+def _flits(pid, length):
+    return list(Packet(pid=pid, src=(0, 0), dst=(1, 0), length=length, created=0).flits())
+
+
+class TestWireState:
+    def test_capacity_enforced(self, wire):
+        ws = WireState(wire, capacity=2)
+        f = _flits(1, 3)
+        ws.push(f[0])
+        ws.push(f[1])
+        assert ws.free_slots == 0
+        with pytest.raises(SimulationError):
+            ws.push(f[2])
+
+    def test_fifo_order(self, wire):
+        ws = WireState(wire, capacity=4)
+        f = _flits(1, 3)
+        for flit in f:
+            ws.push(flit)
+        assert ws.pop() is f[0]
+        assert ws.front() is f[1]
+
+    def test_pop_empty_rejected(self, wire):
+        ws = WireState(wire, capacity=2)
+        with pytest.raises(SimulationError):
+            ws.pop()
+
+    def test_front_of_empty_is_none(self, wire):
+        assert WireState(wire, capacity=2).front() is None
+
+    def test_zero_capacity_rejected(self, wire):
+        with pytest.raises(SimulationError):
+            WireState(wire, capacity=0)
+
+    def test_packets_present_in_order(self, wire):
+        ws = WireState(wire, capacity=4)
+        ws.push(_flits(7, 1)[0])
+        ws.push(_flits(9, 2)[0])
+        assert ws.packets_present() == (7, 9)

@@ -1,0 +1,39 @@
+"""Unit tests for packets and flits."""
+
+import pytest
+
+from repro.sim import Packet
+
+
+class TestPacket:
+    def test_flit_roles(self):
+        p = Packet(pid=1, src=(0, 0), dst=(1, 1), length=4, created=0)
+        flits = list(p.flits())
+        assert len(flits) == 4
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        p = Packet(pid=1, src=(0, 0), dst=(1, 1), length=1, created=0)
+        (flit,) = p.flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(pid=1, src=(0, 0), dst=(1, 1), length=0, created=0)
+
+    def test_latencies_none_until_delivered(self):
+        p = Packet(pid=1, src=(0, 0), dst=(1, 1), length=1, created=5)
+        assert p.total_latency is None
+        assert p.network_latency is None
+        p.entered = 7
+        p.delivered = 12
+        assert p.total_latency == 7
+        assert p.network_latency == 5
+
+    def test_flit_accessors(self):
+        p = Packet(pid=9, src=(0, 0), dst=(2, 2), length=2, created=0)
+        flit = next(p.flits())
+        assert flit.pid == 9
+        assert flit.dst == (2, 2)

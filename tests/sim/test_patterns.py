@@ -1,0 +1,90 @@
+"""Unit tests for traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    NAMED_PATTERNS,
+    bit_complement,
+    bit_reverse,
+    hotspot,
+    neighbor,
+    rotate90,
+    shuffle,
+    tornado,
+    transpose,
+    uniform,
+)
+from repro.topology import Mesh
+
+
+@pytest.fixture
+def nodes():
+    return Mesh(4, 4).nodes
+
+
+RNG = random.Random(1)
+
+
+class TestDeterministicPatterns:
+    def test_transpose(self, nodes):
+        assert transpose((1, 3), nodes, RNG) == (3, 1)
+        assert transpose((2, 2), nodes, RNG) == (2, 2)
+
+    def test_bit_complement(self, nodes):
+        assert bit_complement((0, 0), nodes, RNG) == (3, 3)
+        assert bit_complement((1, 2), nodes, RNG) == (2, 1)
+
+    def test_tornado(self, nodes):
+        assert tornado((0, 0), nodes, RNG) == (1, 1)
+
+    def test_neighbor_wraps(self, nodes):
+        assert neighbor((3, 2), nodes, RNG) == (0, 2)
+
+    def test_rotate90(self, nodes):
+        assert rotate90((0, 0), nodes, RNG) == (0, 3)
+        assert rotate90((3, 0), nodes, RNG) == (0, 0)
+
+    def test_rotate90_needs_square(self):
+        rect = Mesh(4, 2).nodes
+        with pytest.raises(SimulationError):
+            rotate90((0, 0), rect, RNG)
+
+    def test_permutations_are_bijections(self, nodes):
+        for name in ("transpose", "bit-complement", "bit-reverse", "shuffle",
+                     "tornado", "neighbor", "rotate90"):
+            pattern = NAMED_PATTERNS[name]
+            images = {pattern(n, nodes, RNG) for n in nodes}
+            assert len(images) == len(nodes), name
+
+    def test_bit_reverse_requires_pow2(self):
+        odd = Mesh(3, 3).nodes
+        with pytest.raises(SimulationError):
+            bit_reverse((0, 0), odd, RNG)
+
+    def test_shuffle_requires_pow2(self):
+        odd = Mesh(3, 3).nodes
+        with pytest.raises(SimulationError):
+            shuffle((0, 0), odd, RNG)
+
+
+class TestRandomPatterns:
+    def test_uniform_stays_in_network(self, nodes):
+        rng = random.Random(7)
+        for _ in range(100):
+            assert uniform((0, 0), nodes, rng) in set(nodes)
+
+    def test_hotspot_bias(self, nodes):
+        rng = random.Random(7)
+        pattern = hotspot(targets=[(0, 0)], fraction=0.5)
+        hits = sum(
+            1 for _ in range(2000) if pattern((3, 3), nodes, rng) == (0, 0)
+        )
+        # 50% directed + ~1/16 of the uniform remainder
+        assert 900 < hits < 1300
+
+    def test_hotspot_fraction_validated(self):
+        with pytest.raises(SimulationError):
+            hotspot(targets=[(0, 0)], fraction=1.5)

@@ -1,0 +1,51 @@
+"""Unit tests for the router pipeline-delay model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.routing import MinimalFullyAdaptive, xy_routing
+from repro.sim import NetworkSimulator, Packet, TrafficConfig, TrafficGenerator
+from repro.topology import Mesh
+
+
+def _latency(mesh, delay, src=(0, 0), dst=(3, 0), length=4):
+    sim = NetworkSimulator(mesh, xy_routing(mesh), pipeline_delay=delay)
+    p = Packet(pid=0, src=src, dst=dst, length=length, created=0)
+    sim.offer_packet(p)
+    for _ in range(500):
+        sim.step()
+        if p.delivered is not None:
+            return p.total_latency
+    raise AssertionError("packet never delivered")
+
+
+class TestPipelineDelay:
+    def test_negative_rejected(self, mesh4):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(mesh4, xy_routing(mesh4), pipeline_delay=-1)
+
+    def test_zero_delay_matches_default(self, mesh4):
+        assert _latency(mesh4, 0) == _latency(mesh4, 0)
+
+    def test_latency_grows_per_hop(self, mesh4):
+        base = _latency(mesh4, 0)
+        deeper = _latency(mesh4, 2)
+        hops = 3
+        # every hop pays the extra pipeline cycles
+        assert deeper >= base + 2 * hops
+
+    def test_latency_monotone_in_delay(self, mesh4):
+        lats = [_latency(mesh4, d) for d in (0, 1, 2, 4)]
+        assert lats == sorted(lats)
+        assert len(set(lats)) == len(lats)
+
+    def test_conservation_with_pipeline(self, mesh4):
+        sim = NetworkSimulator(
+            mesh4, MinimalFullyAdaptive(mesh4), pipeline_delay=2, watchdog=1500
+        )
+        traffic = TrafficGenerator(
+            mesh4, TrafficConfig(injection_rate=0.05, packet_length=4, seed=6)
+        )
+        stats = sim.run(400, traffic, drain=True)
+        assert not stats.deadlocked
+        assert stats.delivery_ratio == 1.0

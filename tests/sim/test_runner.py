@@ -1,0 +1,86 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.routing import MinimalFullyAdaptive, xy_routing
+from repro.sim import (
+    RunConfig,
+    compare_table,
+    run_point,
+    saturation_rate,
+    sweep_rates,
+)
+from repro.topology import Mesh
+
+
+class TestRunPoint:
+    def test_returns_complete_result(self, mesh4):
+        result = run_point(
+            mesh4, xy_routing(mesh4), RunConfig(cycles=300, injection_rate=0.05)
+        )
+        assert result.routing_name == "XY-order"
+        assert result.n_nodes == 16
+        assert result.stats.packets_delivered > 0
+        assert not result.deadlocked
+        assert result.avg_latency > 0
+        assert "rate=0.050" in result.row()
+
+    def test_reproducible(self, mesh4):
+        cfg = RunConfig(cycles=300, injection_rate=0.08, seed=21)
+        a = run_point(mesh4, xy_routing(mesh4), cfg)
+        b = run_point(mesh4, xy_routing(mesh4), cfg)
+        assert a.stats.packets_injected == b.stats.packets_injected
+        assert a.stats.latencies == b.stats.latencies
+
+
+class TestSweep:
+    def test_latency_monotone_with_rate(self, mesh4):
+        results = sweep_rates(
+            mesh4,
+            lambda t: MinimalFullyAdaptive(t),
+            rates=[0.02, 0.20],
+            config=RunConfig(cycles=500, seed=2),
+        )
+        assert results[0].avg_latency < results[1].avg_latency
+
+    def test_with_rate_builder(self):
+        cfg = RunConfig(injection_rate=0.01)
+        assert cfg.with_rate(0.5).injection_rate == 0.5
+        assert cfg.injection_rate == 0.01
+
+
+class TestSaturation:
+    def test_detects_latency_blowup(self, mesh4):
+        results = sweep_rates(
+            mesh4,
+            lambda t: xy_routing(t),
+            rates=[0.02, 0.05, 0.30],
+            config=RunConfig(cycles=500, seed=2),
+        )
+        sat = saturation_rate(results)
+        assert sat == 0.30
+
+    def test_none_when_unsaturated(self, mesh4):
+        results = sweep_rates(
+            mesh4,
+            lambda t: xy_routing(t),
+            rates=[0.01, 0.02],
+            config=RunConfig(cycles=400, seed=2),
+        )
+        assert saturation_rate(results) is None
+
+    def test_empty(self):
+        assert saturation_rate([]) is None
+
+
+class TestCompareTable:
+    def test_renders_rows(self, mesh4):
+        results = sweep_rates(
+            mesh4, lambda t: xy_routing(t), rates=[0.02],
+            config=RunConfig(cycles=200, seed=2),
+        )
+        table = compare_table({"xy": results})
+        assert "xy" in table and "0.020" in table
+
+    def test_empty_table(self):
+        assert compare_table({}) == "(no results)"

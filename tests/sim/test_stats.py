@@ -1,0 +1,51 @@
+"""Unit tests for simulation statistics."""
+
+import math
+
+from repro.sim import SimStats
+
+
+class TestSimStats:
+    def test_latency_aggregates(self):
+        s = SimStats()
+        s.record_delivery(10, 8, 4)
+        s.record_delivery(20, 15, 4)
+        assert s.avg_total_latency == 15.0
+        assert s.avg_network_latency == 11.5
+        assert s.max_total_latency == 20
+        assert s.packets_delivered == 2
+        assert s.flits_delivered == 8
+
+    def test_empty_latency_is_nan(self):
+        s = SimStats()
+        assert math.isnan(s.avg_total_latency)
+        assert math.isnan(s.avg_network_latency)
+        assert s.max_total_latency == 0
+
+    def test_percentile(self):
+        s = SimStats()
+        for v in range(1, 101):
+            s.record_delivery(v, v, 1)
+        assert s.latency_percentile(50) in (50.0, 51.0)  # either median convention
+        assert s.latency_percentile(99) == 99.0
+        assert s.latency_percentile(0) == 1.0
+
+    def test_throughput(self):
+        s = SimStats()
+        s.cycles = 100
+        s.flits_delivered = 400
+        assert s.throughput(16) == 0.25
+        assert SimStats().throughput(16) == 0.0
+
+    def test_delivery_ratio(self):
+        s = SimStats()
+        assert s.delivery_ratio == 1.0
+        s.packets_injected = 10
+        s.packets_delivered = 7
+        assert s.delivery_ratio == 0.7
+
+    def test_summary_mentions_deadlock(self):
+        s = SimStats()
+        s.deadlocked = True
+        assert "DEADLOCK" in s.summary(16)
+        assert "ok" in SimStats().summary(16)

@@ -1,0 +1,82 @@
+"""Unit tests for the simulation tracer."""
+
+import pytest
+
+from repro.routing import UnrestrictedAdaptive, xy_routing
+from repro.sim import NetworkSimulator, Packet, TrafficConfig, TrafficGenerator
+from repro.sim.trace import Trace
+
+
+def _traced_run(mesh, length=3, dst=(2, 1)):
+    trace = Trace()
+    sim = NetworkSimulator(mesh, xy_routing(mesh), tracer=trace)
+    p = Packet(pid=0, src=(0, 0), dst=dst, length=length, created=0)
+    sim.offer_packet(p)
+    for _ in range(60):
+        sim.step()
+        if sim.is_idle():
+            break
+    return trace, p
+
+
+class TestEvents:
+    def test_full_journey_recorded(self, mesh4):
+        trace, p = _traced_run(mesh4)
+        kinds = [e.kind for e in trace.for_packet(0)]
+        assert kinds[0] == "offered"
+        assert "allocated" in kinds
+        assert kinds.count("ejected") == p.length
+        assert kinds[-1] == "ejected"
+
+    def test_hops_follow_xy(self, mesh4):
+        trace, _p = _traced_run(mesh4)
+        assert trace.hops_of(0) == [(1, 0), (2, 0), (2, 1)]
+
+    def test_timeline_renders(self, mesh4):
+        trace, _p = _traced_run(mesh4)
+        text = trace.timeline(0)
+        assert "offered at (0, 0)" in text
+        assert "tail ejected at (2, 1)" in text
+
+    def test_unknown_packet(self, mesh4):
+        trace, _p = _traced_run(mesh4)
+        assert "no events" in trace.timeline(99)
+
+    def test_flit_move_count(self, mesh4):
+        trace, p = _traced_run(mesh4)
+        moved = trace.of_kind("moved")
+        # every flit crosses 3 links
+        assert len(moved) == p.length * 3
+
+    def test_render_filters_and_limits(self, mesh4):
+        trace, _p = _traced_run(mesh4)
+        only_ejects = trace.render(kinds=["ejected"])
+        assert "ejected" in only_ejects and "moves" not in only_ejects
+        clipped = trace.render(limit=2)
+        assert "more)" in clipped
+
+
+class TestDeadlockEvent:
+    def test_deadlock_recorded(self, mesh4):
+        trace = Trace()
+        sim = NetworkSimulator(
+            mesh4, UnrestrictedAdaptive(mesh4), buffer_depth=2, watchdog=200,
+            tracer=trace,
+        )
+        traffic = TrafficGenerator(
+            mesh4, TrafficConfig(injection_rate=0.35, packet_length=8, seed=3)
+        )
+        sim.run(2500, traffic)
+        assert sim.stats.deadlocked
+        assert trace.of_kind("deadlock")
+
+
+class TestCapacity:
+    def test_oldest_events_dropped(self, mesh4):
+        trace = Trace(capacity=50)
+        sim = NetworkSimulator(mesh4, xy_routing(mesh4), tracer=trace)
+        traffic = TrafficGenerator(
+            mesh4, TrafficConfig(injection_rate=0.2, packet_length=4, seed=1)
+        )
+        sim.run(200, traffic, drain=True)
+        assert len(trace) <= 50

@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_designs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table1" in out
+        assert "north-last" in out
+        assert "column-parity" in out
+
+
+class TestVerify:
+    def test_arrow_notation_acyclic(self, capsys):
+        assert main(["verify", "X+ X- Y- -> Y+", "--mesh", "4x4"]) == 0
+        assert "ACYCLIC" in capsys.readouterr().out
+
+    def test_catalog_name_with_implied_rule(self, capsys):
+        assert main(["verify", "odd-even", "--mesh", "4x4"]) == 0
+
+    def test_explicit_rule(self, capsys):
+        assert main(["verify", "hamiltonian", "--mesh", "4x4", "--rule", "row-parity"]) == 0
+
+    def test_invalid_design_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "X+ X- Y+ Y-", "--mesh", "4x4"])
+
+    def test_bad_mesh_spec(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "xy", "--mesh", "huge"])
+
+    def test_unknown_rule(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "xy", "--mesh", "4x4", "--rule", "nope"])
+
+
+class TestDesign:
+    def test_budget_design(self, capsys):
+        assert main(["design", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 1 output" in out
+        assert "ACYCLIC" in out
+
+    def test_bad_budget(self):
+        with pytest.raises(SystemExit):
+            main(["design", "abc"])
+
+
+class TestRun:
+    def test_single_experiment(self, capsys):
+        assert main(["run", "Fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig4" in out and "[PASS]" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Fig99"])
+
+
+class TestSimulate:
+    def test_catalog_design(self, capsys):
+        code = main(
+            ["simulate", "north-last", "--mesh", "4x4", "--cycles", "300",
+             "--rate", "0.05"]
+        )
+        assert code == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_arrow_notation(self, capsys):
+        code = main(
+            ["simulate", "X- -> X+ Y+ Y-", "--mesh", "4x4", "--cycles", "200"]
+        )
+        assert code == 0
+
+
+class TestLogic:
+    def test_emits_routing_pseudocode(self, capsys):
+        assert main(["logic", "north-last", "--mesh", "4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "if X_offset" in out
+        assert "arriving on" in out

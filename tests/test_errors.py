@@ -1,0 +1,79 @@
+"""Unit tests for the exception hierarchy and experiment check types."""
+
+import pytest
+
+from repro.errors import (
+    ChannelParseError,
+    DeadlockDetected,
+    EbdaError,
+    PartitionError,
+    RoutingError,
+    SimulationError,
+    TheoremViolation,
+    TopologyError,
+)
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ChannelParseError,
+            PartitionError,
+            TheoremViolation,
+            TopologyError,
+            RoutingError,
+            SimulationError,
+            DeadlockDetected,
+        ],
+    )
+    def test_all_derive_from_ebda_error(self, exc):
+        if exc is TheoremViolation:
+            instance = exc(1, "msg")
+        elif exc is DeadlockDetected:
+            instance = exc([1, 2])
+        else:
+            instance = exc("msg")
+        assert isinstance(instance, EbdaError)
+
+    def test_value_errors_catchable_as_such(self):
+        assert isinstance(PartitionError("x"), ValueError)
+        assert isinstance(TopologyError("x"), ValueError)
+
+    def test_theorem_violation_carries_number(self):
+        exc = TheoremViolation(3, "bad")
+        assert exc.theorem == 3
+        assert "bad" in str(exc)
+
+    def test_deadlock_detected_payload(self):
+        exc = DeadlockDetected([4, 7, 9], cycle_channels=["a"])
+        assert exc.cycle == [4, 7, 9]
+        assert exc.cycle_channels == ["a"]
+        assert "4" in str(exc)
+
+
+class TestChecks:
+    def test_check_eq(self):
+        assert check_eq("x", 1, 1).passed
+        assert not check_eq("x", 1, 2).passed
+        assert "FAIL" in str(check_eq("x", 1, 2))
+
+    def test_check_true_with_note(self):
+        c = check_true("y", True, note="detail")
+        assert c.passed and "detail" in str(c)
+
+    def test_result_passed_and_require(self):
+        good = ExperimentResult("E", "t", "body", {}, (check_eq("a", 1, 1),))
+        assert good.passed
+        assert good.require() is good
+
+        bad = ExperimentResult("E", "t", "body", {}, (check_eq("a", 1, 2),))
+        assert not bad.passed
+        with pytest.raises(AssertionError):
+            bad.require()
+
+    def test_report_contains_everything(self):
+        result = ExperimentResult("EX", "Title", "CONTENT", {}, (check_eq("a", 1, 1),))
+        report = result.report()
+        assert "EX" in report and "Title" in report and "CONTENT" in report

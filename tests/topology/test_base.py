@@ -1,0 +1,66 @@
+"""Unit tests for topology base helpers."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Mesh, dim_sign, grid_nodes
+from repro.topology.base import Link
+
+
+class TestDimSign:
+    def test_labels(self):
+        assert dim_sign(0, +1) == "X+"
+        assert dim_sign(1, -1) == "Y-"
+        assert dim_sign(2, +1) == "Z+"
+
+
+class TestGridNodes:
+    def test_counts_and_ordering(self):
+        nodes = grid_nodes((2, 3))
+        assert len(nodes) == 6
+        assert nodes == tuple(sorted(nodes))
+        assert nodes[0] == (0, 0)
+
+    def test_1d(self):
+        assert grid_nodes((4,)) == ((0,), (1,), (2,), (3,))
+
+    def test_invalid_shape(self):
+        with pytest.raises(TopologyError):
+            grid_nodes(())
+        with pytest.raises(TopologyError):
+            grid_nodes((0, 3))
+
+
+class TestLink:
+    def test_str(self):
+        link = Link((0, 0), (1, 0), 0, +1)
+        assert str(link) == "(0, 0)->(1, 0)"
+
+    def test_wraparound_detection(self):
+        assert Link((3, 0), (0, 0), 0, +1).is_wraparound
+        assert not Link((0, 0), (1, 0), 0, +1).is_wraparound
+        assert Link((0, 0), (3, 0), 0, -1).is_wraparound
+
+
+class TestBaseAccessors:
+    def test_endpoints_default_to_all_nodes(self, mesh4):
+        assert mesh4.endpoints == mesh4.nodes
+
+    def test_has_link(self, mesh4):
+        assert mesh4.has_link((0, 0), (1, 0))
+        assert not mesh4.has_link((0, 0), (3, 3))
+
+    def test_out_links_unknown_node(self, mesh4):
+        with pytest.raises(TopologyError):
+            mesh4.out_links((9, 9))
+
+    def test_in_links_unknown_node(self, mesh4):
+        with pytest.raises(TopologyError):
+            mesh4.in_links((9, 9))
+
+    def test_validate_node_returns_value(self, mesh4):
+        assert mesh4.validate_node((1, 2)) == (1, 2)
+
+    def test_step_helper(self, mesh4):
+        assert mesh4._step((0, 0), 0, +1) == (1, 0)
+        assert mesh4._step((0, 0), 0, -1) is None

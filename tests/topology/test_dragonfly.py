@@ -1,0 +1,157 @@
+"""Unit tests for the dragonfly topology and its routing."""
+
+import pytest
+
+from repro.cdg import verify_routing
+from repro.errors import RoutingError, TopologyError
+from repro.routing.dragonfly import (
+    DragonflyRouting,
+    DragonflySingleVC,
+    G,
+    L1,
+    L2,
+    dragonfly_rule,
+)
+from repro.topology.dragonfly import GLOBAL_DIM, LOCAL_DIM, Dragonfly
+
+
+@pytest.fixture
+def df() -> Dragonfly:
+    return Dragonfly(groups=4)
+
+
+class TestStructure:
+    def test_node_census(self, df):
+        assert len(df.nodes) == 4 * 3
+
+    def test_local_links_complete_graph(self, df):
+        local = [l for l in df.links if l.dim == LOCAL_DIM]
+        assert len(local) == 4 * 3 * 2  # per group: a*(a-1) directed
+
+    def test_every_router_has_one_global_link(self, df):
+        for node in df.nodes:
+            globals_out = [
+                l for l in df.out_links(node) if l.dim == GLOBAL_DIM
+            ]
+            assert len(globals_out) == 1
+
+    def test_global_links_cover_all_group_pairs(self, df):
+        pairs = set()
+        for a, b in df.global_peer.items():
+            pairs.add(frozenset((a[0], b[0])))
+        assert len(pairs) == 4 * 3 // 2
+
+    def test_peer_is_symmetric(self, df):
+        for a, b in df.global_peer.items():
+            assert df.global_peer[b] == a
+            assert a[0] != b[0]
+
+    def test_minimum_groups(self):
+        with pytest.raises(TopologyError):
+            Dragonfly(groups=2)
+
+
+class TestOracles:
+    def test_distance_shapes(self, df):
+        assert df.distance((0, 0), (0, 1)) == 1
+        assert 1 <= df.distance((0, 0), (3, 0)) <= 3
+        assert df.distance((1, 2), (1, 2)) == 0
+
+    def test_diameter_is_three(self, df):
+        assert max(df.distance(s, d) for s in df.nodes for d in df.nodes) == 3
+
+    def test_gateway(self, df):
+        gw = df.gateway(0, 3)
+        assert gw[0] == 0
+        assert df.global_peer[gw][0] == 3
+        with pytest.raises(TopologyError):
+            df.gateway(1, 1)
+
+
+class TestRouting:
+    def test_class_progression(self, df):
+        r = DragonflyRouting(df)
+        src, dst = (0, 0), None
+        # find a pair requiring the full l-g-l route
+        for cand in df.nodes:
+            if cand[0] != 0 and df.distance(src, cand) == 3:
+                dst = cand
+                break
+        assert dst is not None
+        (n1, c1), = r.candidates(src, dst, None)
+        assert c1 == L1
+        (n2, c2), = r.candidates(n1, dst, c1)
+        assert c2 == G
+        (n3, c3), = r.candidates(n2, dst, c2)
+        assert c3 == L2
+        assert n3 == dst
+
+    def test_same_group_uses_l1_from_injection(self, df):
+        r = DragonflyRouting(df)
+        (_n, ch), = r.candidates((0, 0), (0, 2), None)
+        assert ch == L1
+
+    def test_deterministic_and_connected(self, df):
+        r = DragonflyRouting(df)
+        for s in df.nodes:
+            for d in df.nodes:
+                if s != d:
+                    assert len(r.candidates(s, d, None)) == 1
+
+    def test_two_vc_acyclic_one_vc_cyclic(self, df):
+        assert verify_routing(DragonflyRouting(df), df, dragonfly_rule).acyclic
+        assert not verify_routing(DragonflySingleVC(df), df, dragonfly_rule).acyclic
+
+    def test_requires_dragonfly(self, mesh4):
+        with pytest.raises(RoutingError):
+            DragonflyRouting(mesh4)
+
+
+class TestValiant:
+    def test_five_classes_acyclic(self, df):
+        from repro.routing.dragonfly import DragonflyValiant
+
+        r = DragonflyValiant(df)
+        assert len(r.channel_classes) == 5
+        assert verify_routing(r, df, dragonfly_rule).acyclic
+
+    def test_prepare_stamps_intermediate_waypoint(self, df):
+        import random
+
+        from repro.routing.dragonfly import DragonflyValiant
+        from repro.sim import Packet
+
+        r = DragonflyValiant(df)
+        p = Packet(pid=0, src=(0, 0), dst=(3, 1), length=1, created=0)
+        r.prepare(p, random.Random(1))
+        assert len(p.waypoints) == 1
+        assert p.waypoints[0][0] not in (0, 3)
+
+    def test_same_group_traffic_keeps_direct_route(self, df):
+        import random
+
+        from repro.routing.dragonfly import DragonflyValiant
+        from repro.sim import Packet
+
+        r = DragonflyValiant(df)
+        p = Packet(pid=0, src=(1, 0), dst=(1, 2), length=1, created=0)
+        r.prepare(p, random.Random(1))
+        assert p.waypoints == ()
+
+    def test_worm_traverses_five_legs(self, df):
+        import random
+
+        from repro.routing.dragonfly import DragonflyValiant
+        from repro.sim import NetworkSimulator, Packet
+
+        r = DragonflyValiant(df)
+        sim = NetworkSimulator(df, r, dragonfly_rule, buffer_depth=4, watchdog=500)
+        p = Packet(pid=0, src=(0, 0), dst=(3, 1), length=2, created=0)
+        r.prepare(p, random.Random(2))
+        sim.offer_packet(p)
+        for _ in range(200):
+            sim.step()
+            if sim.is_idle():
+                break
+        assert p.delivered is not None
+        assert not sim.stats.deadlocked

@@ -1,0 +1,73 @@
+"""Unit tests for the fat-tree topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def ft() -> FatTree:
+    return FatTree(leaves=4, spines=2, hosts_per_leaf=2)
+
+
+class TestStructure:
+    def test_node_census(self, ft):
+        assert len(ft.nodes) == 8 + 4 + 2
+        assert len(ft.endpoints) == 8
+        assert all(n[0] == 0 for n in ft.endpoints)
+
+    def test_link_census(self, ft):
+        # 8 terminal<->leaf pairs + 4*2 leaf<->spine pairs, both directions
+        assert len(ft.links) == 2 * (8 + 8)
+
+    def test_up_down_labels(self, ft):
+        up = [l for l in ft.links if l.sign == +1]
+        for l in up:
+            assert l.src[0] < l.dst[0]
+
+    def test_leaf_of(self, ft):
+        assert ft.leaf_of((0, 0)) == (1, 0)
+        assert ft.leaf_of((0, 7)) == (1, 3)
+        with pytest.raises(TopologyError):
+            ft.leaf_of((1, 0))
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            FatTree(leaves=1)
+
+
+class TestOracles:
+    def test_distance_same_leaf(self, ft):
+        assert ft.distance((0, 0), (0, 1)) == 2  # up to leaf, down
+
+    def test_distance_cross_leaf(self, ft):
+        assert ft.distance((0, 0), (0, 7)) == 4  # terminal-leaf-spine-leaf-terminal
+
+    def test_minimal_directions(self, ft):
+        assert ft.minimal_directions((0, 0), (0, 7)) == ((0, +1),)
+        # at the leaf, the cross-leaf route continues up
+        assert ft.minimal_directions((1, 0), (0, 7)) == ((0, +1),)
+        # at a spine, only down remains
+        assert ft.minimal_directions((2, 0), (0, 7)) == ((0, -1),)
+
+    def test_self_distance(self, ft):
+        assert ft.distance((0, 3), (0, 3)) == 0
+
+
+class TestUpDownIntegration:
+    def test_level_based_updown_uses_all_spines(self, ft):
+        from repro.routing import UpDownRouting
+
+        levels = {node: 2 - node[0] for node in ft.nodes}
+        routing = UpDownRouting(ft, levels=levels)
+        cands = routing.candidates((1, 0), (0, 7), None)
+        spines = {n for n, _c in cands if n[0] == 2}
+        assert len(spines) == 2
+
+    def test_levels_must_cover_all_nodes(self, ft):
+        from repro.errors import RoutingError
+        from repro.routing import UpDownRouting
+
+        with pytest.raises(RoutingError):
+            UpDownRouting(ft, levels={(0, 0): 0})

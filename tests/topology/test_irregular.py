@@ -1,0 +1,47 @@
+"""Unit tests for the faulty-mesh irregular topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import FaultyMesh, Mesh
+
+
+class TestConstruction:
+    def test_failed_links_removed_both_ways(self):
+        t = FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0))])
+        assert not t.has_link((0, 0), (1, 0))
+        assert not t.has_link((1, 0), (0, 0))
+        assert t.has_link((0, 0), (0, 1))
+
+    def test_link_count(self):
+        base = Mesh(3, 3)
+        t = FaultyMesh(base, failed=[((0, 0), (1, 0)), ((1, 1), (1, 2))])
+        assert len(t.links) == len(base.links) - 4
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(TopologyError):
+            FaultyMesh(Mesh(3, 3), failed=[((0, 0), (2, 2))])
+
+    def test_disconnection_rejected(self):
+        # isolate corner (0,0)
+        with pytest.raises(TopologyError):
+            FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0)), ((0, 0), (0, 1))])
+
+
+class TestOracles:
+    def test_distance_detours(self):
+        t = FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0))])
+        assert t.distance((0, 0), (1, 0)) == 3  # around via (0,1)
+
+    def test_minimal_directions_filter_failed(self):
+        t = FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0))])
+        assert t.minimal_directions((0, 0), (2, 0)) == ()
+
+    def test_progressive_directions_route_around(self):
+        t = FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0))])
+        dirs = t.progressive_directions((0, 0), (2, 0))
+        assert dirs == ((1, +1),)
+
+    def test_failed_links_property(self):
+        t = FaultyMesh(Mesh(3, 3), failed=[((1, 0), (0, 0))])
+        assert t.failed_links == (((0, 0), (1, 0)),)

@@ -1,0 +1,85 @@
+"""Unit tests for the n-dimensional mesh."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Mesh
+
+
+class TestConstruction:
+    def test_2d_counts(self):
+        m = Mesh(4, 4)
+        assert len(m.nodes) == 16
+        assert len(m.links) == 2 * (2 * 4 * 3)  # 24 bidirectional edges
+
+    def test_3d_counts(self):
+        m = Mesh(3, 3, 3)
+        assert len(m.nodes) == 27
+        assert len(m.links) == 2 * 3 * (3 * 3 * 2)
+
+    def test_rectangular(self):
+        m = Mesh(2, 5)
+        assert len(m.nodes) == 10
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh(1, 4)
+
+    def test_no_dims_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh()
+
+
+class TestLinks:
+    def test_link_labels(self):
+        m = Mesh(3, 3)
+        link = m.link((0, 0), (1, 0))
+        assert (link.dim, link.sign) == (0, +1)
+        back = m.link((1, 0), (0, 0))
+        assert (back.dim, back.sign) == (0, -1)
+
+    def test_missing_link(self):
+        m = Mesh(3, 3)
+        with pytest.raises(TopologyError):
+            m.link((0, 0), (2, 0))
+
+    def test_no_wraparound(self):
+        m = Mesh(3, 3)
+        assert not m.has_link((2, 0), (0, 0))
+        assert all(not l.is_wraparound for l in m.links)
+
+    def test_neighbors_corner(self):
+        m = Mesh(3, 3)
+        assert set(m.neighbors((0, 0))) == {(1, 0), (0, 1)}
+
+    def test_neighbors_center(self):
+        m = Mesh(3, 3)
+        assert len(m.neighbors((1, 1))) == 4
+
+    def test_in_links_match_out_links(self):
+        m = Mesh(3, 3)
+        for node in m.nodes:
+            assert {l.src for l in m.in_links(node)} == set(m.neighbors(node))
+
+
+class TestRoutingOracles:
+    def test_minimal_directions(self):
+        m = Mesh(4, 4)
+        assert set(m.minimal_directions((0, 0), (2, 3))) == {(0, +1), (1, +1)}
+        assert m.minimal_directions((2, 2), (2, 2)) == ()
+        assert m.minimal_directions((3, 1), (0, 1)) == ((0, -1),)
+
+    def test_distance(self):
+        m = Mesh(4, 4)
+        assert m.distance((0, 0), (3, 3)) == 6
+        assert m.distance((1, 2), (1, 2)) == 0
+
+    def test_unknown_node(self):
+        m = Mesh(3, 3)
+        with pytest.raises(TopologyError):
+            m.minimal_directions((9, 9), (0, 0))
+
+    def test_minimal_path_count(self):
+        m = Mesh(4, 4)
+        assert m.minimal_path_count((0, 0), (2, 2)) == 6
+        assert m.minimal_path_count((0, 0), (3, 0)) == 1

@@ -1,0 +1,64 @@
+"""Unit tests for the vertically partially connected 3D mesh."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import PartiallyConnected3D
+
+
+@pytest.fixture
+def topo() -> PartiallyConnected3D:
+    return PartiallyConnected3D(4, 4, 2, elevators=[(0, 0), (3, 3)])
+
+
+class TestConstruction:
+    def test_vertical_links_only_at_elevators(self, topo):
+        z_links = [l for l in topo.links if l.dim == 2]
+        xy = {(l.src[0], l.src[1]) for l in z_links}
+        assert xy == {(0, 0), (3, 3)}
+        assert len(z_links) == 4  # 2 elevators x 1 layer gap x 2 directions
+
+    def test_layers_are_full_meshes(self, topo):
+        for z in (0, 1):
+            assert topo.has_link((0, 0, z), (1, 0, z))
+            assert topo.has_link((2, 3, z), (1, 3, z))
+
+    def test_elevator_outside_layer_rejected(self):
+        with pytest.raises(TopologyError):
+            PartiallyConnected3D(4, 4, 2, elevators=[(9, 0)])
+
+    def test_no_elevators_rejected(self):
+        with pytest.raises(TopologyError):
+            PartiallyConnected3D(4, 4, 2, elevators=[])
+
+    def test_default_elevators_connected(self):
+        topo = PartiallyConnected3D(4, 4, 2)
+        assert topo.elevators
+        assert any(l.dim == 2 for l in topo.links)
+
+
+class TestOracles:
+    def test_same_layer_plain_mesh(self, topo):
+        dirs = topo.minimal_directions((0, 0, 0), (2, 1, 0))
+        assert set(dirs) == {(0, +1), (1, +1)}
+
+    def test_at_elevator_offers_z(self, topo):
+        dirs = topo.minimal_directions((0, 0, 0), (2, 1, 1))
+        assert (2, +1) in dirs
+
+    def test_cross_layer_offers_moves_toward_some_elevator(self, topo):
+        dirs = topo.minimal_directions((1, 1, 0), (1, 1, 1))
+        # toward (0,0): W/S; toward (3,3): E/N; all reduce a via-elevator
+        # potential, so all four appear.
+        assert set(dirs) == {(0, +1), (0, -1), (1, +1), (1, -1)}
+
+    def test_distance_through_elevator(self, topo):
+        # (1,0,0) -> (1,0,1): via (0,0): 1 + 1 + 1 = 3
+        assert topo.distance((1, 0, 0), (1, 0, 1)) == 3
+
+    def test_distance_same_layer(self, topo):
+        assert topo.distance((0, 0, 0), (3, 3, 0)) == 6
+
+    def test_nearest_elevator(self, topo):
+        assert topo.nearest_elevator((1, 0, 0)) == (0, 0)
+        assert topo.nearest_elevator((3, 2, 1)) == (3, 3)

@@ -1,0 +1,64 @@
+"""Unit tests for the k-ary n-cube."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Torus
+
+
+class TestConstruction:
+    def test_counts(self):
+        t = Torus(4, 4)
+        assert len(t.nodes) == 16
+        # every node has degree 4 out: 64 unidirectional links
+        assert len(t.links) == 64
+
+    def test_min_ring_size(self):
+        with pytest.raises(TopologyError):
+            Torus(2, 4)
+
+
+class TestWraparound:
+    def test_wrap_links_exist(self):
+        t = Torus(4, 4)
+        assert t.has_link((3, 0), (0, 0))
+        assert t.has_link((0, 0), (3, 0))
+
+    def test_wrap_label_keeps_sign(self):
+        t = Torus(4, 4)
+        wrap = t.link((3, 0), (0, 0))
+        assert (wrap.dim, wrap.sign) == (0, +1)
+        assert wrap.is_wraparound
+
+    def test_regular_links_not_wrap(self):
+        t = Torus(4, 4)
+        assert not t.link((0, 0), (1, 0)).is_wraparound
+
+    def test_wrap_count(self):
+        t = Torus(4, 4)
+        wraps = [l for l in t.links if l.is_wraparound]
+        # 2 dims x 4 rings... 4 rows + 4 cols, 2 directions each
+        assert len(wraps) == 16
+
+
+class TestOracles:
+    def test_shortest_way_around(self):
+        t = Torus(4, 4)
+        assert t.minimal_directions((0, 0), (3, 0)) == ((0, -1),)
+        assert t.minimal_directions((0, 0), (1, 0)) == ((0, +1),)
+
+    def test_tie_offers_both(self):
+        t = Torus(4, 4)
+        dirs = t.minimal_directions((0, 0), (2, 0))
+        assert set(dirs) == {(0, +1), (0, -1)}
+
+    def test_distance_wraps(self):
+        t = Torus(5, 5)
+        assert t.distance((0, 0), (4, 0)) == 1
+        assert t.distance((0, 0), (2, 2)) == 4
+        assert t.distance((1, 1), (1, 1)) == 0
+
+    def test_ring_offset(self):
+        t = Torus(5, 5)
+        assert t.ring_offset(0, 4, 0) == -1
+        assert t.ring_offset(0, 2, 0) == 2

@@ -1,0 +1,70 @@
+"""Unit tests for wire instantiation."""
+
+import pytest
+
+from repro.core import channels
+from repro.errors import TopologyError
+from repro.topology import (
+    Mesh,
+    check_full_instantiation,
+    column_parity,
+    wires_by_link,
+    wires_for,
+)
+
+
+class TestWiresFor:
+    def test_plain_2d_inventory(self):
+        m = Mesh(3, 3)
+        wires = wires_for(m, channels("X+ X- Y+ Y-"))
+        assert len(wires) == len(m.links)
+
+    def test_vcs_multiply_wires(self):
+        m = Mesh(3, 3)
+        wires = wires_for(m, channels("Y+ Y2+"))
+        y_up_links = [l for l in m.links if l.dim == 1 and l.sign == +1]
+        assert len(wires) == 2 * len(y_up_links)
+
+    def test_class_rule_filters(self):
+        m = Mesh(4, 4)
+        wires = wires_for(m, channels("Y+@e"), column_parity)
+        assert all(w.src[0] % 2 == 0 for w in wires)
+        assert wires
+
+    def test_mismatched_class_instantiates_nothing(self):
+        m = Mesh(4, 4)
+        assert wires_for(m, channels("Y+@e")) == ()
+
+    def test_wire_accessors(self):
+        m = Mesh(3, 3)
+        wire = wires_for(m, channels("X+"))[0]
+        assert wire.src == wire.link.src
+        assert wire.dst == wire.link.dst
+        assert "X+" in str(wire)
+
+
+class TestWiresByLink:
+    def test_grouping(self):
+        m = Mesh(3, 3)
+        grouped = wires_by_link(m, channels("X+ X- Y+ Y- Y2+ Y2-"))
+        y_link = m.link((0, 0), (0, 1))
+        x_link = m.link((0, 0), (1, 0))
+        assert len(grouped[y_link]) == 2
+        assert len(grouped[x_link]) == 1
+
+
+class TestFullInstantiation:
+    def test_complete_inventory_passes(self):
+        m = Mesh(3, 3)
+        check_full_instantiation(m, channels("X+ X- Y+ Y-"))
+
+    def test_missing_direction_raises(self):
+        m = Mesh(3, 3)
+        with pytest.raises(TopologyError):
+            check_full_instantiation(m, channels("X+ X- Y+"))
+
+    def test_odd_even_inventory_with_rule(self):
+        m = Mesh(4, 4)
+        check_full_instantiation(
+            m, channels("X+ X- Y+@e Y-@e Y+@o Y-@o"), column_parity
+        )

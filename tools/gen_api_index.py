@@ -1,0 +1,64 @@
+"""Regenerate docs/API.md: one line per public symbol, from docstrings.
+
+Run from the repository root:  python tools/gen_api_index.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+
+def main() -> None:
+    import repro
+
+    lines = [
+        "# API index",
+        "",
+        "Auto-generated from docstrings (`python tools/gen_api_index.py`).",
+        "One line per public symbol: the first sentence of its docstring.",
+        "",
+    ]
+    for modinfo in sorted(
+        pkgutil.walk_packages(repro.__path__, "repro."), key=lambda m: m.name
+    ):
+        if modinfo.name.endswith("__main__"):
+            continue
+        mod = importlib.import_module(modinfo.name)
+        public = []
+        for name in sorted(getattr(mod, "__all__", []) or vars(mod)):
+            if name.startswith("_"):
+                continue
+            obj = vars(mod).get(name)
+            if obj is None or inspect.ismodule(obj):
+                continue
+            if getattr(obj, "__module__", None) != modinfo.name:
+                continue
+            doc = (inspect.getdoc(obj) or "").strip().split("\n")[0].rstrip(".")
+            kind = "class" if inspect.isclass(obj) else (
+                "func" if callable(obj) else "const"
+            )
+            public.append((name, kind, doc))
+        if not public:
+            continue
+        mdoc = (inspect.getdoc(mod) or "").strip().split("\n")[0]
+        lines.append(f"## `{modinfo.name}`")
+        lines.append("")
+        if mdoc:
+            lines.append(mdoc)
+            lines.append("")
+        for name, kind, doc in public:
+            entry = f"- **`{name}`** ({kind})"
+            if doc:
+                entry += f" — {doc}"
+            lines.append(entry)
+        lines.append("")
+    out = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    out.write_text("\n".join(lines))
+    print(f"wrote {out}: {len(lines)} lines")
+
+
+if __name__ == "__main__":
+    main()
