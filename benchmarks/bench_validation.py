@@ -1,7 +1,13 @@
 """Benchmarks for the verification experiments V1-V4 (see DESIGN.md)."""
 
 from benchmarks.conftest import report
-from repro.experiments import cdg_validation, deadlock_demo, partial3d_sim, perf_sweep
+from repro.experiments import (
+    cdg_validation,
+    deadlock_demo,
+    fault_sweep,
+    partial3d_sim,
+    perf_sweep,
+)
 
 
 def test_v1_every_design_acyclic(once):
@@ -22,3 +28,8 @@ def test_v3_latency_throughput(once):
 def test_v4_partial3d_comparison(once):
     """V4: §6.3 design vs Elevator-First on a partial 3D NoC."""
     report(once(partial3d_sim.run))
+
+
+def test_v7_fault_sweep(once):
+    """V7: runtime faults, rerouting and regressive deadlock recovery."""
+    report(once(fault_sweep.run))

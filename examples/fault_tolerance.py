@@ -1,0 +1,101 @@
+"""Fault tolerance: surviving link failures and deadlocks at runtime.
+
+Two demonstrations of the fault-injection and recovery subsystem:
+
+1. A 5x5 mesh under the negative-first EbDa design loses two links
+   mid-run.  The simulator degrades the topology, rebuilds the routing
+   function (progressive directions + escape fallback — Theorem 2's
+   U-turns at work), re-verifies the degraded design's channel
+   dependency graph, aborts the disturbed packets and retransmits them.
+   Every packet still arrives.
+
+2. The deadlock-PRONE unrestricted-adaptive baseline under heavy load:
+   the watchdog confirms a genuine cyclic wait, and regressive recovery
+   aborts one victim packet (releasing the wires the cycle needs) and
+   retransmits it after exponential backoff.  The run completes instead
+   of halting.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.core import catalog
+from repro.routing import TurnTableRouting
+from repro.routing.fullyadaptive import UnrestrictedAdaptive
+from repro.sim import (
+    FaultEvent,
+    FaultSchedule,
+    NetworkSimulator,
+    RecoveryPolicy,
+    Trace,
+    TrafficConfig,
+    TrafficGenerator,
+)
+from repro.topology import Mesh
+
+
+def link_failures() -> None:
+    print("=== 1. link failures under an EbDa design ===")
+    mesh = Mesh(5, 5)
+    design = catalog.design("negative-first")
+
+    def factory(topo):
+        # Rebuilt after every permanent fault; "escape" admits the
+        # design's U-turns so packets can reroute around the hole.
+        return TurnTableRouting(topo, design, directions="progressive",
+                                fallback="escape")
+
+    faults = FaultSchedule([
+        FaultEvent(60, "link", link=((2, 2), (3, 2))),
+        FaultEvent(120, "link", link=((1, 3), (1, 4))),
+    ])
+    tracer = Trace()
+    sim = NetworkSimulator(
+        mesh, factory(mesh),
+        faults=faults, recovery=RecoveryPolicy(),
+        routing_factory=factory, tracer=tracer,
+    )
+    traffic = TrafficGenerator(
+        mesh, TrafficConfig(injection_rate=0.05, packet_length=4, seed=11)
+    )
+    stats = sim.run(300, traffic, drain=True)
+
+    for event in tracer.of_kind("fault") + tracer.of_kind("rerouted"):
+        print(f"  {event}")
+    print(f"  degraded-design verdict: {sim.last_reroute_verdict}")
+    print(f"  {stats.summary(len(mesh.nodes))}")
+    assert stats.delivery_ratio == 1.0, "every packet must still arrive"
+    assert sim.last_reroute_verdict.acyclic
+
+
+def deadlock_recovery() -> None:
+    print("\n=== 2. regressive deadlock recovery ===")
+    mesh = Mesh(4, 4)
+    tracer = Trace()
+    sim = NetworkSimulator(
+        mesh, UnrestrictedAdaptive(mesh),  # deadlock-prone on purpose
+        watchdog=80, seed=3,
+        recovery=RecoveryPolicy(max_retries=20),
+        tracer=tracer,
+    )
+    traffic = TrafficGenerator(
+        mesh, TrafficConfig(injection_rate=0.35, packet_length=6, seed=3)
+    )
+    stats = sim.run(400, traffic, drain=True)
+
+    for event in tracer.of_kind("recovered")[:3]:
+        print(f"  {event}")
+    print(f"  {stats.summary(len(mesh.nodes))}")
+    print(f"  recovered deadlocks: {stats.recovered_deadlocks},"
+          f" avg recovery latency: {stats.avg_recovery_latency:.0f} cycles")
+    assert stats.recovered_deadlocks >= 1
+    assert stats.delivery_ratio == 1.0
+
+
+def main() -> None:
+    link_failures()
+    deadlock_recovery()
+    print("\nfaults absorbed, deadlocks recovered, all packets delivered.")
+
+
+if __name__ == "__main__":
+    main()

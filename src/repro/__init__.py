@@ -47,11 +47,13 @@ from repro.errors import (
     ChannelParseError,
     DeadlockDetected,
     EbdaError,
+    FaultError,
     PartitionError,
     RoutingError,
     SimulationError,
     TheoremViolation,
     TopologyError,
+    UnroutableError,
 )
 
 __version__ = "1.0.0"
@@ -72,10 +74,12 @@ __all__ = [
     "ChannelParseError",
     "DeadlockDetected",
     "EbdaError",
+    "FaultError",
     "PartitionError",
     "RoutingError",
     "SimulationError",
     "TheoremViolation",
     "TopologyError",
+    "UnroutableError",
     "__version__",
 ]

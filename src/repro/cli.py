@@ -13,6 +13,9 @@ Commands
     its turns and its verification verdict.
 ``simulate <design-name> [--mesh ...] [--rate ...] [--cycles ...]``
     Simulate a catalog design (or arrow notation) under uniform traffic.
+    ``--fail-link 1,1-2,1 --fail-at 100`` injects runtime link failures
+    (with rerouting over the degraded topology); ``--drops N`` injects
+    transient flit corruption; ``--recover`` arms regressive recovery.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from typing import Sequence
 from repro.analysis import format_turn_table
 from repro.cdg import verify_design
 from repro.core import PartitionSequence, catalog, extract_turns, partition_vc_budget
-from repro.errors import EbdaError
+from repro.errors import EbdaError, FaultError
 from repro.topology import Mesh, NAMED_RULES
 from repro.topology.classes import rule_for_design
 
@@ -127,23 +130,71 @@ def cmd_logic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_link(spec: str) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """``"1,1-2,1"`` -> ``((1, 1), (2, 1))``."""
+    try:
+        u, v = spec.split("-")
+        return (
+            tuple(int(k) for k in u.split(",")),
+            tuple(int(k) for k in v.split(",")),
+        )
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        raise SystemExit(f"bad link spec {spec!r} (use e.g. 1,1-2,1): {exc}")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.routing import TurnTableRouting
-    from repro.sim import NetworkSimulator, TrafficConfig, TrafficGenerator
+    from repro.sim import (
+        FaultEvent,
+        FaultSchedule,
+        NetworkSimulator,
+        RecoveryPolicy,
+        TrafficConfig,
+        TrafficGenerator,
+    )
 
     design, suggested = _resolve_design(args.design)
     mesh = _parse_mesh(args.mesh)
     rule = rule_for_design(suggested)
+
+    faults = None
+    routing_factory = None
+    if args.fail_link or args.drops:
+        events = [
+            FaultEvent(args.fail_at, "link", link=_parse_link(spec))
+            for spec in args.fail_link
+        ]
+        events += [
+            FaultEvent(args.fail_at + 10 * i, "drop") for i in range(args.drops)
+        ]
+        faults = FaultSchedule(events, seed=args.seed)
+
+        def routing_factory(topo):
+            return TurnTableRouting(
+                topo, design, rule,
+                directions="progressive", fallback="escape",
+                label=suggested or "custom",
+            )
+
+    recovery = RecoveryPolicy(max_retries=args.retries) if args.recover else None
     routing = TurnTableRouting(mesh, design, rule, label=suggested or "custom")
-    sim = NetworkSimulator(mesh, routing, rule, buffer_depth=args.buffers)
+    sim = NetworkSimulator(
+        mesh, routing, rule, buffer_depth=args.buffers,
+        faults=faults, recovery=recovery, routing_factory=routing_factory,
+    )
     traffic = TrafficGenerator(
         mesh,
         TrafficConfig(
             injection_rate=args.rate, packet_length=args.length, seed=args.seed
         ),
     )
-    stats = sim.run(args.cycles, traffic, drain=True)
+    try:
+        stats = sim.run(args.cycles, traffic, drain=True)
+    except FaultError as exc:
+        raise SystemExit(f"fault schedule failed: {exc}")
     print(stats.summary(len(mesh.nodes)))
+    if sim.last_reroute_verdict is not None:
+        print(f"rerouted design: {sim.last_reroute_verdict}")
     return 1 if stats.deadlocked else 0
 
 
@@ -185,6 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--length", type=int, default=4)
     p_sim.add_argument("--buffers", type=int, default=4)
     p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument(
+        "--fail-link", action="append", default=[], metavar="U-V",
+        help="fail a bidirectional link mid-run, e.g. 1,1-2,1 (repeatable)",
+    )
+    p_sim.add_argument(
+        "--fail-at", type=int, default=100, metavar="CYCLE",
+        help="cycle at which scheduled faults strike (default 100)",
+    )
+    p_sim.add_argument(
+        "--drops", type=int, default=0,
+        help="number of transient flit-corruption faults to inject",
+    )
+    p_sim.add_argument(
+        "--recover", action="store_true",
+        help="arm regressive recovery (victim abort + retransmission)",
+    )
+    p_sim.add_argument(
+        "--retries", type=int, default=8,
+        help="per-packet retransmission budget (with --recover)",
+    )
     p_sim.set_defaults(func=cmd_simulate)
     return parser
 

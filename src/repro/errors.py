@@ -44,6 +44,18 @@ class SimulationError(EbdaError, RuntimeError):
     """The simulator reached an inconsistent internal state."""
 
 
+class FaultError(SimulationError):
+    """A runtime fault (link/router failure, flit corruption) could not be
+    absorbed: the degraded network violates an invariant the simulation
+    needs (e.g. the rerouted design is no longer EbDa-valid)."""
+
+
+class UnroutableError(FaultError):
+    """The degraded network cannot route required traffic at all — it is
+    disconnected, or a packet's source can no longer reach its destination
+    under any legal route."""
+
+
 class DeadlockDetected(SimulationError):
     """Raised (optionally) when the deadlock detector finds a cyclic wait.
 

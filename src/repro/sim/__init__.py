@@ -1,7 +1,13 @@
 """Cycle-based flit-level wormhole network simulator."""
 
 from repro.sim.buffers import WireState
-from repro.sim.deadlock import build_waitfor_graph, held_wires, waitfor_cycle
+from repro.sim.deadlock import (
+    build_waitfor_graph,
+    cycle_witness,
+    held_wires,
+    waitfor_cycle,
+)
+from repro.sim.faults import FaultEvent, FaultSchedule, RecoveryPolicy
 from repro.sim.flit import Flit, Packet
 from repro.sim.network import NetworkSimulator
 from repro.sim.patterns import (
@@ -32,8 +38,12 @@ from repro.sim.traffic import ScriptedTraffic, TrafficConfig, TrafficGenerator
 __all__ = [
     "WireState",
     "build_waitfor_graph",
+    "cycle_witness",
     "held_wires",
     "waitfor_cycle",
+    "FaultEvent",
+    "FaultSchedule",
+    "RecoveryPolicy",
     "Flit",
     "Packet",
     "NetworkSimulator",

@@ -91,6 +91,22 @@ def waitfor_cycle(sim: "NetworkSimulator") -> list[int] | None:
     return [e[0] for e in edges]
 
 
+def cycle_witness(
+    sim: "NetworkSimulator",
+) -> tuple[list[int], list[tuple[Wire, ...]]] | None:
+    """The cyclic wait plus the channels each participant holds.
+
+    Returns ``(pids, held)`` where ``held[i]`` is the tuple of wires
+    packet ``pids[i]`` owns or occupies while waiting — the literal
+    "each packet holds a channel needed by another packet" witness of
+    the paper's deadlock definition.  None when no cyclic wait exists.
+    """
+    pids = waitfor_cycle(sim)
+    if pids is None:
+        return None
+    return pids, [tuple(held_wires(sim, pid)) for pid in pids]
+
+
 def held_wires(sim: "NetworkSimulator", pid: int) -> list[Wire]:
     """All wires a packet currently owns or occupies (diagnostics)."""
     out: list[Wire] = []

@@ -1,0 +1,218 @@
+"""Runtime fault injection: deterministic schedules and recovery policy.
+
+EbDa's theorems are proved for static (possibly irregular) networks; this
+module supplies the *dynamic* half: a :class:`FaultSchedule` describes
+link failures, router failures and transient flit corruption at given
+cycles, and :class:`~repro.sim.network.NetworkSimulator` consumes it in
+its cycle loop — degrading the topology, rebuilding the routing function
+and re-verifying the channel dependency graph as faults land.
+
+Everything is seed-driven and deterministic: the same schedule against
+the same simulator seed reproduces the identical run, fault for fault.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SimulationError, TopologyError
+from repro.topology.base import Coord, Topology
+from repro.topology.irregular import FaultyMesh
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("link", "router", "drop")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    cycle:
+        Simulation cycle at which the fault strikes (applied at the start
+        of that cycle, before any flit moves).
+    kind:
+        ``"link"`` — a bidirectional link fails permanently;
+        ``"router"`` — a router fails permanently (with all its links);
+        ``"drop"`` — one in-flight packet suffers transient flit
+        corruption/loss and must be retransmitted end to end.
+    link:
+        The failed link's endpoints (``kind == "link"``).
+    node:
+        The failed router (``kind == "router"``).
+    pid:
+        Optional targeted packet id for ``"drop"``; ``None`` picks a
+        seeded-random in-flight victim.
+    """
+
+    cycle: int
+    kind: str
+    link: tuple[Coord, Coord] | None = None
+    node: Coord | None = None
+    pid: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise SimulationError("fault cycle cannot be negative")
+        if self.kind not in FAULT_KINDS:
+            raise SimulationError(
+                f"unknown fault kind {self.kind!r} (expected one of {FAULT_KINDS})"
+            )
+        if self.kind == "link" and self.link is None:
+            raise SimulationError("link fault needs a link=(u, v)")
+        if self.kind == "router" and self.node is None:
+            raise SimulationError("router fault needs a node")
+
+    def __str__(self) -> str:
+        what = {
+            "link": f"link {self.link[0]}-{self.link[1]}" if self.link else "link ?",
+            "router": f"router {self.node}",
+            "drop": f"drop pid={self.pid if self.pid is not None else '<random>'}",
+        }[self.kind]
+        return f"cycle {self.cycle}: {what}"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Regressive deadlock/fault recovery knobs.
+
+    When the simulator's watchdog confirms a cyclic wait, one victim
+    packet is aborted (its flits flushed, its wires released) and
+    retransmitted from the source after an exponential-backoff delay.
+    ``max_retries`` bounds the per-packet abort count; exceeding it makes
+    the simulator fall back to declaring deadlock.
+    """
+
+    max_retries: int = 8
+    backoff_base: int = 4
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise SimulationError("max_retries must be >= 1")
+        if self.backoff_base < 1:
+            raise SimulationError("backoff_base must be >= 1")
+        if self.backoff_factor < 1.0:
+            raise SimulationError("backoff_factor must be >= 1.0")
+
+    def backoff_delay(self, attempt: int) -> int:
+        """Cycles to wait before the ``attempt``-th retransmission (0-based)."""
+        return max(1, int(self.backoff_base * self.backoff_factor**attempt))
+
+
+class FaultSchedule:
+    """An ordered, immutable collection of :class:`FaultEvent`.
+
+    >>> sched = FaultSchedule([FaultEvent(10, "link", link=((0, 0), (1, 0)))])
+    >>> [str(e) for e in sched.at(10)]
+    ['cycle 10: link (0, 0)-(1, 0)']
+    >>> sched.at(11)
+    ()
+    """
+
+    def __init__(self, events: Iterable[FaultEvent], *, seed: int = 0) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.cycle, e.kind, str(e.link), str(e.node)))
+        )
+        #: Seed for the simulator's fault-targeting RNG (random drop victims).
+        self.seed = seed
+        by_cycle: dict[int, list[FaultEvent]] = {}
+        for event in self.events:
+            by_cycle.setdefault(event.cycle, []).append(event)
+        self._by_cycle = {c: tuple(es) for c, es in by_cycle.items()}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self.events)} events, seed={self.seed})"
+
+    def at(self, cycle: int) -> tuple[FaultEvent, ...]:
+        """All faults scheduled for ``cycle`` (possibly none)."""
+        return self._by_cycle.get(cycle, ())
+
+    @property
+    def last_cycle(self) -> int:
+        """Cycle of the final scheduled fault (-1 when empty)."""
+        return self.events[-1].cycle if self.events else -1
+
+    @classmethod
+    def random(
+        cls,
+        topology: Topology,
+        *,
+        seed: int,
+        n_link_failures: int = 0,
+        n_drops: int = 0,
+        window: tuple[int, int] = (0, 1000),
+        routing_factory=None,
+    ) -> "FaultSchedule":
+        """A seed-driven random schedule that keeps the network connected.
+
+        Link failures are drawn (without replacement) from the topology's
+        bidirectional links, rejecting any candidate whose cumulative
+        removal would disconnect the network; drop faults strike random
+        in-flight packets at random cycles.  Identical arguments always
+        produce the identical schedule.
+
+        With ``routing_factory`` (degraded topology -> routing function),
+        candidates are additionally rejected unless the rebuilt routing
+        still offers a route for *every* endpoint pair — physical
+        connectivity does not imply routability under a design's turn
+        restrictions.
+        """
+        rng = random.Random(seed)
+        lo, hi = window
+        if hi <= lo:
+            raise SimulationError(f"empty fault window {window}")
+        events: list[FaultEvent] = []
+
+        if n_link_failures:
+            pairs = sorted({tuple(sorted((l.src, l.dst))) for l in topology.links})
+            rng.shuffle(pairs)
+            degraded = topology
+            chosen: list[tuple[Coord, Coord]] = []
+            for pair in pairs:
+                if len(chosen) == n_link_failures:
+                    break
+                try:
+                    if isinstance(degraded, FaultyMesh):
+                        trial = degraded.without_link(*pair)
+                    else:
+                        trial = FaultyMesh(degraded, failed=[pair])
+                except TopologyError:
+                    continue  # this failure would disconnect; skip it
+                if routing_factory is not None and not _fully_routable(
+                    routing_factory(trial), trial
+                ):
+                    continue  # routable under the design's turns, or skip
+                degraded = trial
+                chosen.append(pair)
+            if len(chosen) < n_link_failures:
+                raise SimulationError(
+                    f"could not place {n_link_failures} link failures without"
+                    f" disconnecting {topology!r}"
+                )
+            for pair in chosen:
+                events.append(FaultEvent(rng.randrange(lo, hi), "link", link=pair))
+
+        for _ in range(n_drops):
+            events.append(FaultEvent(rng.randrange(lo, hi), "drop"))
+
+        return cls(events, seed=seed)
+
+
+def _fully_routable(routing, topology: Topology) -> bool:
+    """Does the routing offer an injection route for every endpoint pair?"""
+    return all(
+        routing.candidates(src, dst, None)
+        for src in topology.endpoints
+        for dst in topology.endpoints
+        if src != dst
+    )

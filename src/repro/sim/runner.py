@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 
 from repro.routing.base import RoutingFunction
 from repro.routing.selection import SelectionPolicy, first_candidate
+from repro.sim.faults import FaultSchedule, RecoveryPolicy
 from repro.sim.network import NetworkSimulator
 from repro.sim.patterns import TrafficPattern, uniform
 from repro.sim.stats import SimStats
@@ -39,6 +40,12 @@ class RunConfig:
     watchdog: int = 500
     drain: bool = True
     seed: int = 1
+    #: Optional runtime fault schedule (link/router failures, drops).
+    faults: FaultSchedule | None = None
+    #: Optional regressive deadlock/fault recovery policy.
+    recovery: RecoveryPolicy | None = None
+    #: Rebuilds routing over the degraded topology after permanent faults.
+    routing_factory: RoutingFactory | None = None
 
     def with_rate(self, rate: float) -> "RunConfig":
         return replace(self, injection_rate=rate)
@@ -90,6 +97,9 @@ def run_point(
         atomic_buffers=config.atomic_buffers,
         watchdog=config.watchdog,
         seed=config.seed,
+        faults=config.faults,
+        recovery=config.recovery,
+        routing_factory=config.routing_factory,
     )
     traffic = TrafficGenerator(
         topology,

@@ -20,7 +20,32 @@ class SimStats:
     #: Multicast copies absorbed at waypoints (path-based multicast).
     multicast_copies: int = 0
     deadlocked: bool = False
-    deadlock_cycle: int | None = None
+    #: Simulation cycle number at which the watchdog *declared* deadlock
+    #: (None while none declared).  Not to be confused with the cyclic
+    #: wait itself — the *cycle of packets* a witness names lives in
+    #: :attr:`repro.errors.DeadlockDetected.cycle`.
+    deadlock_declared_at: int | None = None
+    #: Faults actually applied from a :class:`~repro.sim.faults.FaultSchedule`.
+    faults_injected: int = 0
+    #: Packets aborted by recovery/fault handling (flits flushed mid-flight).
+    packets_aborted: int = 0
+    #: Aborted packets re-queued at their source after backoff.
+    retransmissions: int = 0
+    #: Cyclic waits broken by regressive recovery (victim abort).
+    recovered_deadlocks: int = 0
+    #: Packets irrecoverably lost (e.g. source or destination router died).
+    packets_lost: int = 0
+    #: Per-recovered-packet cycles from (first) abort to final delivery.
+    recovery_latencies: list[int] = field(default_factory=list)
+
+    @property
+    def deadlock_cycle(self) -> int | None:
+        """Deprecated alias for :attr:`deadlock_declared_at`.
+
+        Kept for backward compatibility; the old name ambiguously
+        suggested the "cycle of packets" of a deadlock witness.
+        """
+        return self.deadlock_declared_at
 
     def record_delivery(self, total: int, network: int, flits: int) -> None:
         self.packets_delivered += 1
@@ -61,17 +86,36 @@ class SimStats:
 
     @property
     def delivery_ratio(self) -> float:
-        """Delivered / injected packets (1.0 once drained)."""
+        """Delivered / injected packets (1.0 once drained).
+
+        Retransmissions do not re-count as injections, so a run that
+        recovers every fault still reaches exactly 1.0; permanently lost
+        packets (dead source/destination routers) keep it below 1.0.
+        """
         if self.packets_injected == 0:
             return 1.0
         return self.packets_delivered / self.packets_injected
 
+    @property
+    def avg_recovery_latency(self) -> float:
+        """Mean cycles from a packet's first abort to its final delivery."""
+        if not self.recovery_latencies:
+            return float("nan")
+        return mean(self.recovery_latencies)
+
     def summary(self, n_nodes: int) -> str:
         """One-line human-readable summary."""
         status = "DEADLOCK" if self.deadlocked else "ok"
-        return (
+        line = (
             f"[{status}] cycles={self.cycles} injected={self.packets_injected}"
             f" delivered={self.packets_delivered}"
             f" avg_lat={self.avg_total_latency:.1f}"
             f" thr={self.throughput(n_nodes):.4f} flits/node/cycle"
         )
+        if self.faults_injected or self.packets_aborted or self.recovered_deadlocks:
+            line += (
+                f" faults={self.faults_injected} aborted={self.packets_aborted}"
+                f" retx={self.retransmissions}"
+                f" recovered={self.recovered_deadlocks} lost={self.packets_lost}"
+            )
+        return line

@@ -28,7 +28,9 @@ class TraceEvent:
     """One recorded simulator event."""
 
     cycle: int
-    kind: str  # offered | allocated | moved | ejected | copy | deadlock
+    #: offered | allocated | moved | ejected | copy | deadlock
+    #: | fault | abort | retransmit | recovered | rerouted
+    kind: str
     pid: int | None
     detail: str
     #: The node the event lands at (movement target, ejection point...).
@@ -81,6 +83,24 @@ class Trace:
 
     def deadlock_declared(self, cycle: int) -> None:
         self._add(cycle, "deadlock", None, "watchdog declared deadlock")
+
+    def fault_injected(self, cycle: int, description: str) -> None:
+        self._add(cycle, "fault", None, f"fault injected: {description}")
+
+    def packet_aborted(self, cycle: int, pid: int, reason: str) -> None:
+        self._add(cycle, "abort", pid, f"aborted ({reason})")
+
+    def packet_retransmitted(self, cycle: int, pid: int, src: Coord) -> None:
+        self._add(cycle, "retransmit", pid, f"retransmitted from {src}", node=src)
+
+    def deadlock_recovered(self, cycle: int, victim: int, wait_cycle: list[int]) -> None:
+        self._add(
+            cycle, "recovered", victim,
+            f"cyclic wait {wait_cycle} broken: victim #{victim} aborted",
+        )
+
+    def rerouted(self, cycle: int, description: str) -> None:
+        self._add(cycle, "rerouted", None, f"rerouted: {description}")
 
     def _add(
         self,

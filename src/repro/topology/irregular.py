@@ -1,11 +1,16 @@
 """Irregular topologies: a mesh with failed links (Theorem validity claim).
 
 The paper asserts its theorems hold on irregular networks.  We model
-irregularity as a 2D/3D mesh with a set of failed bidirectional links.
-Minimal-direction oracles are no longer exact (a productive direction may
-be missing), so this topology also provides a BFS-based reachability
-oracle used by Up*/Down* routing and by fault-tolerant EbDa designs that
-exploit Theorem 2's U-turns for rerouting.
+irregularity as a 2D/3D mesh with a set of failed bidirectional links
+(and, for router failures, a set of failed nodes).  Minimal-direction
+oracles are no longer exact (a productive direction may be missing), so
+this topology also provides a BFS-based reachability oracle used by
+Up*/Down* routing and by fault-tolerant EbDa designs that exploit
+Theorem 2's U-turns for rerouting.
+
+The runtime fault-injection path (:mod:`repro.sim.faults`) degrades a
+topology incrementally with :meth:`FaultyMesh.without_link` /
+:meth:`FaultyMesh.without_router` as failures arrive mid-simulation.
 """
 
 from __future__ import annotations
@@ -16,34 +21,57 @@ from typing import Iterable
 
 from repro.errors import TopologyError
 from repro.topology.base import Coord, Link, Topology
-from repro.topology.mesh import Mesh
+from repro.topology.mesh import Mesh  # noqa: F401  (doctest namespace)
 
 
 class FaultyMesh(Topology):
-    """A mesh with a set of failed (removed) bidirectional links.
+    """A topology with a set of failed (removed) bidirectional links.
+
+    Despite the historical name, any link-labelled :class:`Topology` can
+    serve as the base (mesh, partially connected 3D, ...); the wrapper
+    only consults the base's node/link sets and minimal-direction oracle.
+
+    Duplicate failed-link entries (including the same link listed in both
+    directions) collapse to one failure; self-loop entries are rejected.
 
     >>> t = FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0))])
     >>> t.has_link((0, 0), (1, 0)) or t.has_link((1, 0), (0, 0))
     False
+    >>> t2 = FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0)), ((1, 0), (0, 0))])
+    >>> t2.failed_links
+    (((0, 0), (1, 0)),)
     """
 
-    def __init__(self, base: Mesh, failed: Iterable[tuple[Coord, Coord]]) -> None:
+    def __init__(
+        self,
+        base: Topology,
+        failed: Iterable[tuple[Coord, Coord]],
+        failed_nodes: Iterable[Coord] = (),
+    ) -> None:
         self._base = base
         normalized: set[frozenset[Coord]] = set()
         for u, v in failed:
+            if u == v:
+                raise TopologyError(f"self-loop failed-link entry {u} -> {v}")
             base.link(u, v)  # raises TopologyError when the link is absent
             normalized.add(frozenset((u, v)))
         self._failed = normalized
+        dead_nodes: set[Coord] = set()
+        for node in failed_nodes:
+            base.validate_node(node)
+            dead_nodes.add(node)
+        self._failed_nodes = dead_nodes
         if not self._connected():
-            raise TopologyError("failed links disconnect the network")
+            raise TopologyError("failures disconnect the network")
 
     def __repr__(self) -> str:
         pairs = sorted(tuple(sorted(f)) for f in self._failed)
-        return f"FaultyMesh({self._base!r}, failed={pairs})"
+        extra = f", failed_nodes={sorted(self._failed_nodes)}" if self._failed_nodes else ""
+        return f"FaultyMesh({self._base!r}, failed={pairs}{extra})"
 
     @property
-    def base(self) -> Mesh:
-        """The underlying healthy mesh."""
+    def base(self) -> Topology:
+        """The underlying healthy topology."""
         return self._base
 
     @property
@@ -52,27 +80,86 @@ class FaultyMesh(Topology):
         return tuple(sorted(tuple(sorted(f)) for f in self._failed))
 
     @property
+    def failed_nodes(self) -> tuple[Coord, ...]:
+        """Failed routers (removed together with all their links)."""
+        return tuple(sorted(self._failed_nodes))
+
+    def without_link(self, u: Coord, v: Coord) -> "FaultyMesh":
+        """A copy of this topology with one more failed link.
+
+        This is the incremental-degradation step the runtime rerouting
+        path uses when a link fails mid-simulation.  Raises
+        :class:`~repro.errors.TopologyError` when the extra failure would
+        disconnect the network (or the link does not exist / is a
+        self-loop).
+
+        >>> t = FaultyMesh(Mesh(3, 3), failed=[])
+        >>> t2 = t.without_link((0, 0), (1, 0))
+        >>> t2.failed_links
+        (((0, 0), (1, 0)),)
+        >>> t2.has_link((1, 0), (0, 0))
+        False
+        >>> len(t.links) - len(t2.links)
+        2
+        """
+        return FaultyMesh(
+            self._base,
+            list(self.failed_links) + [(u, v)],
+            self._failed_nodes,
+        )
+
+    def without_router(self, node: Coord) -> "FaultyMesh":
+        """A copy of this topology with one more failed router.
+
+        >>> t = FaultyMesh(Mesh(3, 3), failed=[]).without_router((1, 1))
+        >>> (1, 1) in t.nodes
+        False
+        >>> any((1, 1) in (l.src, l.dst) for l in t.links)
+        False
+        """
+        return FaultyMesh(
+            self._base,
+            self.failed_links,
+            set(self._failed_nodes) | {node},
+        )
+
+    @property
     def n_dims(self) -> int:
         return self._base.n_dims
 
     @cached_property
     def nodes(self) -> tuple[Coord, ...]:
-        return self._base.nodes
+        if not self._failed_nodes:
+            return self._base.nodes
+        return tuple(n for n in self._base.nodes if n not in self._failed_nodes)
 
     @cached_property
     def links(self) -> tuple[Link, ...]:
         return tuple(
-            l for l in self._base.links if frozenset((l.src, l.dst)) not in self._failed
+            l
+            for l in self._base.links
+            if frozenset((l.src, l.dst)) not in self._failed
+            and l.src not in self._failed_nodes
+            and l.dst not in self._failed_nodes
         )
 
+    @cached_property
+    def endpoints(self) -> tuple[Coord, ...]:
+        if not self._failed_nodes:
+            return self._base.endpoints
+        return tuple(n for n in self._base.endpoints if n not in self._failed_nodes)
+
     def _connected(self) -> bool:
-        nodes = self._base.nodes
-        alive = {
-            l.src: [] for l in self._base.links
-        }
+        nodes = [n for n in self._base.nodes if n not in self._failed_nodes]
+        if not nodes:
+            return False
         adj: dict[Coord, list[Coord]] = {n: [] for n in nodes}
         for l in self._base.links:
-            if frozenset((l.src, l.dst)) not in self._failed:
+            if (
+                frozenset((l.src, l.dst)) not in self._failed
+                and l.src not in self._failed_nodes
+                and l.dst not in self._failed_nodes
+            ):
                 adj[l.src].append(l.dst)
         seen = {nodes[0]}
         queue = deque([nodes[0]])
@@ -85,7 +172,7 @@ class FaultyMesh(Topology):
         return len(seen) == len(nodes)
 
     def minimal_directions(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
-        """Mesh-minimal directions whose links survive.
+        """Base-minimal directions whose links survive.
 
         May be empty even when ``cur != dst`` (all productive links failed);
         callers needing guaranteed progress should use

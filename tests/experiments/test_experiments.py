@@ -92,6 +92,12 @@ def test_fault_tolerance():
     fault_tolerance.run().require()
 
 
+def test_fault_sweep_reduced():
+    from repro.experiments import fault_sweep
+
+    fault_sweep.run(cycles=200).require()
+
+
 def test_ablation_transitions():
     from repro.experiments import ablation_transitions
 
@@ -165,7 +171,7 @@ def test_design_space():
 
 
 def test_registry_covers_everything():
-    assert len(ALL_EXPERIMENTS) == 36
+    assert len(ALL_EXPERIMENTS) == 37
     assert all(callable(f) for f in ALL_EXPERIMENTS.values())
 
 

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "multicast_hamiltonian.py",
     "beyond_meshes.py",
     "debug_deadlock.py",
+    "fault_tolerance.py",
 ]
 
 

@@ -3,12 +3,21 @@
 import networkx as nx
 import pytest
 
-from repro.routing import MinimalFullyAdaptive, UnrestrictedAdaptive
+from repro.core import Channel, catalog
+from repro.errors import DeadlockDetected
+from repro.routing import (
+    MinimalFullyAdaptive,
+    RoutingFunction,
+    TurnTableRouting,
+    UnrestrictedAdaptive,
+)
 from repro.sim import (
     NetworkSimulator,
+    ScriptedTraffic,
     TrafficConfig,
     TrafficGenerator,
     build_waitfor_graph,
+    cycle_witness,
     held_wires,
     waitfor_cycle,
 )
@@ -61,3 +70,100 @@ class TestWaitForGraph:
         graph = build_waitfor_graph(sim)
         assert all(isinstance(n, int) for n in graph.nodes)
         assert graph.number_of_edges() > 0
+
+
+class RingRouting(RoutingFunction):
+    """Deliberately deadlock-prone: every packet rides the clockwise ring
+    (0,0) -> (1,0) -> (1,1) -> (0,1) -> (0,0) on a 2x2 mesh, one channel
+    per ring hop.  The channel dependency graph is a single 4-cycle."""
+
+    _NEXT = {
+        (0, 0): ((1, 0), Channel(0, +1)),
+        (1, 0): ((1, 1), Channel(1, +1)),
+        (1, 1): ((0, 1), Channel(0, -1)),
+        (0, 1): ((0, 0), Channel(1, -1)),
+    }
+
+    @property
+    def channel_classes(self):
+        return (
+            Channel(0, +1),
+            Channel(1, +1),
+            Channel(0, -1),
+            Channel(1, -1),
+        )
+
+    def candidates(self, cur, dst, in_channel):
+        if cur == dst:
+            return []
+        return [self._NEXT[cur]]
+
+
+def _crafted_deadlock_sim():
+    """Four 4-flit worms on a 2x2 ring, each destined 2 hops clockwise.
+
+    With 2-slot buffers no worm's tail ever leaves its source wire, so
+    ownership is never released and all four head flits block on the wire
+    held by the next worm: a guaranteed, stable 4-cycle.
+    """
+    mesh = Mesh(2, 2)
+    sim = NetworkSimulator(
+        mesh, RingRouting(mesh), buffer_depth=2, watchdog=50
+    )
+    script = ScriptedTraffic(
+        {
+            0: [
+                ((0, 0), (1, 1), 4),
+                ((1, 0), (0, 1), 4),
+                ((1, 1), (0, 0), 4),
+                ((0, 1), (1, 0), 4),
+            ]
+        }
+    )
+    return sim, script
+
+
+class TestCraftedDeadlock:
+    """Satellite: a hand-built wormhole deadlock with an exact witness."""
+
+    def test_watchdog_fires_with_cyclic_witness(self):
+        sim, script = _crafted_deadlock_sim()
+        stats = sim.run(200, script)
+        assert stats.deadlocked
+        assert stats.deadlock_declared_at is not None
+        assert stats.deadlock_declared_at <= 200
+
+        pids = waitfor_cycle(sim)
+        assert pids is not None
+        assert set(pids) <= {0, 1, 2, 3}
+        assert len(pids) == 4  # the full ring participates
+
+        witness = cycle_witness(sim)
+        assert witness is not None
+        w_pids, held = witness
+        assert w_pids == pids
+        assert len(held) == len(pids)
+        assert all(held_for_one for held_for_one in held)
+
+    def test_raise_on_deadlock_carries_channel_witness(self):
+        sim, script = _crafted_deadlock_sim()
+        with pytest.raises(DeadlockDetected) as excinfo:
+            sim.run(200, script, raise_on_deadlock=True)
+        exc = excinfo.value
+        assert set(exc.cycle) <= {0, 1, 2, 3}
+        assert exc.cycle_channels is not None
+        assert len(exc.cycle_channels) == len(exc.cycle)
+        assert all(wires for wires in exc.cycle_channels)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 7])
+    def test_ebda_design_never_trips_the_watchdog(self, seed):
+        """Regression: the same load never deadlocks an EbDa design."""
+        mesh = Mesh(4, 4)
+        routing = TurnTableRouting(mesh, catalog.design("negative-first"))
+        sim = NetworkSimulator(mesh, routing, buffer_depth=2, watchdog=200)
+        traffic = TrafficGenerator(
+            mesh, TrafficConfig(injection_rate=0.35, packet_length=8, seed=seed)
+        )
+        stats = sim.run(1500, traffic, drain=True)
+        assert not stats.deadlocked
+        assert stats.delivery_ratio == 1.0

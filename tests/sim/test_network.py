@@ -148,7 +148,7 @@ class TestDeadlockDetection:
         )
         stats = sim.run(2500, traffic)
         assert stats.deadlocked
-        assert stats.deadlock_cycle is not None
+        assert stats.deadlock_declared_at is not None
 
     def test_safe_routing_never_trips_watchdog(self, mesh4):
         sim = _sim(mesh4, MinimalFullyAdaptive(mesh4), buffer_depth=2, watchdog=200)

@@ -49,3 +49,35 @@ class TestSimStats:
         s.deadlocked = True
         assert "DEADLOCK" in s.summary(16)
         assert "ok" in SimStats().summary(16)
+
+    def test_fault_counters_default_to_zero(self):
+        s = SimStats()
+        assert s.faults_injected == 0
+        assert s.packets_aborted == 0
+        assert s.retransmissions == 0
+        assert s.recovered_deadlocks == 0
+        assert s.packets_lost == 0
+        assert s.recovery_latencies == []
+
+    def test_deadlock_cycle_alias_tracks_declared_at(self):
+        s = SimStats()
+        assert s.deadlock_cycle is None
+        s.deadlock_declared_at = 123
+        assert s.deadlock_cycle == 123
+
+    def test_avg_recovery_latency(self):
+        s = SimStats()
+        assert math.isnan(s.avg_recovery_latency)
+        s.recovery_latencies.extend([10, 30])
+        assert s.avg_recovery_latency == 20.0
+
+    def test_summary_shows_fault_accounting_when_present(self):
+        s = SimStats()
+        assert "faults" not in s.summary(16)
+        s.faults_injected = 2
+        s.recovered_deadlocks = 1
+        s.packets_lost = 3
+        text = s.summary(16)
+        assert "faults=2" in text
+        assert "recovered=1" in text
+        assert "lost=3" in text

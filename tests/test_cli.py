@@ -76,6 +76,24 @@ class TestSimulate:
         )
         assert code == 0
 
+    def test_fault_injection_with_recovery(self, capsys):
+        code = main(
+            ["simulate", "negative-first", "--mesh", "4x4", "--cycles", "200",
+             "--rate", "0.05", "--fail-link", "1,1-2,1", "--fail-at", "50",
+             "--drops", "1", "--recover"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+        assert "reroute" in out.lower()
+
+    def test_bad_link_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate", "negative-first", "--mesh", "4x4",
+                 "--fail-link", "garbage"]
+            )
+
 
 class TestLogic:
     def test_emits_routing_pseudocode(self, capsys):

@@ -6,11 +6,13 @@ from repro.errors import (
     ChannelParseError,
     DeadlockDetected,
     EbdaError,
+    FaultError,
     PartitionError,
     RoutingError,
     SimulationError,
     TheoremViolation,
     TopologyError,
+    UnroutableError,
 )
 from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
 
@@ -26,6 +28,8 @@ class TestHierarchy:
             RoutingError,
             SimulationError,
             DeadlockDetected,
+            FaultError,
+            UnroutableError,
         ],
     )
     def test_all_derive_from_ebda_error(self, exc):
@@ -45,6 +49,11 @@ class TestHierarchy:
         exc = TheoremViolation(3, "bad")
         assert exc.theorem == 3
         assert "bad" in str(exc)
+
+    def test_fault_errors_are_simulation_errors(self):
+        assert isinstance(FaultError("x"), SimulationError)
+        assert isinstance(UnroutableError("x"), FaultError)
+        assert isinstance(UnroutableError("x"), SimulationError)
 
     def test_deadlock_detected_payload(self):
         exc = DeadlockDetected([4, 7, 9], cycle_channels=["a"])

@@ -27,6 +27,58 @@ class TestConstruction:
         with pytest.raises(TopologyError):
             FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0)), ((0, 0), (0, 1))])
 
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            FaultyMesh(Mesh(3, 3), failed=[((1, 1), (1, 1))])
+
+    def test_duplicate_and_reversed_entries_deduped(self):
+        base = Mesh(3, 3)
+        t = FaultyMesh(
+            base,
+            failed=[((0, 0), (1, 0)), ((1, 0), (0, 0)), ((0, 0), (1, 0))],
+        )
+        assert t.failed_links == (((0, 0), (1, 0)),)
+        assert len(t.links) == len(base.links) - 2
+
+
+class TestIncrementalDegradation:
+    def test_without_link_stacks_failures(self):
+        t = FaultyMesh(Mesh(3, 3), failed=[((0, 0), (1, 0))])
+        t2 = t.without_link((1, 1), (1, 2))
+        assert set(t2.failed_links) == {((0, 0), (1, 0)), ((1, 1), (1, 2))}
+        # the original is untouched
+        assert t.failed_links == (((0, 0), (1, 0)),)
+        assert t.has_link((1, 1), (1, 2))
+
+    def test_without_link_disconnection_rejected(self):
+        t = FaultyMesh(Mesh(2, 2), failed=[((0, 0), (1, 0))])
+        with pytest.raises(TopologyError):
+            t.without_link((0, 0), (0, 1))
+
+    def test_without_router_removes_node_and_links(self):
+        t = FaultyMesh(Mesh(3, 3), failed=[]).without_router((1, 1))
+        assert (1, 1) not in t.node_set
+        assert (1, 1) not in t.endpoints
+        assert t.failed_nodes == ((1, 1),)
+        assert not t.has_link((1, 1), (1, 0))
+        assert all((1, 1) not in (l.src, l.dst) for l in t.links)
+
+    def test_failed_nodes_at_construction(self):
+        t = FaultyMesh(Mesh(3, 3), failed=[], failed_nodes=[(0, 1)])
+        assert (0, 1) not in t.node_set
+        assert len(t.nodes) == 8
+
+    def test_router_failure_disconnection_rejected(self):
+        # killing the centre of a plus-shaped remnant strands the arms
+        t = FaultyMesh(
+            Mesh(3, 3),
+            failed=[((0, 0), (1, 0)), ((0, 0), (0, 1))],
+            failed_nodes=[(0, 0)],
+        )
+        assert (0, 0) not in t.node_set
+        with pytest.raises(TopologyError):
+            FaultyMesh(Mesh(2, 2), failed=[], failed_nodes=[(0, 0), (1, 1)])
+
 
 class TestOracles:
     def test_distance_detours(self):
