@@ -4,43 +4,50 @@ Compares XY, west-first, Odd-Even and the EbDa minimal fully adaptive
 design on an 8x8 mesh under uniform and transpose traffic — the evaluation
 an ISCA reader would expect next to the paper's structural results.
 
-Run:  python examples/mesh_performance_sweep.py          (~1-2 minutes)
+Uses the ``repro.sweep`` facade with named routing/pattern specs, so the
+grid fans out over worker processes and repeated runs hit the on-disk
+result cache (delete ``~/.cache/repro-ebda`` to force a re-simulation).
+
+Run:  python examples/mesh_performance_sweep.py          (~1-2 minutes,
+      seconds when the cache is warm)
 """
 
-from repro.routing import MinimalFullyAdaptive, OddEven, WestFirst, congestion_aware, xy_routing
-from repro.sim import RunConfig, compare_table, saturation_rate, sweep_rates, transpose, uniform
+import os
+
+import repro
+from repro.sim import RunConfig, compare_table, saturation_rate
 from repro.topology import Mesh
+
+ALGORITHMS = ("xy", "west-first", "odd-even", "ebda-fully-adaptive")
 
 
 def main() -> None:
     mesh = Mesh(8, 8)
     rates = [0.01, 0.03, 0.05, 0.08, 0.11]
-    algorithms = {
-        "xy": lambda t: xy_routing(t),
-        "west-first": lambda t: WestFirst(t),
-        "odd-even": lambda t: OddEven(t),
-        "ebda-adaptive": lambda t: MinimalFullyAdaptive(t),
-    }
+    jobs = min(4, os.cpu_count() or 1)
 
-    for pattern_name, pattern in (("uniform", uniform), ("transpose", transpose)):
+    for pattern_name in ("uniform", "transpose"):
         config = RunConfig(
             cycles=1200,
             packet_length=4,
             buffer_depth=4,
-            selection=congestion_aware,
-            pattern=pattern,
+            selection="congestion",
+            pattern=pattern_name,
             watchdog=3000,
             seed=17,
         )
         print(f"\n=== {pattern_name} traffic, 8x8 mesh, 4-flit packets ===")
-        results = {
-            name: sweep_rates(mesh, factory, rates, config)
-            for name, factory in algorithms.items()
+        reports = {
+            name: repro.sweep(mesh, name, rates, config, jobs=jobs, cache=True)
+            for name in ALGORITHMS
         }
-        print(compare_table(results))
-        for name, series in results.items():
-            sat = saturation_rate(series)
-            print(f"saturation ({name}): {sat if sat is not None else '> max rate'}")
+        print(compare_table({name: r.results for name, r in reports.items()}))
+        for name, sweep_report in reports.items():
+            sat = saturation_rate(sweep_report.results)
+            print(
+                f"saturation ({name}): {sat if sat is not None else '> max rate'}"
+                f"   [{sweep_report.summary()}]"
+            )
 
 
 if __name__ == "__main__":

@@ -56,9 +56,46 @@ from repro.errors import (
     UnroutableError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: The stable facade (PEP 562 lazy exports): resolving any of these pulls
+#: in the simulator/verification stack on first use, keeping plain
+#: ``import repro`` as light as the core theory.
+_FACADE = {
+    "run_point": "repro.api",
+    "sweep": "repro.api",
+    "verify": "repro.api",
+    "RunConfig": "repro.sim.runner",
+    "RunResult": "repro.sim.runner",
+    "SimStats": "repro.sim.stats",
+    "SweepEngine": "repro.sim.parallel",
+    "SweepReport": "repro.sim.parallel",
+    "ResultCache": "repro.sim.parallel",
+}
+
+
+def __getattr__(name: str):
+    if name in _FACADE:
+        import importlib
+
+        return getattr(importlib.import_module(_FACADE[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_FACADE))
+
 
 __all__ = [
+    "run_point",
+    "sweep",
+    "verify",
+    "RunConfig",
+    "RunResult",
+    "SimStats",
+    "SweepEngine",
+    "SweepReport",
+    "ResultCache",
     "Channel",
     "Partition",
     "PartitionSequence",

@@ -16,6 +16,14 @@ Commands
     ``--fail-link 1,1-2,1 --fail-at 100`` injects runtime link failures
     (with rerouting over the degraded topology); ``--drops N`` injects
     transient flit corruption; ``--recover`` arms regressive recovery.
+    ``--cache`` serves repeated fault-free points from the result cache.
+``sweep <design-or-routing> [--rates ...] [--jobs N] [--cache]``
+    Latency/throughput sweep through the parallel engine; ``--report``
+    writes the SweepReport (per-point wall times, cache hits) as JSON.
+
+``run`` and ``simulate``/``sweep`` accept ``--jobs``, ``--cache`` /
+``--no-cache`` and ``--cache-dir``; experiments that fan simulation
+points out (V2/V3/V7) inherit them.
 """
 
 from __future__ import annotations
@@ -62,7 +70,24 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_from_args(args: argparse.Namespace):
+    """Build the SweepEngine the --jobs/--cache flags describe (or None)."""
+    from repro.sim.parallel import SweepEngine
+
+    cache: object = False
+    if getattr(args, "cache", False):
+        cache = args.cache_dir or True
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    if jobs == 1 and not cache:
+        return None
+    return SweepEngine(jobs=jobs, cache=cache)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    import inspect
+
     from repro.experiments import ALL_EXPERIMENTS
 
     wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -72,9 +97,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"unknown experiment(s): {', '.join(unknown)}"
             f" (try: {', '.join(ALL_EXPERIMENTS)})"
         )
+    engine = _engine_from_args(args)
     failures = 0
     for name in wanted:
-        result = ALL_EXPERIMENTS[name]()
+        fn = ALL_EXPERIMENTS[name]
+        kwargs = {}
+        if engine is not None and "engine" in inspect.signature(fn).parameters:
+            kwargs["engine"] = engine
+        result = fn(**kwargs)
         print(result.report())
         print()
         if not result.passed:
@@ -149,6 +179,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         FaultSchedule,
         NetworkSimulator,
         RecoveryPolicy,
+        RunConfig,
         TrafficConfig,
         TrafficGenerator,
     )
@@ -157,24 +188,40 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     mesh = _parse_mesh(args.mesh)
     rule = rule_for_design(suggested)
 
-    faults = None
-    routing_factory = None
-    if args.fail_link or args.drops:
-        events = [
-            FaultEvent(args.fail_at, "link", link=_parse_link(spec))
-            for spec in args.fail_link
-        ]
-        events += [
-            FaultEvent(args.fail_at + 10 * i, "drop") for i in range(args.drops)
-        ]
-        faults = FaultSchedule(events, seed=args.seed)
+    if not (args.fail_link or args.drops):
+        # Fault-free point: run through the engine so --cache works.
+        from repro.sim import EbdaDesignFactory, SweepEngine
 
-        def routing_factory(topo):
-            return TurnTableRouting(
-                topo, design, rule,
-                directions="progressive", fallback="escape",
-                label=suggested or "custom",
-            )
+        engine = _engine_from_args(args) or SweepEngine()
+        config = RunConfig(
+            cycles=args.cycles,
+            injection_rate=args.rate,
+            packet_length=args.length,
+            buffer_depth=args.buffers,
+            watchdog=500,
+            seed=args.seed,
+        )
+        point = engine.run_point(mesh, EbdaDesignFactory(args.design), config, rule)
+        print(point.result.stats.summary(len(mesh.nodes)))
+        if point.cached:
+            print(f"(served from cache in {point.wall_time * 1000:.1f} ms)")
+        return 1 if point.result.deadlocked else 0
+
+    events = [
+        FaultEvent(args.fail_at, "link", link=_parse_link(spec))
+        for spec in args.fail_link
+    ]
+    events += [
+        FaultEvent(args.fail_at + 10 * i, "drop") for i in range(args.drops)
+    ]
+    faults = FaultSchedule(events, seed=args.seed)
+
+    def routing_factory(topo):
+        return TurnTableRouting(
+            topo, design, rule,
+            directions="progressive", fallback="escape",
+            label=suggested or "custom",
+        )
 
     recovery = RecoveryPolicy(max_retries=args.retries) if args.recover else None
     routing = TurnTableRouting(mesh, design, rule, label=suggested or "custom")
@@ -198,6 +245,76 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 1 if stats.deadlocked else 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import RoutingError
+    from repro.sim import (
+        NAMED_ROUTING_FACTORIES,
+        RunConfig,
+        SweepEngine,
+        compare_table,
+        resolve_routing_factory,
+        saturation_rate,
+    )
+
+    mesh = _parse_mesh(args.mesh)
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r]
+    except ValueError:
+        raise SystemExit(f"bad rates {args.rates!r} (use e.g. 0.02,0.05,0.08)")
+    if not rates:
+        raise SystemExit("need at least one rate")
+    try:
+        resolve_routing_factory(args.routing)
+    except RoutingError:
+        known = ", ".join(sorted(NAMED_ROUTING_FACTORIES))
+        raise SystemExit(
+            f"unknown routing {args.routing!r}; native: {known}"
+            " (catalog design names and arrow notation also accepted)"
+        )
+
+    engine = _engine_from_args(args) or SweepEngine()
+    config = RunConfig(
+        cycles=args.cycles,
+        packet_length=args.length,
+        buffer_depth=args.buffers,
+        pattern=args.pattern,
+        selection=args.selection,
+        watchdog=max(500, 2 * args.cycles),
+        seed=args.seed,
+    )
+    report = engine.sweep(mesh, args.routing, rates, config)
+    print(compare_table({args.routing: report.results}))
+    sat = saturation_rate(report.results)
+    print(f"saturation: {sat if sat is not None else '> max rate'}")
+    print(report.summary())
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.report}")
+    return 1 if any(r.deadlocked for r in report.results) else 0
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation points (default 1: in-process)",
+    )
+    parser.add_argument(
+        "--cache", dest="cache", action="store_true", default=False,
+        help="serve repeated points from the on-disk result cache",
+    )
+    parser.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="disable the result cache (the default)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="cache directory (default ~/.cache/repro-ebda or $REPRO_EBDA_CACHE_DIR)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -211,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run experiments by id (or 'all')")
     p_run.add_argument("experiments", nargs="+")
+    _add_engine_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_verify = sub.add_parser("verify", help="verify a design on a mesh")
@@ -256,7 +374,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=8,
         help="per-packet retransmission budget (with --recover)",
     )
+    _add_engine_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="latency/throughput sweep through the parallel engine"
+    )
+    p_sweep.add_argument(
+        "routing",
+        help="named routing (e.g. xy, odd-even), catalog design or arrow notation",
+    )
+    p_sweep.add_argument("--mesh", default="8x8")
+    p_sweep.add_argument(
+        "--rates", default="0.02,0.05,0.08,0.12",
+        help="comma-separated injection rates",
+    )
+    p_sweep.add_argument("--cycles", type=int, default=2000)
+    p_sweep.add_argument("--length", type=int, default=4)
+    p_sweep.add_argument("--buffers", type=int, default=4)
+    p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.add_argument(
+        "--pattern", default="uniform",
+        help="named traffic pattern (uniform, transpose, tornado, ...)",
+    )
+    p_sweep.add_argument(
+        "--selection", default="first",
+        help="named selection policy (first, random, zigzag, congestion)",
+    )
+    p_sweep.add_argument(
+        "--report", default="", metavar="FILE",
+        help="write the SweepReport (timings, cache hits) as JSON",
+    )
+    _add_engine_flags(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -6,26 +6,46 @@ traffic on a 2D mesh.  The unrestricted fully adaptive baseline (cyclic
 CDG) deadlocks; every EbDa-derived algorithm and baseline with an acyclic
 CDG completes, in both buffer disciplines (EbDa-relaxed multi-packet
 buffers and Duato-atomic buffers).
+
+All six trials are independent simulation points expressed as named
+routing specs, so the :class:`~repro.sim.parallel.SweepEngine` can fan
+them out over worker processes (``jobs``) and serve repeats from its
+result cache — the CI cache check drives this experiment twice for
+exactly that reason.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.analysis import text_table
-from repro.core import catalog
 from repro.experiments.base import Check, ExperimentResult, check_true
-from repro.routing import (
-    MinimalFullyAdaptive,
-    TurnTableRouting,
-    UnrestrictedAdaptive,
-    WestFirst,
-    xy_routing,
-)
-from repro.sim import RunConfig, run_point, uniform
+from repro.sim import RunConfig, SweepEngine
 from repro.topology import Mesh
 
+#: (display name, routing spec, atomic buffers, expect deadlock).
+TRIALS = (
+    ("unrestricted-adaptive", "unrestricted-adaptive", False, True),
+    ("xy", "xy", False, False),
+    ("west-first (native)", "west-first", False, False),
+    ("north-last (EbDa)", "ebda:north-last", False, False),
+    ("fully-adaptive (EbDa, relaxed buffers)", "ebda-fully-adaptive", False, False),
+    # The EbDa-relaxed buffer discipline (multiple packets per buffer) is
+    # the paper's point of departure from Duato; both must stay safe.
+    ("fully-adaptive (EbDa, atomic buffers)", "ebda-fully-adaptive", True, False),
+)
 
-def run(mesh_size: int = 4, *, cycles: int = 3000) -> ExperimentResult:
+
+def run(
+    mesh_size: int = 4,
+    *,
+    cycles: int = 3000,
+    jobs: int = 1,
+    engine: SweepEngine | None = None,
+) -> ExperimentResult:
     mesh = Mesh(mesh_size, mesh_size)
+    if engine is None:
+        engine = SweepEngine(jobs=jobs)
     stress = RunConfig(
         cycles=cycles,
         injection_rate=0.30,
@@ -34,14 +54,18 @@ def run(mesh_size: int = 4, *, cycles: int = 3000) -> ExperimentResult:
         watchdog=300,
         drain=True,
         seed=3,
-        pattern=uniform,
+        pattern="uniform",
+    )
+
+    report = engine.run_many(
+        (mesh, spec, replace(stress, atomic_buffers=atomic))
+        for _name, spec, atomic, _expect in TRIALS
     )
 
     rows = []
     checks: list[Check] = []
-
-    def trial(name, routing, config, expect_deadlock: bool):
-        result = run_point(mesh, routing, config)
+    for (name, _spec, _atomic, expect_deadlock), point in zip(TRIALS, report.points):
+        result = point.result
         rows.append(
             [name,
              "DEADLOCK" if result.deadlocked else "completed",
@@ -60,28 +84,10 @@ def run(mesh_size: int = 4, *, cycles: int = 3000) -> ExperimentResult:
                 )
             )
 
-    trial("unrestricted-adaptive", UnrestrictedAdaptive(mesh), stress, True)
-    trial("xy", xy_routing(mesh), stress, False)
-    trial("west-first (native)", WestFirst(mesh), stress, False)
-    trial(
-        "north-last (EbDa)",
-        TurnTableRouting(mesh, catalog.north_last(), label="north-last-ebda"),
-        stress,
-        False,
-    )
-    trial("fully-adaptive (EbDa, relaxed buffers)", MinimalFullyAdaptive(mesh), stress, False)
-
-    # The EbDa-relaxed buffer discipline (multiple packets per buffer) is
-    # the paper's point of departure from Duato; both must stay safe.
-    from dataclasses import replace
-
-    atomic = replace(stress, atomic_buffers=True)
-    trial("fully-adaptive (EbDa, atomic buffers)", MinimalFullyAdaptive(mesh), atomic, False)
-
     return ExperimentResult(
         exp_id="V2-deadlock",
         title="Wormhole stress test: who deadlocks",
         text=text_table(["algorithm", "outcome", "delivered", "injected"], rows),
-        data={},
+        data={"sweep": report.to_dict()},
         checks=tuple(checks),
     )

@@ -24,19 +24,18 @@ Three parts:
 from __future__ import annotations
 
 from repro.analysis import text_table
-from repro.core import catalog
 from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
-from repro.routing import TurnTableRouting
 from repro.routing.fullyadaptive import UnrestrictedAdaptive
 from repro.sim import (
+    EbdaDesignFactory,
     FaultEvent,
     FaultSchedule,
     NetworkSimulator,
     RecoveryPolicy,
     RunConfig,
+    SweepEngine,
     TrafficConfig,
     TrafficGenerator,
-    run_point,
 )
 from repro.topology import Mesh, PartiallyConnected3D
 
@@ -44,26 +43,32 @@ FAULT_COUNTS = (0, 1, 2)
 RATES = (0.02, 0.05)
 
 
-def _ebda_factory(design):
-    def factory(topo):
-        return TurnTableRouting(
-            topo, design, directions="progressive", fallback="escape"
-        )
+def _ebda_factory(design_name: str) -> EbdaDesignFactory:
+    """A picklable escape-capable factory for a catalog design.
 
-    return factory
+    :class:`EbdaDesignFactory` is a frozen value, so fault-sweep points
+    carrying it fan out over the engine's worker processes and cache.
+    """
+    return EbdaDesignFactory(design_name, directions="progressive", fallback="escape")
 
 
 def _fmt(value: float) -> str:
     return f"{value:.2f}" if value == value else "n/a"  # NaN-safe
 
 
-def run(*, cycles: int = 300) -> ExperimentResult:
+def run(
+    *, cycles: int = 300, jobs: int = 1, engine: SweepEngine | None = None
+) -> ExperimentResult:
     checks: list[Check] = []
     rows = []
+    if engine is None:
+        engine = SweepEngine(jobs=jobs)
 
-    # Part 1: fault count x injection rate on the 5x5 mesh.
+    # Part 1: fault count x injection rate on the 5x5 mesh — one engine
+    # fan-out over the whole grid (schedules and factories are picklable).
     mesh = Mesh(5, 5)
-    factory = _ebda_factory(catalog.design("negative-first"))
+    factory = _ebda_factory("negative-first")
+    grid = []
     for n_faults in FAULT_COUNTS:
         schedule = FaultSchedule.random(
             mesh, seed=40 + n_faults, n_link_failures=n_faults,
@@ -80,26 +85,28 @@ def run(*, cycles: int = 300) -> ExperimentResult:
                 recovery=RecoveryPolicy(),
                 routing_factory=factory,
             )
-            result = run_point(mesh, factory(mesh), cfg)
-            stats = result.stats
-            rows.append(
-                ["mesh 5x5", n_faults, f"{rate:.2f}",
-                 f"{stats.delivery_ratio:.3f}", stats.packets_aborted,
-                 _fmt(stats.avg_recovery_latency)]
+            grid.append((n_faults, rate, cfg))
+    report = engine.run_many((mesh, factory, cfg) for _n, _r, cfg in grid)
+    for (n_faults, rate, _cfg), point in zip(grid, report.points):
+        stats = point.result.stats
+        rows.append(
+            ["mesh 5x5", n_faults, f"{rate:.2f}",
+             f"{stats.delivery_ratio:.3f}", stats.packets_aborted,
+             _fmt(stats.avg_recovery_latency)]
+        )
+        checks.append(
+            check_true(
+                f"full delivery with {n_faults} fault(s) at rate {rate}",
+                not stats.deadlocked
+                and stats.delivery_ratio == 1.0
+                and stats.faults_injected == n_faults,
+                note=stats.summary(len(mesh.nodes)),
             )
-            checks.append(
-                check_true(
-                    f"full delivery with {n_faults} fault(s) at rate {rate}",
-                    not stats.deadlocked
-                    and stats.delivery_ratio == 1.0
-                    and stats.faults_injected == n_faults,
-                    note=stats.summary(len(mesh.nodes)),
-                )
-            )
+        )
 
     # Part 2: one link failure on the partially connected 3D topology.
     topo3d = PartiallyConnected3D(4, 4, 2, elevators=[(1, 1), (3, 2)])
-    factory3d = _ebda_factory(catalog.partial3d_partitions())
+    factory3d = _ebda_factory("partial3d")
     schedule3d = FaultSchedule.random(
         topo3d, seed=11, n_link_failures=1,
         window=(50, max(51, cycles - 50)), routing_factory=factory3d,
@@ -114,7 +121,7 @@ def run(*, cycles: int = 300) -> ExperimentResult:
         recovery=RecoveryPolicy(),
         routing_factory=factory3d,
     )
-    result3d = run_point(topo3d, factory3d(topo3d), cfg3d)
+    result3d = engine.run_point(topo3d, factory3d, cfg3d).result
     rows.append(
         ["partial-3D", 1, "0.02", f"{result3d.stats.delivery_ratio:.3f}",
          result3d.stats.packets_aborted, _fmt(result3d.stats.avg_recovery_latency)]
@@ -141,7 +148,7 @@ def run(*, cycles: int = 300) -> ExperimentResult:
             seed=3,
             faults=faults,
             recovery=RecoveryPolicy(max_retries=20),
-            routing_factory=_ebda_factory(catalog.design("negative-first")),
+            routing_factory=_ebda_factory("negative-first"),
         )
         traffic = TrafficGenerator(
             small,
@@ -195,6 +202,6 @@ def run(*, cycles: int = 300) -> ExperimentResult:
             ["network", "faults", "rate", "delivery", "aborted", "avg rec lat"],
             rows,
         ),
-        data={"rows": rows},
+        data={"rows": rows, "sweep": report.to_dict()},
         checks=tuple(checks),
     )

@@ -6,21 +6,27 @@ rate for XY, west-first, Odd-Even and the EbDa minimal fully adaptive
 design on a 2D mesh under uniform and transpose traffic.  The expected
 *shape* (not absolute numbers): all algorithms agree at low load; under
 transpose, adaptive algorithms sustain higher load than deterministic XY.
+
+Every (pattern, algorithm) curve goes through the
+:class:`~repro.sim.parallel.SweepEngine`: named routing/pattern specs
+keep the points picklable, so ``jobs > 1`` fans the whole grid out over
+worker processes with bit-identical results.
 """
 
 from __future__ import annotations
 
 from repro.analysis import text_table
 from repro.experiments.base import Check, ExperimentResult, check_true
-from repro.routing import (
-    MinimalFullyAdaptive,
-    OddEven,
-    WestFirst,
-    congestion_aware,
-    xy_routing,
-)
-from repro.sim import RunConfig, run_point, transpose, uniform
+from repro.sim import RunConfig, SweepEngine
 from repro.topology import Mesh
+
+#: (display name, routing spec) — named specs, so the sweep is picklable.
+ALGORITHMS = (
+    ("xy", "xy"),
+    ("west-first", "west-first"),
+    ("odd-even", "odd-even"),
+    ("ebda-fully-adaptive", "ebda-fully-adaptive"),
+)
 
 
 def run(
@@ -28,42 +34,48 @@ def run(
     *,
     cycles: int = 1500,
     rates: tuple[float, ...] = (0.02, 0.05, 0.08, 0.12),
+    jobs: int = 1,
+    engine: SweepEngine | None = None,
 ) -> ExperimentResult:
     mesh = Mesh(mesh_size, mesh_size)
-    algorithms = {
-        "xy": lambda: xy_routing(mesh),
-        "west-first": lambda: WestFirst(mesh),
-        "odd-even": lambda: OddEven(mesh),
-        "ebda-fully-adaptive": lambda: MinimalFullyAdaptive(mesh),
-    }
+    if engine is None:
+        engine = SweepEngine(jobs=jobs)
     base = RunConfig(
         cycles=cycles,
         packet_length=4,
         buffer_depth=4,
-        selection=congestion_aware,
+        selection="congestion",
         watchdog=2000,
         drain=True,
         seed=11,
     )
 
+    # One flat point list across the whole (pattern x algorithm x rate)
+    # grid — the engine runs it with whatever parallelism it has.
+    from dataclasses import replace
+
+    grid = [
+        (pattern_name, algo_name, spec, rate)
+        for pattern_name in ("uniform", "transpose")
+        for algo_name, spec in ALGORITHMS
+        for rate in rates
+    ]
+    report = engine.run_many(
+        (mesh, spec, replace(base, injection_rate=rate, pattern=pattern_name))
+        for pattern_name, _algo, spec, rate in grid
+    )
+
     rows = []
     results: dict[str, dict[str, list]] = {}
-    for pattern_name, pattern in (("uniform", uniform), ("transpose", transpose)):
-        for algo_name, factory in algorithms.items():
-            series = []
-            for rate in rates:
-                from dataclasses import replace
-
-                cfg = replace(base, injection_rate=rate, pattern=pattern)
-                result = run_point(mesh, factory(), cfg)
-                series.append(result)
-                rows.append(
-                    [pattern_name, algo_name, f"{rate:.2f}",
-                     f"{result.avg_latency:.1f}" if result.stats.latencies else "n/a",
-                     f"{result.throughput:.4f}",
-                     "DEADLOCK" if result.deadlocked else "ok"]
-                )
-            results.setdefault(pattern_name, {})[algo_name] = series
+    for (pattern_name, algo_name, _spec, rate), point in zip(grid, report.points):
+        result = point.result
+        rows.append(
+            [pattern_name, algo_name, f"{rate:.2f}",
+             f"{result.avg_latency:.1f}" if result.stats.latencies else "n/a",
+             f"{result.throughput:.4f}",
+             "DEADLOCK" if result.deadlocked else "ok"]
+        )
+        results.setdefault(pattern_name, {}).setdefault(algo_name, []).append(result)
 
     checks: list[Check] = []
     for pattern_name, per_algo in results.items():
@@ -104,6 +116,6 @@ def run(
             ["pattern", "algorithm", "rate", "avg latency", "throughput", "status"],
             rows,
         ),
-        data={},
+        data={"sweep": report.to_dict()},
         checks=tuple(checks),
     )

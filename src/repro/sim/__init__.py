@@ -23,6 +23,14 @@ from repro.sim.patterns import (
     transpose,
     uniform,
 )
+from repro.sim.parallel import (
+    PointOutcome,
+    ResultCache,
+    SweepEngine,
+    SweepReport,
+    cache_key,
+    default_cache_dir,
+)
 from repro.sim.runner import (
     RunConfig,
     RunResult,
@@ -30,6 +38,15 @@ from repro.sim.runner import (
     run_point,
     saturation_rate,
     sweep_rates,
+)
+from repro.sim.specs import (
+    NAMED_ROUTING_FACTORIES,
+    EbdaDesignFactory,
+    RoutingFactory,
+    register_routing_factory,
+    resolve_pattern,
+    resolve_routing_factory,
+    resolve_selection,
 )
 from repro.sim.stats import SimStats
 from repro.sim.trace import Trace, TraceEvent
@@ -58,12 +75,25 @@ __all__ = [
     "tornado",
     "transpose",
     "uniform",
+    "PointOutcome",
+    "ResultCache",
+    "SweepEngine",
+    "SweepReport",
+    "cache_key",
+    "default_cache_dir",
     "RunConfig",
     "RunResult",
     "compare_table",
     "run_point",
     "saturation_rate",
     "sweep_rates",
+    "NAMED_ROUTING_FACTORIES",
+    "EbdaDesignFactory",
+    "RoutingFactory",
+    "register_routing_factory",
+    "resolve_pattern",
+    "resolve_routing_factory",
+    "resolve_selection",
     "SimStats",
     "Trace",
     "TraceEvent",

@@ -3,39 +3,67 @@
 This is the harness the performance benchmarks (V2/V3 in DESIGN.md) drive.
 Every run is fully described by a :class:`RunConfig`, making experiments
 reproducible and easy to tabulate.
+
+``RunConfig`` is picklable — the parallel engine in
+:mod:`repro.sim.parallel` ships configs to worker processes — provided the
+callable-valued fields hold *named specs* (``pattern="uniform"``,
+``selection="first"``, ``routing_factory="negative-first"``; see
+:mod:`repro.sim.specs`) or module-level functions.  Raw lambdas and
+closures keep working for in-process runs but force the serial fallback
+and opt out of result caching.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.routing.base import RoutingFunction
-from repro.routing.selection import SelectionPolicy, first_candidate
+from repro.routing.selection import SelectionPolicy
 from repro.sim.faults import FaultSchedule, RecoveryPolicy
 from repro.sim.network import NetworkSimulator
-from repro.sim.patterns import TrafficPattern, uniform
+from repro.sim.patterns import TrafficPattern
+from repro.sim.specs import (
+    RoutingFactory,
+    resolve_pattern,
+    resolve_routing_factory,
+    resolve_selection,
+)
 from repro.sim.stats import SimStats
 from repro.sim.traffic import TrafficConfig, TrafficGenerator
 from repro.topology.base import Topology
 from repro.topology.classes import ClassRule, no_classes
 
-#: A factory producing a fresh routing function per run (routing objects
-#: carry per-destination caches, but they are stateless across runs; a
-#: factory keeps configs picklable/reusable).
-RoutingFactory = Callable[[Topology], RoutingFunction]
+if TYPE_CHECKING:
+    from repro.sim.parallel import SweepEngine
+
+__all__ = [
+    "RoutingFactory",
+    "RunConfig",
+    "RunResult",
+    "compare_table",
+    "run_point",
+    "saturation_rate",
+    "sweep_rates",
+]
 
 
 @dataclass
 class RunConfig:
-    """Everything needed to reproduce one simulation point."""
+    """Everything needed to reproduce one simulation point.
+
+    The callable-valued fields (``pattern``, ``selection``,
+    ``routing_factory``) also accept registry names — the picklable,
+    cacheable form; see :mod:`repro.sim.specs`.
+    """
 
     cycles: int = 2000
     injection_rate: float = 0.05
     packet_length: int = 4
-    pattern: TrafficPattern = uniform
+    pattern: TrafficPattern | str = "uniform"
     buffer_depth: int = 4
-    selection: SelectionPolicy = first_candidate
+    selection: SelectionPolicy | str = "first"
     atomic_buffers: bool = False
     watchdog: int = 500
     drain: bool = True
@@ -45,7 +73,7 @@ class RunConfig:
     #: Optional regressive deadlock/fault recovery policy.
     recovery: RecoveryPolicy | None = None
     #: Rebuilds routing over the degraded topology after permanent faults.
-    routing_factory: RoutingFactory | None = None
+    routing_factory: RoutingFactory | str | None = None
 
     def with_rate(self, rate: float) -> "RunConfig":
         return replace(self, injection_rate=rate)
@@ -83,30 +111,40 @@ class RunResult:
 
 def run_point(
     topology: Topology,
-    routing: RoutingFunction,
+    routing: RoutingFunction | RoutingFactory | str,
     config: RunConfig,
     rule: ClassRule = no_classes,
 ) -> RunResult:
-    """Run one simulation point."""
+    """Run one simulation point.
+
+    ``routing`` may be a ready :class:`RoutingFunction`, a factory, or a
+    named routing spec (``"xy"``, any catalog design name, arrow
+    notation) resolved via :mod:`repro.sim.specs`.
+    """
+    if not isinstance(routing, RoutingFunction):
+        routing = resolve_routing_factory(routing)(topology)
+    routing_factory = config.routing_factory
+    if isinstance(routing_factory, str):
+        routing_factory = resolve_routing_factory(routing_factory)
     sim = NetworkSimulator(
         topology,
         routing,
         rule,
         buffer_depth=config.buffer_depth,
-        selection=config.selection,
+        selection=resolve_selection(config.selection),
         atomic_buffers=config.atomic_buffers,
         watchdog=config.watchdog,
         seed=config.seed,
         faults=config.faults,
         recovery=config.recovery,
-        routing_factory=config.routing_factory,
+        routing_factory=routing_factory,
     )
     traffic = TrafficGenerator(
         topology,
         TrafficConfig(
             injection_rate=config.injection_rate,
             packet_length=config.packet_length,
-            pattern=config.pattern,
+            pattern=resolve_pattern(config.pattern),
             seed=config.seed + 7919,
         ),
     )
@@ -116,15 +154,53 @@ def run_point(
 
 def sweep_rates(
     topology: Topology,
-    routing_factory: RoutingFactory,
+    routing_factory: RoutingFactory | str,
     rates: Sequence[float],
     config: RunConfig,
-    rule: ClassRule = no_classes,
+    *deprecated_rule: ClassRule,
+    rule: ClassRule | None = None,
+    engine: "SweepEngine | None" = None,
+    jobs: int | None = None,
 ) -> list[RunResult]:
-    """Latency/throughput curve over injection rates (one fresh net per point)."""
+    """Latency/throughput curve over injection rates (one fresh net per point).
+
+    ``engine=`` (a :class:`~repro.sim.parallel.SweepEngine`) or ``jobs=``
+    routes the sweep through the parallel engine — same results, fanned
+    out over processes, with optional result caching.  The default stays
+    the deterministic serial loop.
+
+    .. deprecated:: 1.1
+        Passing ``rule`` positionally; use the keyword form.
+    """
+    if deprecated_rule:
+        if len(deprecated_rule) > 1:
+            raise TypeError(
+                f"sweep_rates() takes 4 positional arguments plus an optional"
+                f" rule, got {4 + len(deprecated_rule)}"
+            )
+        if rule is not None:
+            raise TypeError("sweep_rates() got rule both positionally and by keyword")
+        warnings.warn(
+            "passing rule positionally to sweep_rates() is deprecated;"
+            " use sweep_rates(..., rule=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        rule = deprecated_rule[0]
+    if rule is None:
+        rule = no_classes
+
+    if engine is None and jobs is not None:
+        from repro.sim.parallel import SweepEngine
+
+        engine = SweepEngine(jobs=jobs)
+    if engine is not None:
+        return engine.sweep(topology, routing_factory, rates, config, rule=rule).results
+
+    factory = resolve_routing_factory(routing_factory)
     results = []
     for rate in rates:
-        routing = routing_factory(topology)
+        routing = factory(topology)
         results.append(run_point(topology, routing, config.with_rate(rate), rule))
     return results
 
@@ -135,15 +211,20 @@ def saturation_rate(
     latency_factor: float = 3.0,
 ) -> float | None:
     """First injection rate whose latency exceeds ``latency_factor`` x the
-    zero-load latency (or that deadlocks); None when never saturated."""
+    zero-load latency (or that deadlocks); None when never saturated.
+
+    The zero-load baseline is the *minimum-rate* point with any delivered
+    packets — not merely the first element — so a sweep supplied in
+    descending (or shuffled) rate order, or one whose early points sit
+    above saturation, cannot mislabel the curve.
+    """
     if not results:
         return None
-    base = next(
-        (r.avg_latency for r in results if r.stats.latencies), None
-    )
-    if base is None:
+    measured = [r for r in results if r.stats.latencies]
+    if not measured:
         return None
-    for r in results:
+    base = min(measured, key=lambda r: r.config.injection_rate).avg_latency
+    for r in sorted(results, key=lambda r: r.config.injection_rate):
         if r.deadlocked:
             return r.config.injection_rate
         if r.stats.latencies and r.avg_latency > latency_factor * base:

@@ -103,6 +103,42 @@ class SimStats:
             return float("nan")
         return mean(self.recovery_latencies)
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict with every counter (the result-cache format).
+
+        Inverse of :meth:`from_dict`; the round trip is exact, so a
+        cache-loaded run compares bit-identical to a fresh one.
+        """
+        return {
+            "cycles": self.cycles,
+            "packets_injected": self.packets_injected,
+            "packets_delivered": self.packets_delivered,
+            "flits_delivered": self.flits_delivered,
+            "flit_moves": self.flit_moves,
+            "latencies": [list(pair) for pair in self.latencies],
+            "multicast_copies": self.multicast_copies,
+            "deadlocked": self.deadlocked,
+            "deadlock_declared_at": self.deadlock_declared_at,
+            "faults_injected": self.faults_injected,
+            "packets_aborted": self.packets_aborted,
+            "retransmissions": self.retransmissions,
+            "recovered_deadlocks": self.recovered_deadlocks,
+            "packets_lost": self.packets_lost,
+            "recovery_latencies": list(self.recovery_latencies),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Rebuild stats from :meth:`to_dict` output (JSON round-trip safe)."""
+        fields = dict(data)
+        fields["latencies"] = [
+            (int(t), int(n)) for t, n in fields.get("latencies", [])
+        ]
+        fields["recovery_latencies"] = [
+            int(v) for v in fields.get("recovery_latencies", [])
+        ]
+        return cls(**fields)
+
     def summary(self, n_nodes: int) -> str:
         """One-line human-readable summary."""
         status = "DEADLOCK" if self.deadlocked else "ok"

@@ -49,6 +49,45 @@ class TestSweep:
         assert cfg.injection_rate == 0.01
 
 
+class TestSweepRatesDeprecation:
+    def test_positional_rule_warns_but_works(self, mesh4):
+        from repro.topology.classes import no_classes
+
+        with pytest.warns(DeprecationWarning, match="rule positionally"):
+            results = sweep_rates(
+                mesh4, "xy", [0.02], RunConfig(cycles=200, seed=2), no_classes
+            )
+        assert len(results) == 1
+
+    def test_keyword_rule_does_not_warn(self, mesh4):
+        import warnings
+
+        from repro.topology.classes import no_classes
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sweep_rates(
+                mesh4, "xy", [0.02], RunConfig(cycles=200, seed=2), rule=no_classes
+            )
+
+    def test_rule_both_ways_rejected(self, mesh4):
+        from repro.topology.classes import no_classes
+
+        with pytest.raises(TypeError, match="both"):
+            sweep_rates(
+                mesh4, "xy", [0.02], RunConfig(cycles=200), no_classes,
+                rule=no_classes,
+            )
+
+    def test_excess_positionals_rejected(self, mesh4):
+        from repro.topology.classes import no_classes
+
+        with pytest.raises(TypeError, match="positional"):
+            sweep_rates(
+                mesh4, "xy", [0.02], RunConfig(cycles=200), no_classes, no_classes
+            )
+
+
 class TestSaturation:
     def test_detects_latency_blowup(self, mesh4):
         results = sweep_rates(
@@ -71,6 +110,16 @@ class TestSaturation:
 
     def test_empty(self):
         assert saturation_rate([]) is None
+
+    def test_baseline_is_minimum_rate_point(self, mesh4):
+        # Regression: the zero-load baseline must come from the
+        # minimum-rate point, so a sweep supplied in descending rate order
+        # yields the same verdict as the ascending one.
+        ascending = sweep_rates(
+            mesh4, "xy", [0.02, 0.05, 0.30], config=RunConfig(cycles=500, seed=2)
+        )
+        descending = list(reversed(ascending))
+        assert saturation_rate(ascending) == saturation_rate(descending) == 0.30
 
 
 class TestCompareTable:

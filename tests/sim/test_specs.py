@@ -1,0 +1,184 @@
+"""Named-spec registries: resolution, pickling and cache tokens."""
+
+import pickle
+
+import pytest
+
+from repro.core import catalog
+from repro.errors import EbdaError, RoutingError
+from repro.routing import WestFirst, xy_routing
+from repro.routing.base import RoutingFunction
+from repro.routing.selection import NAMED_POLICIES
+from repro.sim import (
+    NAMED_PATTERNS,
+    NAMED_ROUTING_FACTORIES,
+    EbdaDesignFactory,
+    RunConfig,
+    register_routing_factory,
+    resolve_pattern,
+    resolve_routing_factory,
+    resolve_selection,
+    run_point,
+)
+from repro.sim.patterns import uniform
+from repro.sim.specs import spec_token
+from repro.sim.stats import SimStats
+
+
+class TestResolvePattern:
+    @pytest.mark.parametrize("name", sorted(NAMED_PATTERNS))
+    def test_every_named_pattern_resolves(self, name):
+        assert resolve_pattern(name) is NAMED_PATTERNS[name]
+
+    def test_callable_passthrough(self):
+        assert resolve_pattern(uniform) is uniform
+
+    def test_unknown_name(self):
+        with pytest.raises(EbdaError, match="unknown pattern"):
+            resolve_pattern("nonesuch")
+
+
+class TestResolveSelection:
+    @pytest.mark.parametrize("name", sorted(NAMED_POLICIES))
+    def test_every_named_policy_resolves(self, name):
+        assert resolve_selection(name) is NAMED_POLICIES[name]
+
+    def test_unknown_name(self):
+        with pytest.raises(EbdaError, match="unknown selection"):
+            resolve_selection("nonesuch")
+
+
+class TestResolveRoutingFactory:
+    @pytest.mark.parametrize("name", sorted(NAMED_ROUTING_FACTORIES))
+    def test_native_names_build_routing(self, name, mesh4):
+        routing = resolve_routing_factory(name)(mesh4)
+        assert isinstance(routing, RoutingFunction)
+
+    @pytest.mark.parametrize("name", sorted(catalog.NAMED_DESIGNS))
+    def test_catalog_names_build_ebda_factories(self, name):
+        factory = resolve_routing_factory(name)
+        if name in NAMED_ROUTING_FACTORIES:
+            # Native implementations take precedence over same-named designs;
+            # the explicit "ebda:" prefix still reaches the catalog.
+            assert factory is NAMED_ROUTING_FACTORIES[name]
+            factory = resolve_routing_factory(f"ebda:{name}")
+        assert isinstance(factory, EbdaDesignFactory)
+        assert factory.spec == name
+
+    def test_ebda_prefix(self, mesh4):
+        routing = resolve_routing_factory("ebda:north-last")(mesh4)
+        assert routing.name == "ebda:north-last"
+
+    def test_arrow_notation(self, mesh4):
+        factory = resolve_routing_factory("X- -> X+ Y+ Y-")
+        routing = factory(mesh4)
+        assert isinstance(routing, RoutingFunction)
+
+    def test_callable_passthrough(self):
+        factory = lambda t: xy_routing(t)  # noqa: E731
+        assert resolve_routing_factory(factory) is factory
+
+    def test_unknown_spec(self):
+        with pytest.raises(RoutingError, match="unknown routing spec"):
+            resolve_routing_factory("definitely-not-a-routing")
+
+    def test_register_custom_factory(self, mesh4):
+        def _custom(topology):
+            return WestFirst(topology)
+
+        register_routing_factory("custom-wf-for-test", _custom)
+        try:
+            routing = resolve_routing_factory("custom-wf-for-test")(mesh4)
+            assert isinstance(routing, WestFirst)
+        finally:
+            del NAMED_ROUTING_FACTORIES["custom-wf-for-test"]
+
+
+class TestSpecToken:
+    def test_string_spec(self):
+        assert spec_token("pattern", "uniform") == "name:uniform"
+
+    def test_none(self):
+        assert spec_token("routing", None) == "none"
+
+    @pytest.mark.parametrize("name", sorted(NAMED_PATTERNS))
+    def test_registered_pattern_values_tokenise(self, name):
+        assert spec_token("pattern", NAMED_PATTERNS[name]) == f"name:{name}"
+
+    @pytest.mark.parametrize("name", sorted(NAMED_POLICIES))
+    def test_registered_policy_values_tokenise(self, name):
+        assert spec_token("selection", NAMED_POLICIES[name]) == f"name:{name}"
+
+    def test_ebda_factory_tokenises_by_repr(self):
+        factory = EbdaDesignFactory("north-last", directions="progressive")
+        token = spec_token("routing", factory)
+        assert token is not None and "north-last" in token and "progressive" in token
+
+    def test_module_level_function_tokenises(self):
+        assert spec_token("pattern", uniform) == "name:uniform"
+        # A module-level function outside every registry still tokenises
+        # because it is importable by name.
+        from repro.sim.specs import _xy
+
+        assert spec_token("other", _xy) == "func:repro.sim.specs._xy"
+
+    def test_lambda_has_no_token(self):
+        assert spec_token("pattern", lambda n, rng: 0) is None
+
+    def test_closure_has_no_token(self):
+        def make():
+            bound = 3
+
+            def pattern(n, rng):
+                return bound
+
+            return pattern
+
+        assert spec_token("pattern", make()) is None
+
+
+class TestPicklability:
+    @pytest.mark.parametrize("name", sorted(NAMED_PATTERNS))
+    def test_config_with_every_named_pattern(self, name):
+        cfg = RunConfig(pattern=name)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    @pytest.mark.parametrize("name", sorted(NAMED_POLICIES))
+    def test_config_with_every_named_selection(self, name):
+        cfg = RunConfig(selection=name)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    @pytest.mark.parametrize("name", sorted(NAMED_ROUTING_FACTORIES))
+    def test_every_named_routing_factory(self, name):
+        factory = NAMED_ROUTING_FACTORIES[name]
+        assert pickle.loads(pickle.dumps(factory)) is factory
+
+    def test_ebda_design_factory_roundtrip(self, mesh4):
+        factory = EbdaDesignFactory("negative-first", fallback="escape")
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+        assert clone(mesh4).name == "ebda:negative-first"
+
+    def test_run_result_roundtrip(self, mesh4):
+        result = run_point(mesh4, "xy", RunConfig(cycles=200, seed=5))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.stats == result.stats
+        assert clone.config == result.config
+        assert clone.routing_name == result.routing_name
+
+    def test_sim_stats_roundtrip(self, mesh4):
+        stats = run_point(mesh4, "xy", RunConfig(cycles=200, seed=5)).stats
+        assert pickle.loads(pickle.dumps(stats)) == stats
+
+
+class TestSimStatsDictRoundtrip:
+    def test_to_from_dict_identity(self, mesh4):
+        stats = run_point(mesh4, "west-first", RunConfig(cycles=250, seed=9)).stats
+        assert SimStats.from_dict(stats.to_dict()) == stats
+
+    def test_json_safe(self, mesh4):
+        import json
+
+        stats = run_point(mesh4, "xy", RunConfig(cycles=200)).stats
+        rebuilt = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt == stats

@@ -95,6 +95,62 @@ class TestSimulate:
             )
 
 
+class TestSimulateCache:
+    def test_second_run_served_from_cache(self, capsys, tmp_path):
+        argv = ["simulate", "north-last", "--mesh", "4x4", "--cycles", "300",
+                "--rate", "0.05", "--cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "cache" not in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "served from cache" in capsys.readouterr().out
+
+    def test_bad_jobs_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "xy", "--mesh", "4x4", "--jobs", "0"])
+
+
+class TestSweepCommand:
+    def test_table_and_summary(self, capsys, tmp_path):
+        argv = ["sweep", "west-first", "--mesh", "4x4",
+                "--rates", "0.02,0.05", "--cycles", "300",
+                "--cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "west-first" in out
+        assert "0.020" in out
+        assert "cache 0 hit/2 miss" in out
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache 2 hit/0 miss" in out
+        assert "0 sim cycles" in out
+
+    def test_report_file(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "report.json"
+        argv = ["sweep", "xy", "--mesh", "4x4", "--rates", "0.02",
+                "--cycles", "200", "--report", str(report_path)]
+        assert main(argv) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["n_points"] == 1
+
+    def test_jobs_flag(self, capsys):
+        argv = ["sweep", "xy", "--mesh", "4x4", "--rates", "0.02,0.05",
+                "--cycles", "200", "--jobs", "2"]
+        assert main(argv) == 0
+
+    def test_unknown_routing_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "not-a-routing", "--mesh", "4x4", "--rates", "0.02"])
+
+
+class TestRunEngineFlags:
+    def test_run_with_jobs(self, capsys):
+        assert main(["run", "Fig4", "--jobs", "2"]) == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+
 class TestLogic:
     def test_emits_routing_pseudocode(self, capsys):
         assert main(["logic", "north-last", "--mesh", "4x4"]) == 0

@@ -1,0 +1,81 @@
+"""CI guard for the sweep engine's result cache.
+
+Runs the V2 deadlock-stress experiment twice against a fresh cache and
+asserts the contract the cache promises:
+
+* the cold run simulates every point (zero hits);
+* the warm rerun is served entirely from the cache — 100% hits, zero
+  simulation cycles executed — and is faster than the cold run;
+* both runs produce identical per-point outcomes.
+
+Writes the two SweepReports to a JSON artifact (default
+``sweep-report.json``; first argument overrides) for upload.
+
+Run from the repository root:
+    PYTHONPATH=src python tools/ci_cache_check.py [report.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> None:
+    from repro.experiments import deadlock_demo
+    from repro.sim import ResultCache, SweepEngine
+
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("sweep-report.json")
+
+    with tempfile.TemporaryDirectory(prefix="repro-ebda-ci-cache-") as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+
+        cold_result = deadlock_demo.run(engine=SweepEngine(cache=cache))
+        cold = cold_result.data["sweep"]
+        print(f"cold: {cold['cache_hits']} hit / {cold['cache_misses']} miss,"
+              f" {cold['cycles_executed']} cycles, {cold['wall_time']:.2f}s")
+
+        warm_result = deadlock_demo.run(engine=SweepEngine(cache=cache))
+        warm = warm_result.data["sweep"]
+        print(f"warm: {warm['cache_hits']} hit / {warm['cache_misses']} miss,"
+              f" {warm['cycles_executed']} cycles, {warm['wall_time']:.2f}s")
+
+    out_path.write_text(json.dumps({"cold": cold, "warm": warm}, indent=2))
+    print(f"wrote {out_path}")
+
+    if cold["cache_hits"] != 0:
+        fail(f"cold run hit a fresh cache ({cold['cache_hits']} hits)")
+    if warm["cache_misses"] != 0 or warm["cache_hits"] != warm["n_points"]:
+        fail(f"warm rerun was not 100% cache hits: {warm['cache_hits']}"
+             f"/{warm['n_points']} hits, {warm['cache_misses']} misses")
+    if warm["cycles_executed"] != 0:
+        fail(f"warm rerun executed {warm['cycles_executed']} simulation cycles")
+    if warm["wall_time"] >= cold["wall_time"]:
+        fail(f"warm rerun not faster: {warm['wall_time']:.2f}s"
+             f" vs cold {cold['wall_time']:.2f}s")
+
+    cold_points = [
+        (p["routing"], p["injection_rate"], p["seed"], p["avg_latency"],
+         p["throughput"], p["deadlocked"])
+        for p in cold["points"]
+    ]
+    warm_points = [
+        (p["routing"], p["injection_rate"], p["seed"], p["avg_latency"],
+         p["throughput"], p["deadlocked"])
+        for p in warm["points"]
+    ]
+    if cold_points != warm_points:
+        fail("cache-served outcomes differ from simulated outcomes")
+
+    print("OK: warm rerun 100% cached, zero simulation cycles, faster than cold")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
-"""Regenerate docs/API.md: one line per public symbol, from docstrings.
+"""Regenerate docs/API_INDEX.md: one line per public symbol, from docstrings.
 
+(The hand-written API guide lives in docs/API.md; this index complements it.)
 Run from the repository root:  python tools/gen_api_index.py
 """
 
@@ -19,6 +20,7 @@ def main() -> None:
         "",
         "Auto-generated from docstrings (`python tools/gen_api_index.py`).",
         "One line per public symbol: the first sentence of its docstring.",
+        "The curated guide to the everyday surface is [API.md](API.md).",
         "",
     ]
     for modinfo in sorted(
@@ -55,7 +57,7 @@ def main() -> None:
                 entry += f" — {doc}"
             lines.append(entry)
         lines.append("")
-    out = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    out = Path(__file__).resolve().parent.parent / "docs" / "API_INDEX.md"
     out.write_text("\n".join(lines))
     print(f"wrote {out}: {len(lines)} lines")
 
