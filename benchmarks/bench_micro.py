@@ -91,3 +91,32 @@ def test_simulation_throughput_adaptive(once):
     stats = once(run)
     assert not stats.deadlocked
     assert stats.packets_delivered == stats.packets_injected
+
+
+def test_simulation_throughput_metered(once):
+    """The XY baseline with a live MetricsCollector attached.
+
+    Compare against ``test_simulation_throughput_xy``: the gap is the
+    telemetry overhead (hooks + sampling every 100 cycles).  The
+    ``metrics=None`` default path must stay within noise of the plain
+    run — the hooks are two attribute checks per cycle.
+    """
+    from repro.sim import MetricsCollector
+
+    mesh = Mesh(8, 8)
+
+    def run():
+        collector = MetricsCollector(sample_every=100)
+        sim = NetworkSimulator(
+            mesh, xy_routing(mesh), buffer_depth=4, metrics=collector
+        )
+        traffic = TrafficGenerator(
+            mesh, TrafficConfig(injection_rate=0.05, packet_length=4, seed=1)
+        )
+        stats = sim.run(2000, traffic, drain=True)
+        collector.finalize()
+        return stats, collector
+
+    stats, collector = once(run)
+    assert not stats.deadlocked
+    assert collector.samples_taken >= 20

@@ -56,7 +56,7 @@ from repro.errors import (
     UnroutableError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: The stable facade (PEP 562 lazy exports): resolving any of these pulls
 #: in the simulator/verification stack on first use, keeping plain
@@ -71,6 +71,8 @@ _FACADE = {
     "SweepEngine": "repro.sim.parallel",
     "SweepReport": "repro.sim.parallel",
     "ResultCache": "repro.sim.parallel",
+    "MetricsCollector": "repro.sim.metrics",
+    "DeadlockForensics": "repro.sim.metrics",
 }
 
 
@@ -96,6 +98,8 @@ __all__ = [
     "SweepEngine",
     "SweepReport",
     "ResultCache",
+    "MetricsCollector",
+    "DeadlockForensics",
     "Channel",
     "Partition",
     "PartitionSequence",

@@ -46,13 +46,17 @@ def run_point(
     *,
     rule: ClassRule = no_classes,
     cache: "bool | str | Path | ResultCache" = False,
+    metrics: "object | bool | None" = None,
 ) -> RunResult:
     """Simulate one point.
 
     ``routing`` may be a live :class:`RoutingFunction`, a factory, or a
     named spec (``"xy"``, a catalog design name, arrow notation).  With
     ``cache`` enabled the point is served from / stored into the result
-    cache.
+    cache.  ``metrics=True`` (or a ready
+    :class:`~repro.sim.metrics.MetricsCollector`) attaches telemetry: the
+    finalized collector lands on ``result.metrics`` — and the point is
+    uncacheable, since a cache hit cannot replay samples.
 
     >>> from repro import run_point, RunConfig
     >>> from repro.topology import Mesh
@@ -60,6 +64,10 @@ def run_point(
     False
     """
     config = config if config is not None else RunConfig()
+    if metrics is not None:
+        from dataclasses import replace
+
+        config = replace(config, metrics=metrics)
     if cache:
         engine = SweepEngine(jobs=1, cache=cache)
         return engine.run_point(topology, routing, config, rule).result

@@ -19,11 +19,20 @@ Commands
     ``--cache`` serves repeated fault-free points from the result cache.
 ``sweep <design-or-routing> [--rates ...] [--jobs N] [--cache]``
     Latency/throughput sweep through the parallel engine; ``--report``
-    writes the SweepReport (per-point wall times, cache hits) as JSON.
+    writes the SweepReport (per-point wall times, engine stage times,
+    cache hits) as JSON; ``--metrics-out`` meters every point and writes
+    per-point telemetry summaries as JSONL.
+``inspect <metrics.jsonl> [--summary] [--heatmap] [--forensics]``
+    Render an exported telemetry file: text summary, per-partition
+    channel-utilization heatmap, deadlock forensics (all three when no
+    section flag is given).
 
 ``run`` and ``simulate``/``sweep`` accept ``--jobs``, ``--cache`` /
 ``--no-cache`` and ``--cache-dir``; experiments that fan simulation
-points out (V2/V3/V7) inherit them.
+points out (V2/V3/V7) inherit them.  ``simulate`` grows telemetry
+exports: ``--metrics-out FILE`` (sampled metrics + forensics JSONL,
+``--sample-every`` controls the interval) and ``--trace-out FILE``
+(structured per-event trace JSONL).
 """
 
 from __future__ import annotations
@@ -187,9 +196,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     design, suggested = _resolve_design(args.design)
     mesh = _parse_mesh(args.mesh)
     rule = rule_for_design(suggested)
+    telemetry = bool(args.metrics_out or args.trace_out)
 
-    if not (args.fail_link or args.drops):
-        # Fault-free point: run through the engine so --cache works.
+    if not (args.fail_link or args.drops or telemetry):
+        # Fault-free untelemetered point: run through the engine so
+        # --cache works (telemetry forces the direct path below — a
+        # metered point is uncacheable and needs the live collector).
         from repro.sim import EbdaDesignFactory, SweepEngine
 
         engine = _engine_from_args(args) or SweepEngine()
@@ -214,7 +226,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     events += [
         FaultEvent(args.fail_at + 10 * i, "drop") for i in range(args.drops)
     ]
-    faults = FaultSchedule(events, seed=args.seed)
+    faults = FaultSchedule(events, seed=args.seed) if events else None
 
     def routing_factory(topo):
         return TurnTableRouting(
@@ -224,10 +236,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
 
     recovery = RecoveryPolicy(max_retries=args.retries) if args.recover else None
+    tracer = None
+    collector = None
+    if args.trace_out:
+        from repro.sim import Trace
+
+        tracer = Trace()
+    if args.metrics_out:
+        from repro.sim import MetricsCollector
+
+        collector = MetricsCollector(sample_every=args.sample_every)
     routing = TurnTableRouting(mesh, design, rule, label=suggested or "custom")
     sim = NetworkSimulator(
         mesh, routing, rule, buffer_depth=args.buffers,
-        faults=faults, recovery=recovery, routing_factory=routing_factory,
+        tracer=tracer, metrics=collector,
+        faults=faults, recovery=recovery,
+        routing_factory=routing_factory if faults is not None else None,
     )
     traffic = TrafficGenerator(
         mesh,
@@ -242,6 +266,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(stats.summary(len(mesh.nodes)))
     if sim.last_reroute_verdict is not None:
         print(f"rerouted design: {sim.last_reroute_verdict}")
+    if collector is not None:
+        n = collector.to_jsonl(args.metrics_out, stats=stats)
+        print(f"metrics: {n} records -> {args.metrics_out} (try: repro inspect)")
+    if tracer is not None:
+        n = tracer.to_jsonl(args.trace_out)
+        print(f"trace: {n} records -> {args.trace_out}")
     return 1 if stats.deadlocked else 0
 
 
@@ -283,6 +313,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         selection=args.selection,
         watchdog=max(500, 2 * args.cycles),
         seed=args.seed,
+        metrics=bool(args.metrics_out),
+        sample_every=args.sample_every,
     )
     report = engine.sweep(mesh, args.routing, rates, config)
     print(compare_table({args.routing: report.results}))
@@ -293,7 +325,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.report, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"report written to {args.report}")
+    if args.metrics_out:
+        # Per-point compact summaries (full per-channel series belong to
+        # `simulate --metrics-out`; a sweep meters every point cheaply).
+        with open(args.metrics_out, "w") as fh:
+            for result in report.results:
+                entry = {
+                    "record": "sweep-point",
+                    "routing": result.routing_name,
+                    "injection_rate": result.config.injection_rate,
+                }
+                if result.metrics is not None:
+                    entry.update(result.metrics.summary_dict())
+                fh.write(json.dumps(entry, allow_nan=False) + "\n")
+        print(f"per-point metrics written to {args.metrics_out}")
     return 1 if any(r.deadlocked for r in report.results) else 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.sim.metrics import (
+        load_metrics,
+        render_forensics,
+        render_heatmap,
+        render_summary,
+    )
+
+    try:
+        records = load_metrics(args.file)
+    except EbdaError as exc:
+        raise SystemExit(str(exc))
+    everything = not (args.summary or args.heatmap or args.forensics)
+    sections = []
+    if args.summary or everything:
+        sections.append(render_summary(records))
+    if args.heatmap or everything:
+        sections.append(render_heatmap(records))
+    if args.forensics or everything:
+        sections.append(render_forensics(records))
+    print("\n\n".join(sections))
+    return 0
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -374,6 +444,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=8,
         help="per-packet retransmission budget (with --recover)",
     )
+    p_sim.add_argument(
+        "--metrics-out", default="", metavar="FILE",
+        help="attach a MetricsCollector and export telemetry JSONL"
+        " (renderable with `repro inspect`)",
+    )
+    p_sim.add_argument(
+        "--sample-every", type=int, default=100, metavar="N",
+        help="metrics sampling interval in cycles (default 100)",
+    )
+    p_sim.add_argument(
+        "--trace-out", default="", metavar="FILE",
+        help="attach a Trace and export per-event records as JSONL",
+    )
     _add_engine_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
@@ -403,10 +486,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--report", default="", metavar="FILE",
-        help="write the SweepReport (timings, cache hits) as JSON",
+        help="write the SweepReport (timings, stage times, cache hits) as JSON",
+    )
+    p_sweep.add_argument(
+        "--metrics-out", default="", metavar="FILE",
+        help="meter every point and write per-point telemetry summaries"
+        " as JSONL (disables caching for those points)",
+    )
+    p_sweep.add_argument(
+        "--sample-every", type=int, default=100, metavar="N",
+        help="metrics sampling interval in cycles (default 100)",
     )
     _add_engine_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="render an exported telemetry JSONL file"
+    )
+    p_inspect.add_argument("file", help="metrics JSONL from simulate --metrics-out")
+    p_inspect.add_argument(
+        "--summary", action="store_true", help="print only the text summary"
+    )
+    p_inspect.add_argument(
+        "--heatmap", action="store_true",
+        help="print only the per-partition channel-utilization heatmap",
+    )
+    p_inspect.add_argument(
+        "--forensics", action="store_true",
+        help="print only the deadlock forensics report",
+    )
+    p_inspect.set_defaults(func=cmd_inspect)
     return parser
 
 

@@ -1,0 +1,190 @@
+"""V8 — telemetry: metered simulation, exact accounting, deadlock forensics.
+
+Two trials exercise the observability layer end to end:
+
+1. A healthy metered run (west-first on a 4x4 mesh).  The per-channel
+   cumulative counters must satisfy the conservation identity — every
+   flit the simulator moved is either still buffered on some wire or was
+   delivered, so ``sum(channel flits) == flit_moves - flits_delivered``
+   exactly — and the heatmap rollup must be keyed by the EbDa partitions
+   of the west-first design.
+
+2. The crafted 2x2 clockwise-ring deadlock (four 4-flit worms, 2-slot
+   buffers: a guaranteed stable 4-cycle).  The forensics snapshot must
+   name all four ring wires as witness channels and all four worms as
+   blocked packets, each with a non-empty trace tail.
+"""
+
+from __future__ import annotations
+
+from repro.core import Channel, catalog
+from repro.experiments.base import Check, ExperimentResult, check_eq, check_true
+from repro.routing import RoutingFunction, TurnTableRouting
+from repro.sim import (
+    MetricsCollector,
+    NetworkSimulator,
+    RunConfig,
+    ScriptedTraffic,
+    Trace,
+    run_point,
+)
+from repro.topology import Mesh
+
+
+class _RingRouting(RoutingFunction):
+    """Deliberately deadlock-prone: every packet rides the clockwise ring
+    (0,0) -> (1,0) -> (1,1) -> (0,1) -> (0,0) on a 2x2 mesh, one channel
+    per ring hop; the channel dependency graph is a single 4-cycle."""
+
+    _NEXT = {
+        (0, 0): ((1, 0), Channel(0, +1)),
+        (1, 0): ((1, 1), Channel(1, +1)),
+        (1, 1): ((0, 1), Channel(0, -1)),
+        (0, 1): ((0, 0), Channel(1, -1)),
+    }
+
+    @property
+    def channel_classes(self):
+        return (
+            Channel(0, +1),
+            Channel(1, +1),
+            Channel(0, -1),
+            Channel(1, -1),
+        )
+
+    def candidates(self, cur, dst, in_channel):
+        if cur == dst:
+            return []
+        return [self._NEXT[cur]]
+
+
+def _metered_trial(mesh_size: int, cycles: int) -> tuple[list[Check], dict, list]:
+    mesh = Mesh(mesh_size, mesh_size)
+    design = catalog.design("west-first")
+    routing = TurnTableRouting(mesh, design, label="west-first")
+    config = RunConfig(
+        cycles=cycles,
+        injection_rate=0.05,
+        packet_length=4,
+        seed=7,
+        drain=True,
+        metrics=True,
+        sample_every=100,
+    )
+    result = run_point(mesh, routing, config)
+    stats, collector = result.stats, result.metrics
+
+    records = collector.records(stats=stats)
+    channels = [r for r in records if r.get("record") == "channel"]
+    carried = sum(c["flits"] for c in channels)
+    in_network = stats.flit_moves - stats.flits_delivered
+
+    partitions = {p.name for p in design.partitions}
+    heatmap = collector.heatmap()
+
+    checks = [
+        check_true(
+            "metered run completes cleanly",
+            not stats.deadlocked and stats.delivery_ratio == 1.0,
+            note=f"{stats.packets_delivered}/{stats.packets_injected} delivered",
+        ),
+        check_true(
+            "sampling cadence honoured",
+            collector.samples_taken >= cycles // config.sample_every,
+            note=f"{collector.samples_taken} samples",
+        ),
+        check_eq(
+            "flit conservation: channel counters vs. simulator stats",
+            in_network,
+            carried,
+            note=f"{carried} flits across {len(channels)} channels",
+        ),
+        check_eq(
+            "heatmap rollup keyed by EbDa partitions", partitions, set(heatmap)
+        ),
+        check_true(
+            "no forensics on a healthy run", collector.forensics is None
+        ),
+    ]
+    rows = [
+        ["healthy west-first",
+         f"{collector.samples_taken} samples",
+         f"{carried} flits carried",
+         "conserved" if carried == in_network else "MISMATCH"]
+    ]
+    return checks, {"summary": collector.summary_dict()}, rows
+
+
+def _forensics_trial() -> tuple[list[Check], dict, list]:
+    mesh = Mesh(2, 2)
+    collector = MetricsCollector(sample_every=10)
+    sim = NetworkSimulator(
+        mesh, _RingRouting(mesh), buffer_depth=2, watchdog=50,
+        tracer=Trace(), metrics=collector,
+    )
+    script = ScriptedTraffic(
+        {
+            0: [
+                ((0, 0), (1, 1), 4),
+                ((1, 0), (0, 1), 4),
+                ((1, 1), (0, 0), 4),
+                ((0, 1), (1, 0), 4),
+            ]
+        }
+    )
+    stats = sim.run(200, script)
+    collector.finalize()
+    forensics = collector.forensics
+
+    checks = [
+        check_true("crafted ring deadlocks", stats.deadlocked),
+        check_true("forensics snapshot captured", forensics is not None),
+    ]
+    rows = []
+    if forensics is not None:
+        held = {w for wires in forensics.witness_channels for w in wires}
+        blocked_pids = {b.pid for b in forensics.blocked}
+        checks.extend(
+            [
+                check_eq(
+                    "witness names all four ring wires", 4, len(held)
+                ),
+                check_eq(
+                    "all four worms reported blocked",
+                    {0, 1, 2, 3},
+                    blocked_pids,
+                ),
+                check_true(
+                    "every blocked packet carries a trace tail",
+                    all(b.trace_tail for b in forensics.blocked),
+                ),
+                check_true(
+                    "buffer occupancy snapshot is non-empty",
+                    bool(forensics.buffer_occupancy),
+                ),
+            ]
+        )
+        rows.append(
+            ["crafted 2x2 ring",
+             f"deadlock @ cycle {forensics.declared_at}",
+             f"{len(held)} witness wires",
+             f"{len(forensics.blocked)} worms blocked"]
+        )
+    payload = {"forensics": forensics.to_dict() if forensics else None}
+    return checks, payload, rows
+
+
+def run(mesh_size: int = 4, *, cycles: int = 1500) -> ExperimentResult:
+    from repro.analysis import text_table
+
+    healthy_checks, healthy_data, rows = _metered_trial(mesh_size, cycles)
+    forensic_checks, forensic_data, more_rows = _forensics_trial()
+    rows.extend(more_rows)
+
+    return ExperimentResult(
+        exp_id="V8-telemetry",
+        title="Telemetry layer: exact accounting and deadlock forensics",
+        text=text_table(["trial", "outcome", "telemetry", "verdict"], rows),
+        data={**healthy_data, **forensic_data},
+        checks=tuple(healthy_checks + forensic_checks),
+    )

@@ -9,6 +9,15 @@ from repro.sim.deadlock import (
 )
 from repro.sim.faults import FaultEvent, FaultSchedule, RecoveryPolicy
 from repro.sim.flit import Flit, Packet
+from repro.sim.metrics import (
+    DeadlockForensics,
+    MetricsCollector,
+    TimeSeries,
+    load_metrics,
+    render_forensics,
+    render_heatmap,
+    render_summary,
+)
 from repro.sim.network import NetworkSimulator
 from repro.sim.patterns import (
     NAMED_PATTERNS,
@@ -63,6 +72,13 @@ __all__ = [
     "RecoveryPolicy",
     "Flit",
     "Packet",
+    "DeadlockForensics",
+    "MetricsCollector",
+    "TimeSeries",
+    "load_metrics",
+    "render_forensics",
+    "render_heatmap",
+    "render_summary",
     "NetworkSimulator",
     "NAMED_PATTERNS",
     "TrafficPattern",

@@ -113,6 +113,13 @@ class NetworkSimulator:
         Seed for the selection policy's RNG (traffic has its own seed).
     tracer:
         Optional :class:`~repro.sim.trace.Trace` recording every event.
+    metrics:
+        Optional :class:`~repro.sim.metrics.MetricsCollector` sampling
+        per-channel utilization, buffer occupancy, VC stalls and
+        throughput at a configurable interval, and freezing a
+        :class:`~repro.sim.metrics.DeadlockForensics` snapshot when the
+        watchdog declares deadlock.  None (default) keeps every telemetry
+        hook a no-op.
     faults:
         Optional :class:`~repro.sim.faults.FaultSchedule` applied at the
         start of each matching cycle.
@@ -144,6 +151,7 @@ class NetworkSimulator:
         watchdog: int = 500,
         seed: int = 0,
         tracer=None,
+        metrics=None,
         faults: FaultSchedule | None = None,
         recovery: RecoveryPolicy | None = None,
         routing_factory: Callable[[Topology], RoutingFunction] | None = None,
@@ -200,6 +208,9 @@ class NetworkSimulator:
         self.cycle = 0
         self.stats = SimStats()
         self._stall_cycles = 0
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.bind(self)
 
     # -- state queries ----------------------------------------------------------
 
@@ -282,8 +293,12 @@ class NetworkSimulator:
                     self.stats.deadlock_declared_at = self.cycle
                     if self.tracer is not None:
                         self.tracer.deadlock_declared(self.cycle)
+                    if self.metrics is not None:
+                        self.metrics.on_deadlock(self)
         else:
             self._stall_cycles = 0
+        if self.metrics is not None:
+            self.metrics.on_cycle(self, moves)
         return moves
 
     # -- phase 1: ejection ---------------------------------------------------------
@@ -387,6 +402,8 @@ class NetworkSimulator:
                 continue  # cut-through: reserve space for the whole packet
             available.append((nxt, ch))
         if not available:
+            if self.metrics is not None:
+                self.metrics.note_vc_stall(router)
             return  # blocked this cycle; retry next cycle
         ctx = SelectionContext(
             cur=router,

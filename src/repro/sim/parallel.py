@@ -36,7 +36,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -106,7 +106,7 @@ def _config_token(config: RunConfig) -> str | None:
     parts: list[str] = []
     for f in fields(config):
         value = getattr(config, f.name)
-        if f.name in ("pattern", "selection"):
+        if f.name in ("pattern", "selection", "metrics"):
             token = spec_token(f.name, value)
         elif f.name == "routing_factory":
             token = spec_token("routing", value)
@@ -241,6 +241,10 @@ class SweepReport:
     points: list[PointOutcome]
     jobs: int
     wall_time: float
+    #: Wall seconds per engine stage: ``cache_read`` (probing existing
+    #: entries), ``spawn`` (process-pool construction), ``simulate``
+    #: (executing the misses), ``cache_write`` (persisting new entries).
+    stage_times: dict[str, float] = field(default_factory=dict)
 
     @property
     def results(self) -> list[RunResult]:
@@ -272,27 +276,38 @@ class SweepReport:
         )
 
     def to_dict(self) -> dict:
-        """JSON-safe report (per-point timings included)."""
+        """Strict-JSON-safe report (per-point timings and telemetry included).
+
+        ``avg_latency`` is ``None`` (not the invalid-JSON ``NaN``) for
+        points that delivered no packets; metered points carry their
+        collector's compact summary under ``"metrics"``.
+        """
+        def point_dict(p: PointOutcome) -> dict:
+            lat = p.result.avg_latency
+            entry = {
+                "routing": p.result.routing_name,
+                "injection_rate": p.result.config.injection_rate,
+                "seed": p.result.config.seed,
+                "avg_latency": None if lat != lat else lat,
+                "throughput": p.result.throughput,
+                "deadlocked": p.result.deadlocked,
+                "wall_time": p.wall_time,
+                "cached": p.cached,
+            }
+            collector = getattr(p.result, "metrics", None)
+            if collector is not None:
+                entry["metrics"] = collector.summary_dict()
+            return entry
+
         return {
             "jobs": self.jobs,
             "wall_time": self.wall_time,
+            "stage_times": dict(self.stage_times),
             "n_points": len(self.points),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cycles_executed": self.cycles_executed,
-            "points": [
-                {
-                    "routing": p.result.routing_name,
-                    "injection_rate": p.result.config.injection_rate,
-                    "seed": p.result.config.seed,
-                    "avg_latency": p.result.avg_latency,
-                    "throughput": p.result.throughput,
-                    "deadlocked": p.result.deadlocked,
-                    "wall_time": p.wall_time,
-                    "cached": p.cached,
-                }
-                for p in self.points
-            ],
+            "points": [point_dict(p) for p in self.points],
         }
 
 
@@ -389,9 +404,13 @@ class SweepEngine:
         they run in-process (same results, serially).
         """
         started = time.perf_counter()
+        stage_times = {
+            "cache_read": 0.0, "spawn": 0.0, "simulate": 0.0, "cache_write": 0.0,
+        }
         work = [(t, r, c, rule) for (t, r, c) in points]
         outcomes: list[PointOutcome | None] = [None] * len(work)
 
+        mark = time.perf_counter()
         pending: list[tuple[int, tuple]] = []
         for i, payload in enumerate(work):
             key = cache_key(*payload) if self.cache is not None else None
@@ -401,6 +420,7 @@ class SweepEngine:
                     outcomes[i] = cached
                     continue
             pending.append((i, payload))
+        stage_times["cache_read"] = time.perf_counter() - mark
 
         parallel = (
             self.jobs > 1
@@ -408,23 +428,35 @@ class SweepEngine:
             and all(_picklable(payload) for _i, payload in pending)
         )
         if parallel:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            mark = time.perf_counter()
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            stage_times["spawn"] = time.perf_counter() - mark
+            mark = time.perf_counter()
+            try:
                 executed = list(
                     pool.map(_execute_point, [payload for _i, payload in pending])
                 )
+            finally:
+                pool.shutdown()
+            stage_times["simulate"] = time.perf_counter() - mark
         else:
+            mark = time.perf_counter()
             executed = [_execute_point(payload) for _i, payload in pending]
+            stage_times["simulate"] = time.perf_counter() - mark
 
+        mark = time.perf_counter()
         for (i, payload), (result, elapsed) in zip(pending, executed):
             key = cache_key(*payload) if self.cache is not None else None
             if key is not None and self.cache is not None:
                 self.cache.put(key, result, elapsed)
             outcomes[i] = PointOutcome(result, elapsed, cached=False, key=key)
+        stage_times["cache_write"] = time.perf_counter() - mark
 
         return SweepReport(
             points=[o for o in outcomes if o is not None],
             jobs=self.jobs if parallel else 1,
             wall_time=time.perf_counter() - started,
+            stage_times=stage_times,
         )
 
     def sweep(

@@ -74,6 +74,15 @@ class RunConfig:
     recovery: RecoveryPolicy | None = None
     #: Rebuilds routing over the degraded topology after permanent faults.
     routing_factory: RoutingFactory | str | None = None
+    #: Telemetry: ``True`` builds a fresh
+    #: :class:`~repro.sim.metrics.MetricsCollector` per point (sampling
+    #: every ``sample_every`` cycles); a ready collector is used as-is
+    #: (single points only — a collector observes exactly one simulator).
+    #: None (default) keeps every telemetry hook a no-op.  Metered points
+    #: are uncacheable (see :func:`repro.sim.specs.spec_token`).
+    metrics: "object | bool | None" = None
+    #: Sampling interval (cycles) when ``metrics=True``.
+    sample_every: int = 100
 
     def with_rate(self, rate: float) -> "RunConfig":
         return replace(self, injection_rate=rate)
@@ -87,6 +96,9 @@ class RunResult:
     config: RunConfig
     stats: SimStats
     n_nodes: int
+    #: The finalized collector when the point ran metered (None otherwise,
+    #: including cache hits — a hit replays stats, not samples).
+    metrics: "object | None" = None
 
     @property
     def avg_latency(self) -> float:
@@ -126,6 +138,13 @@ def run_point(
     routing_factory = config.routing_factory
     if isinstance(routing_factory, str):
         routing_factory = resolve_routing_factory(routing_factory)
+    collector = config.metrics
+    if collector is True:
+        from repro.sim.metrics import MetricsCollector
+
+        collector = MetricsCollector(sample_every=config.sample_every)
+    elif collector is False:
+        collector = None
     sim = NetworkSimulator(
         topology,
         routing,
@@ -135,6 +154,7 @@ def run_point(
         atomic_buffers=config.atomic_buffers,
         watchdog=config.watchdog,
         seed=config.seed,
+        metrics=collector,
         faults=config.faults,
         recovery=config.recovery,
         routing_factory=routing_factory,
@@ -149,7 +169,11 @@ def run_point(
         ),
     )
     stats = sim.run(config.cycles, traffic, drain=config.drain)
-    return RunResult(routing.name, config, stats, len(topology.nodes))
+    if collector is not None:
+        collector.finalize()
+    return RunResult(
+        routing.name, config, stats, len(topology.nodes), metrics=collector
+    )
 
 
 def sweep_rates(

@@ -241,6 +241,11 @@ def spec_token(kind: str, spec: object) -> str | None:
     lambdas, closures, bound methods of mutable objects — returns ``None``,
     which marks the run *uncacheable* (never silently mis-keyed).
     """
+    if kind == "metrics":
+        # A metered run is uncacheable by design: a cache hit replays the
+        # stored SimStats but cannot replay the samples the collector
+        # would have taken.  The disabled default stays cacheable.
+        return "none" if not spec else None
     if spec is None:
         return "none"
     if isinstance(spec, str):

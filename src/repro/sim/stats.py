@@ -3,7 +3,31 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import floor
 from statistics import mean
+
+
+def _jsonable(value: float) -> float | None:
+    """NaN (the no-data sentinel of the latency averages) -> None.
+
+    Strict JSON has no NaN token; every exported derived metric uses
+    ``null`` for "no packets delivered" instead.
+    """
+    return None if value != value else value
+
+
+#: Derived (read-only) keys emitted by :meth:`SimStats.to_dict` for
+#: consumers; :meth:`SimStats.from_dict` drops them so the round trip
+#: reconstructs exactly the stored counters.
+_DERIVED_KEYS = (
+    "avg_total_latency",
+    "avg_network_latency",
+    "p50_latency",
+    "p95_latency",
+    "p99_latency",
+    "avg_recovery_latency",
+    "delivery_ratio",
+)
 
 
 @dataclass
@@ -71,12 +95,25 @@ class SimStats:
         return max((t for t, _n in self.latencies), default=0)
 
     def latency_percentile(self, q: float) -> float:
-        """The q-th percentile (0..100) of total latency."""
+        """The q-th percentile (0..100) of total latency.
+
+        Linear interpolation between closest ranks (numpy's default,
+        "inclusive" convention): rank ``q/100 * (n-1)`` over the sorted
+        values, fractional ranks interpolating linearly between the two
+        neighbours.  With values ``1..100``, p50 = 50.5 and p99 = 99.01.
+        This is the convention behind the ``p50/p95/p99`` fields of
+        :meth:`to_dict` and the metrics summaries.  NaN when no packet
+        was delivered.
+        """
         if not self.latencies:
             return float("nan")
         values = sorted(t for t, _n in self.latencies)
-        idx = min(len(values) - 1, max(0, round(q / 100 * (len(values) - 1))))
-        return float(values[idx])
+        rank = min(max(q, 0.0), 100.0) / 100 * (len(values) - 1)
+        lo = floor(rank)
+        frac = rank - lo
+        if frac == 0.0 or lo + 1 >= len(values):
+            return float(values[lo])
+        return values[lo] + frac * (values[lo + 1] - values[lo])
 
     def throughput(self, n_nodes: int) -> float:
         """Delivered flits per node per cycle."""
@@ -107,9 +144,19 @@ class SimStats:
         """JSON-safe dict with every counter (the result-cache format).
 
         Inverse of :meth:`from_dict`; the round trip is exact, so a
-        cache-loaded run compares bit-identical to a fresh one.
+        cache-loaded run compares bit-identical to a fresh one.  Derived
+        metrics (:data:`_DERIVED_KEYS`) ride along for consumers that
+        read exports without this class; empty-latency runs serialize
+        them as ``null``, never the invalid-JSON ``NaN``.
         """
         return {
+            "avg_total_latency": _jsonable(self.avg_total_latency),
+            "avg_network_latency": _jsonable(self.avg_network_latency),
+            "p50_latency": _jsonable(self.latency_percentile(50)),
+            "p95_latency": _jsonable(self.latency_percentile(95)),
+            "p99_latency": _jsonable(self.latency_percentile(99)),
+            "avg_recovery_latency": _jsonable(self.avg_recovery_latency),
+            "delivery_ratio": _jsonable(self.delivery_ratio),
             "cycles": self.cycles,
             "packets_injected": self.packets_injected,
             "packets_delivered": self.packets_delivered,
@@ -129,8 +176,14 @@ class SimStats:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimStats":
-        """Rebuild stats from :meth:`to_dict` output (JSON round-trip safe)."""
+        """Rebuild stats from :meth:`to_dict` output (JSON round-trip safe).
+
+        Derived keys are recomputable views, not state — they are dropped
+        so ``SimStats.from_dict(s.to_dict()) == s`` holds exactly.
+        """
         fields = dict(data)
+        for key in _DERIVED_KEYS:
+            fields.pop(key, None)
         fields["latencies"] = [
             (int(t), int(n)) for t, n in fields.get("latencies", [])
         ]

@@ -46,12 +46,23 @@ class TraceEvent:
 class Trace:
     """Event recorder; pass as ``tracer=`` to :class:`NetworkSimulator`.
 
-    ``capacity`` bounds memory (oldest events are dropped past it).
+    ``capacity`` bounds memory: past it the oldest ~10% of events are
+    evicted in one batch and counted in :attr:`dropped_events`, so
+    queries over long runs can tell a complete history from a truncated
+    one (:attr:`truncated`, and the warning line :meth:`timeline`
+    prepends).
     """
 
     def __init__(self, capacity: int = 100_000) -> None:
         self.capacity = capacity
         self.events: list[TraceEvent] = []
+        #: Events evicted to honour ``capacity`` (0 = complete history).
+        self.dropped_events = 0
+
+    @property
+    def truncated(self) -> bool:
+        """Has any event been evicted?  Timelines may be incomplete."""
+        return self.dropped_events > 0
 
     # -- hooks the simulator calls ---------------------------------------------
 
@@ -112,7 +123,11 @@ class Trace:
         role: str = "",
     ) -> None:
         if len(self.events) >= self.capacity:
-            del self.events[: self.capacity // 10]
+            # max(1, ...): tiny capacities must still evict — dropping
+            # `capacity // 10 == 0` events would grow the list unboundedly.
+            drop = max(1, self.capacity // 10)
+            del self.events[:drop]
+            self.dropped_events += drop
         self.events.append(TraceEvent(cycle, kind, pid, detail, node, role))
 
     # -- queries ------------------------------------------------------------------
@@ -129,11 +144,19 @@ class Trace:
         return [e for e in self.events if e.pid == pid]
 
     def timeline(self, pid: int) -> str:
-        """Human-readable journey of one packet."""
+        """Human-readable journey of one packet.
+
+        Warns when eviction may have cut the beginning of the journey.
+        """
         events = self.for_packet(pid)
         if not events:
             return f"#{pid}: no events recorded"
         lines = [f"packet #{pid}:"]
+        if self.truncated:
+            lines.append(
+                f"  (history truncated: {self.dropped_events} oldest events"
+                " evicted; early hops may be missing)"
+            )
         lines.extend(f"  {e}" for e in events)
         return "\n".join(lines)
 
@@ -157,3 +180,33 @@ class Trace:
         if len(shown) > limit:
             clipped.append(f"... ({len(shown) - limit} more)")
         return "\n".join(clipped)
+
+    def to_jsonl(self, path) -> int:
+        """Export the trace as JSON Lines; returns the line count.
+
+        One ``trace-meta`` record (capacity / retained / dropped
+        accounting), then one ``trace`` record per retained event.
+        Strict JSON throughout, loadable next to a metrics export.
+        """
+        import json
+
+        meta = {
+            "record": "trace-meta",
+            "capacity": self.capacity,
+            "events": len(self.events),
+            "dropped_events": self.dropped_events,
+        }
+        with open(path, "w") as fh:
+            fh.write(json.dumps(meta, allow_nan=False) + "\n")
+            for e in self.events:
+                record = {
+                    "record": "trace",
+                    "cycle": e.cycle,
+                    "kind": e.kind,
+                    "pid": e.pid,
+                    "detail": e.detail,
+                    "node": list(e.node) if e.node is not None else None,
+                    "role": e.role,
+                }
+                fh.write(json.dumps(record, allow_nan=False) + "\n")
+        return len(self.events) + 1

@@ -170,8 +170,14 @@ def test_design_space():
     design_space.run(order_limit=12).require()
 
 
+def test_telemetry_demo_reduced():
+    from repro.experiments import telemetry_demo
+
+    telemetry_demo.run(mesh_size=4, cycles=800).require()
+
+
 def test_registry_covers_everything():
-    assert len(ALL_EXPERIMENTS) == 37
+    assert len(ALL_EXPERIMENTS) == 38
     assert all(callable(f) for f in ALL_EXPERIMENTS.values())
 
 

@@ -183,3 +183,53 @@ class TestEngineValidation:
 
         with pytest.raises(RoutingError):
             SweepEngine().sweep(mesh4, object(), RATES, _config())
+
+
+class TestTelemetry:
+    def test_stage_times_in_report_and_dict(self, mesh4):
+        report = SweepEngine(jobs=1).sweep(mesh4, "xy", RATES, _config())
+        assert set(report.stage_times) == {
+            "cache_read", "spawn", "simulate", "cache_write"
+        }
+        assert all(v >= 0.0 for v in report.stage_times.values())
+        assert report.stage_times["simulate"] > 0.0
+        payload = report.to_dict()
+        assert payload["stage_times"] == report.stage_times
+
+    def test_metered_points_are_uncacheable(self, mesh4, tmp_path):
+        cfg = _config(metrics=True)
+        assert cache_key(mesh4, "xy", cfg) is None
+        engine = SweepEngine(jobs=1, cache=tmp_path / "cache")
+        first = engine.sweep(mesh4, "xy", RATES, cfg)
+        assert first.cache_hits == 0
+        second = engine.sweep(mesh4, "xy", RATES, cfg)
+        assert second.cache_hits == 0  # metered runs never hit the cache
+
+    def test_disabled_metrics_hashes_like_absent(self, mesh4):
+        # metrics=False/None are cacheable and share a key
+        assert cache_key(mesh4, "xy", _config(metrics=False)) == cache_key(
+            mesh4, "xy", _config()
+        )
+
+    def test_per_point_metrics_summary_in_to_dict(self, mesh4):
+        report = SweepEngine(jobs=1).sweep(
+            mesh4, "xy", RATES, _config(metrics=True, sample_every=50)
+        )
+        payload = report.to_dict()
+        assert len(payload["points"]) == len(RATES)
+        for entry in payload["points"]:
+            summary = entry["metrics"]
+            assert summary["samples"] > 0
+            assert summary["sample_every"] == 50
+            assert summary["mean_link_utilization"] is not None
+        json.dumps(payload, allow_nan=False)  # strict JSON end to end
+
+    def test_metered_points_survive_process_pool(self, mesh4):
+        report = SweepEngine(jobs=2).sweep(
+            mesh4, "xy", RATES, _config(metrics=True, sample_every=50)
+        )
+        for outcome in report.results:
+            collector = outcome.metrics
+            assert collector is not None
+            assert collector.samples_taken > 0
+            assert collector._sim is None  # finalized, hence picklable

@@ -22,13 +22,66 @@ class TestSimStats:
         assert math.isnan(s.avg_network_latency)
         assert s.max_total_latency == 0
 
-    def test_percentile(self):
+    def test_percentile_linear_interpolation(self):
+        # Linear interpolation between closest ranks (numpy's default):
+        # with values 1..100, rank q/100*(n-1) is fractional for most q.
         s = SimStats()
         for v in range(1, 101):
             s.record_delivery(v, v, 1)
-        assert s.latency_percentile(50) in (50.0, 51.0)  # either median convention
-        assert s.latency_percentile(99) == 99.0
+        assert s.latency_percentile(50) == 50.5
+        assert math.isclose(s.latency_percentile(95), 95.05)
+        assert math.isclose(s.latency_percentile(99), 99.01)
         assert s.latency_percentile(0) == 1.0
+        assert s.latency_percentile(100) == 100.0
+
+    def test_percentile_interpolates_between_two_values(self):
+        s = SimStats()
+        s.record_delivery(10, 10, 1)
+        s.record_delivery(20, 20, 1)
+        assert s.latency_percentile(50) == 15.0
+        assert s.latency_percentile(25) == 12.5
+
+    def test_percentile_clamps_out_of_range_q(self):
+        s = SimStats()
+        s.record_delivery(5, 5, 1)
+        s.record_delivery(9, 9, 1)
+        assert s.latency_percentile(-10) == 5.0
+        assert s.latency_percentile(200) == 9.0
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(SimStats().latency_percentile(50))
+
+    def test_to_dict_is_strict_json_when_empty(self):
+        # Empty-latency runs: derived metrics serialize as null, never NaN.
+        import json
+
+        data = SimStats().to_dict()
+        assert data["avg_total_latency"] is None
+        assert data["p50_latency"] is None
+        assert data["avg_recovery_latency"] is None
+        text = json.dumps(data, allow_nan=False)  # raises on NaN/Infinity
+        assert "NaN" not in text
+
+    def test_to_dict_derived_fields_round_trip(self):
+        s = SimStats()
+        s.record_delivery(10, 8, 4)
+        s.record_delivery(20, 15, 4)
+        data = s.to_dict()
+        assert data["avg_total_latency"] == 15.0
+        assert data["p50_latency"] == 15.0
+        assert data["delivery_ratio"] is not None
+        # from_dict drops the derived keys: exact equality survives.
+        assert SimStats.from_dict(data) == s
+
+    def test_from_dict_accepts_legacy_payload_without_derived_keys(self):
+        s = SimStats()
+        s.record_delivery(7, 5, 4)
+        legacy = {
+            k: v
+            for k, v in s.to_dict().items()
+            if not k.endswith("_latency") and k not in ("delivery_ratio",)
+        }
+        assert SimStats.from_dict(legacy) == s
 
     def test_throughput(self):
         s = SimStats()

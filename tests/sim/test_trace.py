@@ -1,10 +1,24 @@
 """Unit tests for the simulation tracer."""
 
+import json
+
 import pytest
 
-from repro.routing import UnrestrictedAdaptive, xy_routing
-from repro.sim import NetworkSimulator, Packet, TrafficConfig, TrafficGenerator
+from repro.core import catalog
+from repro.routing import TurnTableRouting, UnrestrictedAdaptive, xy_routing
+from repro.routing.multicast import MulticastHamiltonianRouting, hamiltonian_label
+from repro.sim import (
+    FaultEvent,
+    FaultSchedule,
+    NetworkSimulator,
+    Packet,
+    RecoveryPolicy,
+    TrafficConfig,
+    TrafficGenerator,
+)
 from repro.sim.trace import Trace
+from repro.topology import Mesh
+from repro.topology.classes import row_parity
 
 
 def _traced_run(mesh, length=3, dst=(2, 1)):
@@ -71,6 +85,110 @@ class TestDeadlockEvent:
         assert trace.of_kind("deadlock")
 
 
+class TestHookMethods:
+    """Every simulator-facing hook records the right kind/pid/detail."""
+
+    def test_fault_injected(self):
+        t = Trace()
+        t.fault_injected(12, "link (0, 0)-(1, 0) failed")
+        (e,) = t.of_kind("fault")
+        assert e.cycle == 12
+        assert e.pid is None
+        assert "link (0, 0)-(1, 0) failed" in e.detail
+
+    def test_packet_aborted(self):
+        t = Trace()
+        t.packet_aborted(30, 7, "drop")
+        (e,) = t.of_kind("abort")
+        assert e.pid == 7
+        assert "drop" in e.detail
+
+    def test_packet_retransmitted(self):
+        t = Trace()
+        t.packet_retransmitted(31, 7, (0, 0))
+        (e,) = t.of_kind("retransmit")
+        assert e.pid == 7
+        assert e.node == (0, 0)
+        assert "retransmitted from (0, 0)" in e.detail
+
+    def test_deadlock_recovered_names_victim_and_cycle(self):
+        t = Trace()
+        t.deadlock_recovered(99, 3, [1, 2, 3])
+        (e,) = t.of_kind("recovered")
+        assert e.pid == 3
+        assert "[1, 2, 3]" in e.detail
+        assert "#3" in e.detail
+
+    def test_rerouted(self):
+        t = Trace()
+        t.rerouted(40, "recomputed tables on FaultyMesh")
+        (e,) = t.of_kind("rerouted")
+        assert e.pid is None
+        assert "rerouted: recomputed tables on FaultyMesh" in e.detail
+
+
+class TestFaultIntegration:
+    def test_link_fault_records_fault_and_rerouted_events(self):
+        mesh = Mesh(5, 5)
+        design = catalog.design("negative-first")
+
+        def factory(topo):
+            return TurnTableRouting(
+                topo, design, directions="progressive", fallback="escape"
+            )
+
+        trace = Trace()
+        sim = NetworkSimulator(
+            mesh,
+            factory(mesh),
+            faults=FaultSchedule([FaultEvent(40, "link", link=((2, 2), (3, 2)))]),
+            recovery=RecoveryPolicy(),
+            routing_factory=factory,
+            tracer=trace,
+        )
+        traffic = TrafficGenerator(
+            mesh, TrafficConfig(injection_rate=0.05, packet_length=4, seed=11)
+        )
+        stats = sim.run(200, traffic, drain=True)
+        assert stats.faults_injected == 1
+        (fault,) = trace.of_kind("fault")
+        assert fault.cycle == 40
+        assert "link" in fault.detail
+        (reroute,) = trace.of_kind("rerouted")
+        assert reroute.cycle == 40
+
+
+class TestMulticastHops:
+    def test_hops_of_covers_waypoints_in_label_order(self):
+        mesh = Mesh(4, 4)
+        routing = MulticastHamiltonianRouting(mesh, "up")
+        trace = Trace()
+        sim = NetworkSimulator(
+            mesh, routing, row_parity, buffer_depth=4, watchdog=1000,
+            tracer=trace,
+        )
+        worm = Packet(
+            pid=0, src=(0, 0), dst=(0, 3), length=3, created=0,
+            waypoints=((3, 0), (3, 1)),
+        )
+        sim.offer_packet(worm)
+        for _ in range(500):
+            sim.step()
+            if sim.is_idle():
+                break
+        assert worm.delivered is not None
+        hops = trace.hops_of(0)
+        # the head walks the Hamiltonian snake: monotone labels,
+        # through both waypoints, ending at the true destination
+        labels = [hamiltonian_label(n, 4) for n in hops]
+        assert labels == sorted(labels)
+        assert (3, 0) in hops and (3, 1) in hops
+        assert hops[-1] == (0, 3)
+        copies = trace.of_kind("copy")
+        assert {e.node for e in copies} == {(3, 0), (3, 1)}
+        assert all(e.pid == 0 for e in copies)
+
+
 class TestCapacity:
     def test_oldest_events_dropped(self, mesh4):
         trace = Trace(capacity=50)
@@ -80,3 +198,57 @@ class TestCapacity:
         )
         sim.run(200, traffic, drain=True)
         assert len(trace) <= 50
+        assert trace.truncated
+        # evictions happen in batches of capacity // 10
+        assert trace.dropped_events % 5 == 0
+        assert trace.dropped_events > 0
+
+    def test_complete_history_is_not_truncated(self, mesh4):
+        trace, _p = _traced_run(mesh4)
+        assert not trace.truncated
+        assert trace.dropped_events == 0
+        assert "truncated" not in trace.timeline(0)
+
+    def test_tiny_capacity_evicts_one_at_a_time(self):
+        t = Trace(capacity=3)
+        for i in range(10):
+            t.fault_injected(i, f"f{i}")
+        # capacity // 10 == 0, but eviction must still make room
+        assert len(t) == 3
+        assert t.dropped_events == 7
+        assert [e.cycle for e in t.events] == [7, 8, 9]
+
+    def test_timeline_warns_when_truncated(self):
+        t = Trace(capacity=4)
+        for i in range(8):
+            t.packet_aborted(i, 0, "r")
+        text = t.timeline(0)
+        assert "history truncated" in text
+        assert str(t.dropped_events) in text
+
+
+class TestJsonlExport:
+    def test_to_jsonl_round_trips(self, mesh4, tmp_path):
+        trace, _p = _traced_run(mesh4)
+        path = tmp_path / "trace.jsonl"
+        written = trace.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert written == len(lines) == len(trace) + 1
+
+        def _reject(name):
+            raise ValueError(f"non-finite constant {name}")
+
+        meta = json.loads(lines[0], parse_constant=_reject)
+        assert meta["record"] == "trace-meta"
+        assert meta["events"] == len(trace)
+        assert meta["dropped_events"] == 0
+        records = [json.loads(ln, parse_constant=_reject) for ln in lines[1:]]
+        assert all(r["record"] == "trace" for r in records)
+        first = records[0]
+        assert first["kind"] == "offered"
+        assert first["pid"] == 0
+        assert first["node"] == [0, 0]
+        kinds = {r["kind"] for r in records}
+        assert {"offered", "allocated", "moved", "ejected"} <= kinds
+        roles = {r["role"] for r in records if r["kind"] == "moved"}
+        assert roles == {"head", "body", "tail"}

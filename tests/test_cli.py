@@ -157,3 +157,75 @@ class TestLogic:
         out = capsys.readouterr().out
         assert "if X_offset" in out
         assert "arriving on" in out
+
+
+class TestTelemetryCli:
+    def _export(self, tmp_path, capsys):
+        mpath = tmp_path / "metrics.jsonl"
+        code = main(
+            ["simulate", "west-first", "--mesh", "4x4", "--cycles", "300",
+             "--rate", "0.05", "--metrics-out", str(mpath),
+             "--sample-every", "50"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return mpath
+
+    def test_simulate_exports_metrics_and_trace(self, capsys, tmp_path):
+        mpath = tmp_path / "metrics.jsonl"
+        tpath = tmp_path / "trace.jsonl"
+        code = main(
+            ["simulate", "xy", "--mesh", "4x4", "--cycles", "200",
+             "--rate", "0.05", "--metrics-out", str(mpath),
+             "--trace-out", str(tpath)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "trace:" in out
+        assert mpath.exists() and tpath.exists()
+        import json
+
+        first = json.loads(mpath.read_text().splitlines()[0])
+        assert first["record"] == "meta"
+
+    def test_inspect_renders_all_sections(self, capsys, tmp_path):
+        mpath = self._export(tmp_path, capsys)
+        assert main(["inspect", str(mpath)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "link utilization" in out
+        assert "no deadlock forensics" in out
+
+    def test_inspect_heatmap_only(self, capsys, tmp_path):
+        mpath = self._export(tmp_path, capsys)
+        assert main(["inspect", str(mpath), "--heatmap"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" not in out
+        # west-first partitions key the rollup
+        assert "P1" in out or "X-" in out or "partition" in out
+
+    def test_inspect_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["inspect", str(bad)])
+
+    def test_inspect_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["inspect", str(tmp_path / "absent.jsonl")])
+
+    def test_sweep_metrics_out_writes_per_point_lines(self, capsys, tmp_path):
+        import json
+
+        mpath = tmp_path / "sweep-metrics.jsonl"
+        argv = ["sweep", "xy", "--mesh", "4x4", "--rates", "0.02,0.05",
+                "--cycles", "200", "--metrics-out", str(mpath),
+                "--sample-every", "50"]
+        assert main(argv) == 0
+        assert "per-point metrics" in capsys.readouterr().out
+        lines = mpath.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(ln) for ln in lines]
+        assert all(r["record"] == "sweep-point" for r in records)
+        assert [r["injection_rate"] for r in records] == [0.02, 0.05]
+        assert all(r["samples"] > 0 for r in records)
