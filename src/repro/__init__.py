@@ -16,6 +16,8 @@ Deadlock-free Interconnection Networks"* (Ebrahimi & Daneshtalab, ISCA
 * :mod:`repro.sim` — a cycle-based flit-level wormhole network simulator
   with virtual channels, credit flow control and deadlock detection;
 * :mod:`repro.analysis` — adaptiveness metrics and turn accounting;
+* :mod:`repro.fuzz` — differential verification fuzzing cross-checking
+  theorems, CDG and simulator, with minimised replayable counterexamples;
 * :mod:`repro.experiments` — one harness per table/figure of the paper.
 
 Quickstart::
@@ -56,7 +58,7 @@ from repro.errors import (
     UnroutableError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: The stable facade (PEP 562 lazy exports): resolving any of these pulls
 #: in the simulator/verification stack on first use, keeping plain
@@ -73,6 +75,11 @@ _FACADE = {
     "ResultCache": "repro.sim.parallel",
     "MetricsCollector": "repro.sim.metrics",
     "DeadlockForensics": "repro.sim.metrics",
+    "FuzzDesign": "repro.fuzz",
+    "DesignGenerator": "repro.fuzz",
+    "DifferentialOracle": "repro.fuzz",
+    "run_fuzz": "repro.fuzz",
+    "shrink": "repro.fuzz",
 }
 
 
@@ -100,6 +107,11 @@ __all__ = [
     "ResultCache",
     "MetricsCollector",
     "DeadlockForensics",
+    "FuzzDesign",
+    "DesignGenerator",
+    "DifferentialOracle",
+    "run_fuzz",
+    "shrink",
     "Channel",
     "Partition",
     "PartitionSequence",

@@ -30,6 +30,7 @@ from repro.cdg.turnmodel import (
 from repro.cdg.verify import (
     Verdict,
     all_cycles,
+    cyclic_core,
     verdict_for,
     verify_design,
     verify_routing,
@@ -62,6 +63,7 @@ __all__ = [
     "unique_turn_models",
     "Verdict",
     "all_cycles",
+    "cyclic_core",
     "verdict_for",
     "verify_design",
     "verify_routing",

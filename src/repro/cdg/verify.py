@@ -106,6 +106,26 @@ def verify_routing(
     return verdict_for(build_routing_cdg(topology, routing, rule))
 
 
+def cyclic_core(graph: "nx.DiGraph") -> frozenset[Wire]:
+    """Every wire that participates in at least one dependency cycle.
+
+    The union of all non-trivial strongly connected components (plus
+    self-looping wires).  A watchdog-declared deadlock's held wires must
+    lie inside this set when the deadlock is genuinely the CDG cycle's —
+    the differential fuzzer uses that containment as a cross-oracle
+    consistency signal.
+    """
+    core: set[Wire] = set()
+    for scc in nx.strongly_connected_components(graph):
+        if len(scc) > 1:
+            core.update(scc)
+        else:
+            (node,) = scc
+            if graph.has_edge(node, node):
+                core.add(node)
+    return frozenset(core)
+
+
 def all_cycles(graph: "nx.DiGraph", limit: int = 50) -> list[tuple[Wire, ...]]:
     """Up to ``limit`` simple cycles of a dependency graph (diagnostics)."""
     out: list[tuple[Wire, ...]] = []

@@ -366,6 +366,62 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        DifferentialOracle,
+        fast_profile,
+        replay_corpus,
+        run_fuzz,
+        self_check,
+    )
+    from repro.fuzz.oracle import SimProfile
+    from repro.sim.parallel import SweepEngine
+
+    profile = fast_profile() if args.fast else SimProfile()
+    failures = 0
+
+    if args.self_check:
+        ok, message = self_check(profile)
+        print(message)
+        if not ok:
+            failures += 1
+
+    if args.replay:
+        replayed = replay_corpus(args.replay, profile=profile)
+        if not replayed:
+            raise SystemExit(f"no corpus entries under {args.replay!r}")
+        for entry, detected, trial in replayed:
+            status = "ok" if detected else "MISSED"
+            print(
+                f"replay {entry.id} [{status}] expect={entry.expect}"
+                f" got={trial.classification}: {entry.design.describe()}"
+            )
+            if not detected:
+                failures += 1
+        print(f"replayed {len(replayed)} corpus entries")
+
+    if args.runs > 0:
+        engine = _engine_from_args(args)
+        if engine is None and args.jobs > 1:
+            engine = SweepEngine(jobs=args.jobs)
+        report = run_fuzz(
+            args.runs,
+            seed=args.seed,
+            budget_s=args.budget_s,
+            corpus_dir=args.corpus_dir or None,
+            engine=engine,
+            profile=profile,
+        )
+        print(report.summary())
+        if args.report:
+            path = report.to_jsonl(args.report)
+            print(f"trial log written to {path}")
+        if not report.ok:
+            failures += 1
+
+    return 1 if failures else 0
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -516,6 +572,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only the deadlock forensics report",
     )
     p_inspect.set_defaults(func=cmd_inspect)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: cross-check theorems, CDG and simulator",
+    )
+    p_fuzz.add_argument(
+        "--runs", type=int, default=200, metavar="N",
+        help="number of differential trials (default 200; 0 skips the campaign)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="generator root seed (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--budget-s", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; the campaign stops cleanly between batches",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir", default="", metavar="DIR",
+        help="persist minimised disagreement witnesses here for replay",
+    )
+    p_fuzz.add_argument(
+        "--report", default="", metavar="FILE",
+        help="write a JSONL trial log (one line per trial + totals)",
+    )
+    p_fuzz.add_argument(
+        "--replay", default="", metavar="DIR",
+        help="re-judge every saved witness in DIR before fuzzing",
+    )
+    p_fuzz.add_argument(
+        "--self-check", action="store_true",
+        help="inject a synthetic disagreement and verify detection + shrinking",
+    )
+    p_fuzz.add_argument(
+        "--fast", action="store_true",
+        help="shorter simulation budgets (smoke runs, property tests)",
+    )
+    _add_engine_flags(p_fuzz)
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -162,6 +162,68 @@ def check_theorem3(sequence: PartitionSequence) -> TheoremReport:
     return TheoremReport(3, not violations, tuple(violations))
 
 
+def audit_turns(
+    sequence: PartitionSequence, turns: Iterable["Turn"]
+) -> tuple[TheoremReport, TheoremReport, TheoremReport]:
+    """Audit an explicit turn list against all three theorems at once.
+
+    Unlike :func:`check_sequence` (which trusts the turn extractor), this
+    takes the *actual* turns a router would be granted — possibly mutated
+    or hand-edited — and attributes every violation to its theorem:
+
+    * Theorem 1 — some partition covers more than one complete D-pair;
+    * Theorem 2 — a same-dimension turn breaks the ascending numbering;
+    * Theorem 3 — partitions overlap, a turn uses a foreign channel, or an
+      inter-partition turn flows backward (descending partition index).
+
+    Returns the three reports in theorem order.  The differential fuzzer
+    (:mod:`repro.fuzz`) uses this as its theorem-level oracle.
+    """
+    from repro.errors import PartitionError
+
+    t1: list[str] = []
+    for part in sequence.partitions:
+        t1.extend(check_theorem1(part).violations)
+
+    t2: list[str] = []
+    t3: list[str] = []
+    parts = sequence.partitions
+    for i, a in enumerate(parts):
+        for b in parts[i + 1:]:
+            if not a.is_disjoint_from(b):
+                shared = sorted(map(str, a.channel_set & b.channel_set))
+                t3.append(
+                    f"partitions {a.name or '?'} and {b.name or '?'} share {shared}"
+                )
+
+    for turn in turns:
+        try:
+            src_idx = sequence.partition_index(turn.src)
+            dst_idx = sequence.partition_index(turn.dst)
+        except PartitionError:
+            t3.append(f"turn {turn} uses a channel outside the design")
+            continue
+        if src_idx == dst_idx:
+            if turn.src.dim == turn.dst.dim and not uturn_allowed(
+                parts[src_idx], turn.src, turn.dst
+            ):
+                t2.append(
+                    f"{turn} violates the ascending numbering of partition"
+                    f" {parts[src_idx]}"
+                )
+        elif dst_idx < src_idx:
+            t3.append(
+                f"{turn} flows backward from partition {src_idx} to partition"
+                f" {dst_idx}; inter-partition transitions must ascend"
+            )
+
+    return (
+        TheoremReport(1, not t1, tuple(t1)),
+        TheoremReport(2, not t2, tuple(t2)),
+        TheoremReport(3, not t3, tuple(t3)),
+    )
+
+
 def check_sequence(sequence: PartitionSequence) -> TheoremReport:
     """Full EbDa compliance check for a design (Theorems 1 and 3).
 

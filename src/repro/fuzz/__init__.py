@@ -1,0 +1,60 @@
+"""Differential verification fuzzing for EbDa designs.
+
+Cross-checks the three independent safety oracles this repository
+implements — the EbDa theorems (class-level), Dally CDG acyclicity
+(concrete), and wormhole simulation with a deadlock watchdog (dynamic) —
+over seeded random designs and deliberate mutants, shrinking any
+disagreement to a minimal replayable witness.  See ``docs/FUZZING.md``.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    entry_id,
+    load_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.design import MUTATION_KINDS, FuzzDesign, Mutation
+from repro.fuzz.generator import DesignGenerator
+from repro.fuzz.oracle import (
+    HARD_DISAGREEMENTS,
+    DifferentialOracle,
+    SimProfile,
+    TrialResult,
+    fast_profile,
+)
+from repro.fuzz.runner import (
+    Disagreement,
+    FuzzReport,
+    replay_corpus,
+    run_fuzz,
+    self_check,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink, within_witness_bound
+
+__all__ = [
+    "MUTATION_KINDS",
+    "HARD_DISAGREEMENTS",
+    "CorpusEntry",
+    "DesignGenerator",
+    "DifferentialOracle",
+    "Disagreement",
+    "FuzzDesign",
+    "FuzzReport",
+    "Mutation",
+    "ShrinkResult",
+    "SimProfile",
+    "TrialResult",
+    "entry_id",
+    "fast_profile",
+    "load_corpus",
+    "load_entry",
+    "replay_corpus",
+    "replay_entry",
+    "run_fuzz",
+    "save_entry",
+    "self_check",
+    "shrink",
+    "within_witness_bound",
+]

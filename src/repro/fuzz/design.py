@@ -1,0 +1,245 @@
+"""The fuzzer's design space: serialisable EbDa designs plus invalid mutants.
+
+A :class:`FuzzDesign` is a *recipe*, not a live object: topology kind and
+shape, the base partition sequence in arrow notation, a named class rule
+and a tuple of :class:`Mutation` edits.  Keeping the recipe plain data
+makes every trial picklable (for the worker fan-out), JSON-serialisable
+(for the regression corpus) and exactly replayable from a generator seed.
+
+Mutations model the known ways a design can be *wrong*:
+
+* ``duplicate-pair`` — extra channels grafted into a partition so it
+  covers a second complete D-pair (Theorem 1 violation);
+* ``backward-transition`` — every turn from a later partition back into an
+  earlier one (Theorem 3 violation, the "shuffled transition order" case);
+* ``add-turn`` — one explicit extra turn, e.g. a descending U-turn
+  (Theorem 2 violation);
+* ``drop-channel`` — a channel removed from a partition (connectivity /
+  dropped-escape probes; on a dateline torus this can leave wrap links
+  bare or rings unbroken).
+
+Compilation deliberately bypasses theorem validation
+(:func:`~repro.core.extraction.extract_turns` with ``validate=False``) —
+judging the result is the oracles' job, not the constructor's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.channel import Channel
+from repro.core.extraction import extract_turns
+from repro.core.partition import Partition
+from repro.core.sequence import PartitionSequence
+from repro.core.turns import Turn, TurnSet
+from repro.errors import EbdaError
+from repro.topology.base import Topology
+from repro.topology.classes import NAMED_RULES, ClassRule
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+__all__ = ["MUTATION_KINDS", "FuzzDesign", "Mutation"]
+
+#: Supported mutation kinds, in generator rotation order.
+MUTATION_KINDS = (
+    "duplicate-pair",
+    "backward-transition",
+    "add-turn",
+    "drop-channel",
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One deliberate edit applied to a base design (see module docstring)."""
+
+    kind: str
+    #: Target partition index (``duplicate-pair`` / ``drop-channel``).
+    partition: int = -1
+    #: Space-separated channel specs to add (``duplicate-pair``) or the
+    #: single spec to remove (``drop-channel``).
+    channels: str = ""
+    #: Source/destination partition indices (``backward-transition``).
+    src: int = -1
+    dst: int = -1
+    #: Explicit turn notation, e.g. ``"X-->X+"`` (``add-turn``).
+    turn: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise EbdaError(
+                f"unknown mutation kind {self.kind!r}; known: {MUTATION_KINDS}"
+            )
+
+    def describe(self) -> str:
+        if self.kind == "duplicate-pair":
+            return f"duplicate-pair[{self.channels} -> P{self.partition}]"
+        if self.kind == "backward-transition":
+            return f"backward-transition[P{self.src} -> P{self.dst}]"
+        if self.kind == "add-turn":
+            return f"add-turn[{self.turn}]"
+        return f"drop-channel[{self.channels} from P{self.partition}]"
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind}
+        if self.partition >= 0:
+            out["partition"] = self.partition
+        if self.channels:
+            out["channels"] = self.channels
+        if self.src >= 0:
+            out["src"] = self.src
+        if self.dst >= 0:
+            out["dst"] = self.dst
+        if self.turn:
+            out["turn"] = self.turn
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Mutation":
+        return cls(
+            kind=data["kind"],
+            partition=int(data.get("partition", -1)),
+            channels=data.get("channels", ""),
+            src=int(data.get("src", -1)),
+            dst=int(data.get("dst", -1)),
+            turn=data.get("turn", ""),
+        )
+
+
+@dataclass(frozen=True)
+class FuzzDesign:
+    """A fully replayable design recipe for one differential trial."""
+
+    topology_kind: str
+    shape: tuple[int, ...]
+    #: Base partition sequence in arrow notation.
+    sequence: str
+    #: Named class rule (a :data:`repro.topology.classes.NAMED_RULES` key).
+    rule: str = "none"
+    mutations: tuple[Mutation, ...] = ()
+    #: Provenance tag: ``"valid:..."`` for generator-certified designs,
+    #: ``"mutant:<kind>"`` for deliberate violations.
+    label: str = "valid"
+
+    # -- realisation -------------------------------------------------------
+
+    def topology(self) -> Topology:
+        if self.topology_kind == "mesh":
+            return Mesh(*self.shape)
+        if self.topology_kind == "torus":
+            return Torus(*self.shape)
+        raise EbdaError(f"unknown topology kind {self.topology_kind!r}")
+
+    def class_rule(self) -> ClassRule:
+        try:
+            return NAMED_RULES[self.rule]
+        except KeyError:
+            raise EbdaError(
+                f"unknown class rule {self.rule!r}; known: {sorted(NAMED_RULES)}"
+            )
+
+    def base_sequence(self) -> PartitionSequence:
+        return PartitionSequence.parse(self.sequence)
+
+    def compile(self) -> tuple[PartitionSequence, TurnSet]:
+        """The concrete (sequence, turnset) the oracles judge.
+
+        Structural mutations edit the partitions; turn-level mutations
+        merge extra turns into the extracted set.  No theorem validation
+        happens here — an invalid result is the whole point.
+        """
+        base = self.base_sequence()
+        parts: list[list[Channel]] = [list(p.channels) for p in base]
+        for m in self.mutations:
+            if m.kind == "duplicate-pair":
+                if not 0 <= m.partition < len(parts):
+                    continue
+                for spec in m.channels.split():
+                    ch = Channel.parse(spec)
+                    if ch not in parts[m.partition]:
+                        parts[m.partition].append(ch)
+            elif m.kind == "drop-channel":
+                if not 0 <= m.partition < len(parts):
+                    continue
+                ch = Channel.parse(m.channels)
+                if ch in parts[m.partition]:
+                    parts[m.partition].remove(ch)
+
+        surviving = [i for i, chans in enumerate(parts) if chans]
+        if not surviving:
+            raise EbdaError("mutations removed every channel of the design")
+        index_map = {old: new for new, old in enumerate(surviving)}
+        seq = PartitionSequence(
+            tuple(
+                Partition(tuple(parts[i]), name=base[i].name) for i in surviving
+            )
+        )
+
+        turnset = extract_turns(seq, validate=False)
+        extra: list[Turn] = []
+        for m in self.mutations:
+            if m.kind == "add-turn":
+                t = Turn.parse(m.turn)
+                if seq.covers(t.src) and seq.covers(t.dst):
+                    extra.append(t)
+            elif m.kind == "backward-transition":
+                if m.src in index_map and m.dst in index_map:
+                    later = seq[index_map[m.src]]
+                    earlier = seq[index_map[m.dst]]
+                    extra.extend(
+                        Turn(a, b) for a in later for b in earlier if a != b
+                    )
+        if extra:
+            turnset = turnset.merged_with(TurnSet({"mutation": tuple(extra)}))
+        return seq, turnset
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def labeled_valid(self) -> bool:
+        """Did the generator certify this design as theorem-compliant?"""
+        return self.label.startswith("valid")
+
+    def size(self) -> tuple[int, int, int]:
+        """Strictly-ordered size metric the shrinker minimises.
+
+        Lexicographic: (channels + mutations, radix mass with a torus
+        surcharge, partition count) — every shrink move must decrease it.
+        """
+        base = self.base_sequence()
+        torus_weight = 2 if self.topology_kind == "torus" else 0
+        return (
+            base.channel_count + len(self.mutations),
+            sum(self.shape) + torus_weight,
+            len(base),
+        )
+
+    def describe(self) -> str:
+        muts = ", ".join(m.describe() for m in self.mutations) or "none"
+        return (
+            f"{self.topology_kind}{'x'.join(map(str, self.shape))}"
+            f" [{self.sequence}] rule={self.rule} mutations: {muts}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology_kind,
+            "shape": list(self.shape),
+            "sequence": self.sequence,
+            "rule": self.rule,
+            "mutations": [m.to_dict() for m in self.mutations],
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzDesign":
+        return cls(
+            topology_kind=data["topology"],
+            shape=tuple(int(k) for k in data["shape"]),
+            sequence=data["sequence"],
+            rule=data.get("rule", "none"),
+            mutations=tuple(
+                Mutation.from_dict(m) for m in data.get("mutations", ())
+            ),
+            label=data.get("label", "valid"),
+        )

@@ -1,0 +1,182 @@
+"""Seeded design generation: valid EbDa designs and deliberate mutants.
+
+Every trial draws from ``random.Random(f"{seed}:{trial}")`` — a private
+stream per trial index — so any single trial replays exactly without
+re-generating its predecessors, and a worker pool produces the same
+designs regardless of scheduling.
+
+Valid designs come from the library's own constructive machinery (the
+fuzzer cross-checks it, so generation must not hand-roll designs):
+
+* meshes — Algorithm 1 over a random VC budget
+  (:func:`~repro.core.partitioning.partition_vc_budget`);
+* tori — the dateline scheme
+  (:func:`~repro.core.torus_designs.dateline_design`) with the ``dateline``
+  class rule.
+
+Mutants start from a valid design and apply one :class:`Mutation`; see
+:mod:`repro.fuzz.design` for the catalogue.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.channel import NEG, POS, Channel
+from repro.core.partitioning import partition_vc_budget
+from repro.core.sequence import PartitionSequence
+from repro.core.torus_designs import dateline_design
+from repro.fuzz.design import FuzzDesign, Mutation
+
+__all__ = ["DesignGenerator"]
+
+
+class DesignGenerator:
+    """Deterministic sampler over the fuzz design space.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; combined with the trial index per design.
+    mutant_fraction:
+        Probability a trial yields a deliberately invalid mutant instead
+        of a generator-certified valid design.
+    torus_fraction:
+        Probability a base design targets a torus (dateline scheme)
+        instead of a mesh (Algorithm 1).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        mutant_fraction: float = 0.4,
+        torus_fraction: float = 0.3,
+    ) -> None:
+        self.seed = seed
+        self.mutant_fraction = mutant_fraction
+        self.torus_fraction = torus_fraction
+
+    # -- public API --------------------------------------------------------
+
+    def design_for(self, trial: int) -> FuzzDesign:
+        """The design of one trial (independent of all other trials)."""
+        rng = random.Random(f"{self.seed}:{trial}")
+        base = self._valid(rng)
+        if rng.random() < self.mutant_fraction:
+            return self._mutate(base, rng)
+        return base
+
+    def designs(self, n: int, start: int = 0) -> list[FuzzDesign]:
+        """Designs for trials ``start .. start + n - 1``."""
+        return [self.design_for(i) for i in range(start, start + n)]
+
+    # -- valid designs -----------------------------------------------------
+
+    def _valid(self, rng: random.Random) -> FuzzDesign:
+        if rng.random() < self.torus_fraction:
+            n_dims = rng.choice((1, 2))
+            shape = tuple(rng.randint(3, 4) for _ in range(n_dims))
+            return FuzzDesign(
+                topology_kind="torus",
+                shape=shape,
+                sequence=dateline_design(n_dims).arrow_notation(),
+                rule="dateline",
+                label="valid:torus-dateline",
+            )
+        n_dims = rng.choice((2, 2, 3))
+        max_radix = 4 if n_dims == 2 else 3
+        shape = tuple(rng.randint(2, max_radix) for _ in range(n_dims))
+        budget = [rng.choice((1, 1, 2)) for _ in range(n_dims)]
+        return FuzzDesign(
+            topology_kind="mesh",
+            shape=shape,
+            sequence=partition_vc_budget(budget).arrow_notation(),
+            rule="none",
+            label="valid:mesh-alg1",
+        )
+
+    # -- mutants -----------------------------------------------------------
+
+    def _mutate(self, base: FuzzDesign, rng: random.Random) -> FuzzDesign:
+        seq = base.base_sequence()
+        makers = {
+            "backward-transition": self._backward_transition,
+            "add-turn": self._add_turn,
+            "drop-channel": self._drop_channel,
+        }
+        if len(base.shape) >= 2:
+            makers["duplicate-pair"] = self._duplicate_pair
+        for kind in rng.sample(sorted(makers), len(makers)):
+            mutation = makers[kind](seq, base, rng)
+            if mutation is not None:
+                return FuzzDesign(
+                    topology_kind=base.topology_kind,
+                    shape=base.shape,
+                    sequence=base.sequence,
+                    rule=base.rule,
+                    mutations=(mutation,),
+                    label=f"mutant:{kind}",
+                )
+        # Unreachable for the bases above, but keep the generator total.
+        return base
+
+    def _duplicate_pair(
+        self, seq: PartitionSequence, base: FuzzDesign, rng: random.Random
+    ) -> Mutation | None:
+        """Graft a fresh complete pair into a partition that has one."""
+        n_dims = len(base.shape)
+        candidates = [
+            (i, p) for i, p in enumerate(seq) if p.complete_pair_dims
+        ]
+        if not candidates:
+            return None
+        idx, part = rng.choice(candidates)
+        pair_dim = sorted(part.complete_pair_dims)[0]
+        other_dims = [d for d in range(n_dims) if d != pair_dim]
+        if not other_dims:
+            return None
+        dim = rng.choice(other_dims)
+        fresh_vc = 1 + max(
+            (c.vc for c in seq.all_channels if c.dim == dim), default=0
+        )
+        # Dateline designs only instantiate tagged channels; graft onto
+        # the regular links so the mutant pair carries concrete wires.
+        cls = "r" if base.rule == "dateline" else ""
+        specs = " ".join(
+            str(Channel(dim, sign, fresh_vc, cls)) for sign in (POS, NEG)
+        )
+        return Mutation("duplicate-pair", partition=idx, channels=specs)
+
+    def _backward_transition(
+        self, seq: PartitionSequence, base: FuzzDesign, rng: random.Random
+    ) -> Mutation | None:
+        """Allow every turn from a later partition back into an earlier one."""
+        if len(seq) < 2:
+            return None
+        src = rng.randrange(1, len(seq))
+        dst = rng.randrange(0, src)
+        return Mutation("backward-transition", src=src, dst=dst)
+
+    def _add_turn(
+        self, seq: PartitionSequence, base: FuzzDesign, rng: random.Random
+    ) -> Mutation | None:
+        """Add one descending U-/I-turn (breaks the Theorem 2 numbering)."""
+        options = []
+        for part in seq:
+            for dim in sorted(part.complete_pair_dims):
+                chans = part.channels_in_dim(dim)
+                if len(chans) >= 2:
+                    options.append(f"{chans[-1]}->{chans[0]}")
+        if not options:
+            return None
+        return Mutation("add-turn", turn=rng.choice(options))
+
+    def _drop_channel(
+        self, seq: PartitionSequence, base: FuzzDesign, rng: random.Random
+    ) -> Mutation | None:
+        """Remove one channel (escape/connectivity probe)."""
+        idx = rng.randrange(len(seq))
+        part = seq[idx]
+        ch = part.channels[rng.randrange(len(part.channels))]
+        return Mutation("drop-channel", partition=idx, channels=str(ch))

@@ -1,0 +1,570 @@
+"""The differential oracle: three independent verdicts on one design.
+
+For every :class:`~repro.fuzz.design.FuzzDesign` the oracle computes:
+
+1. **theorem verdict** — :func:`repro.core.theorems.audit_turns` over the
+   compiled turns, plus a wrap-ring closure check on wrap topologies (the
+   paper's Theorem 2 torus remark: every ring must be broken by a one-way
+   class switch; class-level checks alone cannot see ring closure);
+2. **CDG verdict** — Dally acyclicity of the conservative turn CDG
+   (:func:`repro.cdg.verify.verdict_for`);
+3. **simulation verdict** — short wormhole runs with the deadlock
+   watchdog: a *crafted ring* run that parks worms along a concrete CDG
+   cycle (deterministic deadlock if the cycle is real), then adversarial
+   runs (tornado/rotate90 + hotspot traffic).
+
+The theory says theorem-safe ⟹ CDG-acyclic ⟹ no simulator deadlock, so
+any edge violated in that chain is a **hard disagreement**:
+
+* ``theorem-safe-cdg-cyclic`` — the theorems certified a cyclic design;
+* ``cdg-acyclic-sim-deadlock`` — acyclic CDG but the watchdog fired;
+* ``valid-design-rejected`` — Algorithm 1/2 output failed the theorems;
+* ``valid-design-unroutable`` — a certified design cannot route a pair;
+* ``oracle-error`` — an oracle crashed (never acceptable).
+
+Everything else is agreement: ``safe-confirmed``, ``unsafe-flagged`` (all
+three fire), ``unsafe-conservative`` (theorems reject, concrete CDG is
+still acyclic — the theorems are sufficient, not necessary),
+``cyclic-not-triggered`` (cycle exists but minimal routing cannot express
+it, e.g. a descending U-turn mutant), ``unroutable``.
+
+When the watchdog fires, the simulator's :class:`DeadlockForensics`
+snapshot is embedded in the trial so a disagreement report carries the
+wait-cycle witness; ``witness_in_core`` records whether the witness wires
+lie inside the CDG's cyclic core.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.cdg.graph import build_turn_cdg
+from repro.cdg.verify import Verdict, cyclic_core, verdict_for
+from repro.core.channel import Channel
+from repro.core.sequence import PartitionSequence
+from repro.core.theorems import audit_turns
+from repro.core.turns import TurnSet
+from repro.errors import EbdaError, RoutingError, SimulationError
+from repro.fuzz.design import FuzzDesign
+from repro.routing.base import Candidate, RoutingFunction
+from repro.routing.table import TurnTableRouting
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import NetworkSimulator
+from repro.sim.patterns import hotspot, rotate90, tornado, uniform
+from repro.sim.traffic import ScriptedTraffic, TrafficConfig, TrafficGenerator
+from repro.topology.base import Coord, Link, Topology
+from repro.topology.classes import ClassRule
+from repro.topology.wires import Wire
+
+__all__ = [
+    "DifferentialOracle",
+    "HARD_DISAGREEMENTS",
+    "SimProfile",
+    "TrialResult",
+    "fast_profile",
+]
+
+#: Classifications that mean the oracles contradict each other.
+HARD_DISAGREEMENTS = (
+    "theorem-safe-cdg-cyclic",
+    "cdg-acyclic-sim-deadlock",
+    "valid-design-rejected",
+    "valid-design-unroutable",
+    "oracle-error",
+)
+
+
+@dataclass(frozen=True)
+class SimProfile:
+    """Budgets for the simulation oracle (picklable; ships to workers)."""
+
+    #: Crafted-ring run: worms sized ``buffer_depth + 2``, watchdog cycles.
+    crafted_watchdog: int = 50
+    crafted_buffer_depth: int = 2
+    #: Adversarial runs: cycles / rate / length / buffers / watchdog / seeds.
+    cycles: int = 600
+    injection_rate: float = 0.32
+    packet_length: int = 8
+    buffer_depth: int = 2
+    watchdog: int = 200
+    seeds: tuple[int, ...] = (0,)
+    #: Fraction of hotspot traffic aimed at the first node.
+    hotspot_fraction: float = 0.5
+    #: Simple-cycle enumeration budget when picking a crafted ring.
+    cycle_search_limit: int = 400
+
+
+def fast_profile() -> SimProfile:
+    """A cheaper profile for property tests and smoke runs."""
+    return SimProfile(cycles=250, watchdog=120, seeds=(0,))
+
+
+@dataclass
+class TrialResult:
+    """Everything one differential trial produced (JSON-safe via to_dict)."""
+
+    design: FuzzDesign
+    theorem_safe: bool = False
+    theorem_violations: tuple[str, ...] = ()
+    cdg_acyclic: bool = False
+    cdg_wires: int = 0
+    cdg_dependencies: int = 0
+    cdg_cycle: tuple[str, ...] = ()
+    sim_deadlock: bool = False
+    sim_unroutable: bool = False
+    sim_runs: tuple[dict, ...] = ()
+    forensics: dict | None = None
+    #: Witness wires ⊆ CDG cyclic core?  None when either oracle is quiet.
+    witness_in_core: bool | None = None
+    classification: str = "oracle-error"
+    disagreement: str | None = None
+    error: str | None = None
+
+    @property
+    def all_flagged(self) -> bool:
+        """Did all three oracles independently flag the design unsafe?"""
+        return (
+            not self.theorem_safe and not self.cdg_acyclic and self.sim_deadlock
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design.to_dict(),
+            "theorem_safe": self.theorem_safe,
+            "theorem_violations": list(self.theorem_violations),
+            "cdg_acyclic": self.cdg_acyclic,
+            "cdg_wires": self.cdg_wires,
+            "cdg_dependencies": self.cdg_dependencies,
+            "cdg_cycle": list(self.cdg_cycle),
+            "sim_deadlock": self.sim_deadlock,
+            "sim_unroutable": self.sim_unroutable,
+            "sim_runs": list(self.sim_runs),
+            "forensics": self.forensics,
+            "witness_in_core": self.witness_in_core,
+            "classification": self.classification,
+            "disagreement": self.disagreement,
+            "error": self.error,
+        }
+
+
+class CycleRouting(RoutingFunction):
+    """Deterministic routing along one concrete CDG cycle.
+
+    Every offered move is a wire of the cycle, and every cycle edge is a
+    straight-through or design-allowed transition by construction — so the
+    relation is a sub-relation of the design's, and any deadlock it
+    produces is a genuine deadlock of the design itself.  Requires a
+    node-simple cycle (distinct source routers), which makes both the
+    injection map and the (router, in-channel) next-hop map unambiguous.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cycle: tuple[Wire, ...],
+        classes: tuple[Channel, ...],
+        rule: ClassRule,
+    ) -> None:
+        super().__init__(topology, rule)
+        self.cycle = cycle
+        self._classes = tuple(classes)
+        self._inject: dict[Coord, Wire] = {w.src: w for w in cycle}
+        self._next: dict[tuple[Coord, Channel], Wire] = {}
+        k = len(cycle)
+        for i, wire in enumerate(cycle):
+            self._next[(wire.dst, wire.channel)] = cycle[(i + 1) % k]
+
+    @property
+    def channel_classes(self) -> tuple[Channel, ...]:
+        return self._classes
+
+    def candidates(
+        self, cur: Coord, dst: Coord, in_channel: Channel | None
+    ) -> list[Candidate]:
+        if cur == dst:
+            return []
+        if in_channel is None:
+            wire = self._inject.get(cur)
+        else:
+            wire = self._next.get((cur, in_channel))
+        if wire is None:
+            return []
+        return [(wire.dst, wire.channel)]
+
+
+def unbroken_wrap_rings(
+    topology: Topology,
+    classes: tuple[Channel, ...],
+    turnset: TurnSet,
+    rule: ClassRule,
+) -> list[str]:
+    """Concrete rings a packet class-walk can traverse end-around.
+
+    For each unidirectional ring of links (a closed walk all in one
+    (dim, sign)), build the tiny graph of (position, channel) states
+    connected by straight-through or allowed same-ring transitions; a
+    cycle there means the ring is *unbroken* — some class assignment lets
+    a packet chase its own tail around the wrap, which the theorem oracle
+    must report as unsafe (dateline's one-way class switch is exactly what
+    breaks it).  Meshes have no link rings, so this is vacuous there.
+    """
+    out: list[str] = []
+    for ring in _link_rings(topology):
+        graph = nx.DiGraph()
+        k = len(ring)
+        for i, link in enumerate(ring):
+            nxt = ring[(i + 1) % k]
+            here = _instantiable(classes, link, rule)
+            there = _instantiable(classes, nxt, rule)
+            for a in here:
+                for b in there:
+                    if a == b or turnset.allows(a, b):
+                        graph.add_edge((i, a), ((i + 1) % k, b))
+        try:
+            nx.find_cycle(graph)
+        except nx.NetworkXNoCycle:
+            continue
+        first = ring[0]
+        out.append(
+            f"ring dim={first.dim} sign={first.sign:+d} through"
+            f" {first.src} is unbroken (closed class walk exists)"
+        )
+    return out
+
+
+def _instantiable(
+    classes: tuple[Channel, ...], link: Link, rule: ClassRule
+) -> list[Channel]:
+    tag = rule(link)
+    return [
+        c
+        for c in classes
+        if c.dim == link.dim and c.sign == link.sign and c.cls == tag
+    ]
+
+
+def _link_rings(topology: Topology) -> list[list[Link]]:
+    """Every closed unidirectional link walk, one per (dim, sign, ring)."""
+    by_dir: dict[tuple[int, int], dict[Coord, Link]] = {}
+    for link in topology.links:
+        by_dir.setdefault((link.dim, link.sign), {})[link.src] = link
+    rings: list[list[Link]] = []
+    for _direction, nxt in sorted(by_dir.items()):
+        visited: set[Coord] = set()
+        for start in sorted(nxt):
+            if start in visited:
+                continue
+            walk: list[Link] = []
+            node = start
+            while node in nxt and node not in visited:
+                visited.add(node)
+                link = nxt[node]
+                walk.append(link)
+                node = link.dst
+            if walk and node == start:
+                rings.append(walk)
+    return rings
+
+
+class DifferentialOracle:
+    """Runs one design through all three verdict paths and classifies."""
+
+    def __init__(self, profile: SimProfile | None = None) -> None:
+        self.profile = profile or SimProfile()
+
+    # -- individual oracles ------------------------------------------------
+
+    def theorem_verdict(
+        self, design: FuzzDesign
+    ) -> tuple[bool, tuple[str, ...]]:
+        """(safe, violations) from the class-level theorem checks."""
+        seq, turnset = design.compile()
+        reports = audit_turns(seq, sorted(turnset.turns))
+        violations = [v for rep in reports for v in rep.violations]
+        violations.extend(
+            unbroken_wrap_rings(
+                design.topology(), seq.all_channels, turnset, design.class_rule()
+            )
+        )
+        return (not violations, tuple(violations))
+
+    def cdg_graph(self, design: FuzzDesign) -> "nx.DiGraph":
+        seq, turnset = design.compile()
+        return build_turn_cdg(
+            design.topology(), turnset, seq.all_channels, design.class_rule()
+        )
+
+    def cdg_verdict(self, design: FuzzDesign) -> Verdict:
+        return verdict_for(self.cdg_graph(design))
+
+    # -- the full trial ----------------------------------------------------
+
+    def run(self, design: FuzzDesign) -> TrialResult:
+        result = TrialResult(design=design)
+        try:
+            self._run(design, result)
+        except Exception as exc:  # noqa: BLE001 — an oracle crash IS a finding
+            result.classification = "oracle-error"
+            result.disagreement = "oracle-error"
+            result.error = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+        return result
+
+    def _run(self, design: FuzzDesign, result: TrialResult) -> None:
+        seq, turnset = design.compile()
+        topology = design.topology()
+        rule = design.class_rule()
+
+        reports = audit_turns(seq, sorted(turnset.turns))
+        violations = [v for rep in reports for v in rep.violations]
+        violations.extend(
+            unbroken_wrap_rings(topology, seq.all_channels, turnset, rule)
+        )
+        result.theorem_safe = not violations
+        result.theorem_violations = tuple(violations)
+
+        graph = build_turn_cdg(topology, turnset, seq.all_channels, rule)
+        verdict = verdict_for(graph)
+        result.cdg_acyclic = verdict.acyclic
+        result.cdg_wires = verdict.wires
+        result.cdg_dependencies = verdict.dependencies
+        result.cdg_cycle = tuple(str(w) for w in verdict.cycle)
+
+        runs, forensics = self._simulate(
+            design, seq, turnset, topology, rule, graph, verdict
+        )
+        result.sim_runs = tuple(runs)
+        result.sim_deadlock = any(r.get("deadlocked") for r in runs)
+        result.sim_unroutable = any(r.get("unroutable") for r in runs)
+        result.forensics = forensics.to_dict() if forensics else None
+
+        if forensics is not None and not verdict.acyclic:
+            core = {str(w) for w in cyclic_core(graph)}
+            held = {w for wires in forensics.witness_channels for w in wires}
+            result.witness_in_core = bool(held) and held <= core
+
+        result.classification, result.disagreement = self._classify(
+            design.labeled_valid,
+            result.theorem_safe,
+            result.cdg_acyclic,
+            result.sim_deadlock,
+            result.sim_unroutable,
+        )
+
+    @staticmethod
+    def _classify(
+        labeled_valid: bool,
+        theorem_safe: bool,
+        cdg_acyclic: bool,
+        deadlock: bool,
+        unroutable: bool,
+    ) -> tuple[str, str | None]:
+        if theorem_safe and not cdg_acyclic:
+            return "theorem-safe-cdg-cyclic", "theorem-safe-cdg-cyclic"
+        if cdg_acyclic and deadlock:
+            return "cdg-acyclic-sim-deadlock", "cdg-acyclic-sim-deadlock"
+        if labeled_valid and not theorem_safe:
+            return "valid-design-rejected", "valid-design-rejected"
+        if theorem_safe:  # and acyclic, no deadlock
+            if unroutable:
+                if labeled_valid:
+                    return "valid-design-unroutable", "valid-design-unroutable"
+                return "unroutable", None
+            return "safe-confirmed", None
+        # Theorems reject from here on (and the design is labeled mutant).
+        if cdg_acyclic:
+            return "unsafe-conservative", None
+        if deadlock:
+            return "unsafe-flagged", None
+        if unroutable:
+            return "unroutable", None
+        return "cyclic-not-triggered", None
+
+    # -- simulation oracle -------------------------------------------------
+
+    def _simulate(
+        self,
+        design: FuzzDesign,
+        seq: PartitionSequence,
+        turnset: TurnSet,
+        topology: Topology,
+        rule: ClassRule,
+        graph: "nx.DiGraph",
+        verdict: Verdict,
+    ) -> tuple[list[dict], object]:
+        profile = self.profile
+        runs: list[dict] = []
+        forensics = None
+
+        if not verdict.acyclic:
+            crafted, crafted_forensics = self._crafted_ring_run(
+                topology, seq, rule, graph
+            )
+            if crafted is not None:
+                runs.append(crafted)
+                forensics = forensics or crafted_forensics
+                if crafted.get("deadlocked"):
+                    return runs, forensics
+
+        try:
+            routing = TurnTableRouting(
+                topology, seq, rule, turnset=turnset, validate=False
+            )
+        except EbdaError as exc:
+            runs.append(
+                {"kind": "routing-build", "unroutable": True, "error": str(exc)}
+            )
+            return runs, forensics
+
+        nodes = sorted(topology.nodes)
+        patterns: list[tuple[str, object]] = []
+        if design.topology_kind == "torus":
+            patterns.append(("tornado", tornado))
+        elif len(design.shape) >= 2 and design.shape[0] == design.shape[1]:
+            patterns.append(("rotate90", rotate90))
+        else:
+            patterns.append(("uniform", uniform))
+        patterns.append(
+            ("hotspot", hotspot([nodes[0]], profile.hotspot_fraction))
+        )
+
+        for seed in profile.seeds:
+            for name, pattern in patterns:
+                run = self._adversarial_run(
+                    topology, routing, rule, name, pattern, seed
+                )
+                runs.append(run)
+                if run.get("deadlocked"):
+                    if forensics is None and run.pop("_forensics", None):
+                        forensics = run.pop("_forensics_obj", None)
+                    return runs, forensics
+        return runs, forensics
+
+    def _adversarial_run(
+        self,
+        topology: Topology,
+        routing: RoutingFunction,
+        rule: ClassRule,
+        pattern_name: str,
+        pattern,
+        seed: int,
+    ) -> dict:
+        profile = self.profile
+        collector = MetricsCollector(sample_every=max(1, profile.cycles))
+        sim = NetworkSimulator(
+            topology,
+            routing,
+            rule,
+            buffer_depth=profile.buffer_depth,
+            watchdog=profile.watchdog,
+            seed=seed,
+            metrics=collector,
+        )
+        traffic = TrafficGenerator(
+            topology,
+            TrafficConfig(
+                injection_rate=profile.injection_rate,
+                packet_length=profile.packet_length,
+                pattern=pattern,
+                seed=seed,
+            ),
+        )
+        record: dict = {"kind": "adversarial", "pattern": pattern_name, "seed": seed}
+        try:
+            stats = sim.run(profile.cycles, traffic)
+        except (RoutingError, SimulationError) as exc:
+            record.update(unroutable=True, error=str(exc))
+            return record
+        record.update(
+            deadlocked=stats.deadlocked,
+            cycles=stats.cycles,
+            delivered=stats.packets_delivered,
+        )
+        if stats.deadlocked and collector.forensics is not None:
+            record["_forensics"] = True
+            record["_forensics_obj"] = collector.forensics
+        return record
+
+    def _crafted_ring_run(
+        self,
+        topology: Topology,
+        seq: PartitionSequence,
+        rule: ClassRule,
+        graph: "nx.DiGraph",
+    ) -> tuple[dict | None, object]:
+        profile = self.profile
+        cycle = self._pick_cycle(graph)
+        if cycle is None:
+            return None, None
+        routing = CycleRouting(topology, cycle, seq.all_channels, rule)
+        depth = profile.crafted_buffer_depth
+        length = depth + 2
+        k = len(cycle)
+        script = []
+        for i, wire in enumerate(cycle):
+            dst = cycle[(i + 1) % k].dst  # two hops along the ring
+            if dst == wire.src:
+                return None, None
+            script.append((wire.src, dst, length))
+        collector = MetricsCollector(sample_every=profile.crafted_watchdog)
+        sim = NetworkSimulator(
+            topology,
+            routing,
+            rule,
+            buffer_depth=depth,
+            watchdog=profile.crafted_watchdog,
+            seed=0,
+            metrics=collector,
+        )
+        record: dict = {"kind": "crafted-ring", "ring": [str(w) for w in cycle]}
+        try:
+            stats = sim.run(profile.crafted_watchdog * 5, ScriptedTraffic({0: script}))
+        except (RoutingError, SimulationError) as exc:
+            record.update(unroutable=True, error=str(exc))
+            return record, None
+        record.update(deadlocked=stats.deadlocked, cycles=stats.cycles)
+        return record, collector.forensics
+
+    def _pick_cycle(self, graph: "nx.DiGraph") -> tuple[Wire, ...] | None:
+        """A small node-simple CDG cycle (distinct routers), if any exists.
+
+        Worms can only be parked unambiguously along a cycle whose wires
+        start at distinct routers and span at least three of them; a
+        2-wire back-and-forth (e.g. a lone descending U-turn) has no such
+        arrangement — the caller then falls back to adversarial traffic.
+        """
+        limit = self.profile.cycle_search_limit
+        for bound in (3, 4, 6, 8, 12):
+            candidates = []
+            seen = 0
+            for nodes in nx.simple_cycles(graph, length_bound=bound):
+                seen += 1
+                if seen > limit:
+                    break
+                if len(nodes) < 3:
+                    continue
+                sources = {w.src for w in nodes}
+                if len(sources) != len(nodes):
+                    continue
+                candidates.append(_canonical_rotation(tuple(nodes)))
+            if candidates:
+                return min(
+                    candidates,
+                    key=lambda c: (len(c), tuple(str(w) for w in c)),
+                )
+        return None
+
+
+def _canonical_rotation(cycle: tuple[Wire, ...]) -> tuple[Wire, ...]:
+    """Rotate a cycle to start at its lexicographically smallest wire.
+
+    ``nx.simple_cycles`` emits an arbitrary rotation (it varies with the
+    process hash seed), so selection must compare rotation-invariant forms
+    to keep crafted-ring runs byte-for-byte reproducible across workers.
+    """
+    start = min(range(len(cycle)), key=lambda i: str(cycle[i]))
+    return cycle[start:] + cycle[:start]

@@ -1,0 +1,277 @@
+"""The fuzzing campaign driver: fan out trials, shrink and persist findings.
+
+:func:`run_fuzz` generates seeded designs, runs each through the
+:class:`~repro.fuzz.oracle.DifferentialOracle` (fanning batches out over a
+:class:`~repro.sim.parallel.SweepEngine` worker pool when one is given),
+and collects a :class:`FuzzReport`.  Any trial whose verdicts disagree is
+delta-debugged down to a minimal witness that *still reproduces the same
+disagreement* and — when a corpus directory is given — persisted with its
+generator seed and trial index so the exact design replays forever.
+
+:func:`replay_corpus` re-runs every saved witness; :func:`self_check`
+injects a synthetic disagreement (a mutant falsely labeled valid) and
+proves the whole detect → shrink → persist pipeline catches it and
+minimises it to within the 2-ary 2-mesh witness bound.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fuzz.corpus import CorpusEntry, load_corpus, replay_entry, save_entry
+from repro.fuzz.design import FuzzDesign, Mutation
+from repro.fuzz.generator import DesignGenerator
+from repro.fuzz.oracle import DifferentialOracle, SimProfile, TrialResult
+from repro.fuzz.shrink import ShrinkResult, shrink, within_witness_bound
+from repro.sim.parallel import SweepEngine
+
+__all__ = [
+    "Disagreement",
+    "FuzzReport",
+    "replay_corpus",
+    "run_fuzz",
+    "self_check",
+]
+
+
+def _run_trial(payload: tuple[dict, SimProfile]) -> TrialResult:
+    """One differential trial (module-level so worker pools can pickle it)."""
+    design_dict, profile = payload
+    oracle = DifferentialOracle(profile)
+    return oracle.run(FuzzDesign.from_dict(design_dict))
+
+
+@dataclass
+class Disagreement:
+    """A hard oracle disagreement, with its minimised witness."""
+
+    trial: int
+    classification: str
+    original: FuzzDesign
+    shrunk: ShrinkResult
+    error: str | None = None
+    corpus_path: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "trial": self.trial,
+            "classification": self.classification,
+            "original": self.original.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "error": self.error,
+            "corpus_path": self.corpus_path,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzzing campaign produced."""
+
+    seed: int
+    runs_requested: int
+    runs_completed: int = 0
+    elapsed_s: float = 0.0
+    counts: dict = field(default_factory=dict)
+    disagreements: list = field(default_factory=list)
+    trials: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No hard disagreement surfaced."""
+        return not self.disagreements
+
+    def summary(self) -> str:
+        parts = [
+            f"fuzz seed={self.seed}:"
+            f" {self.runs_completed}/{self.runs_requested} trials"
+            f" in {self.elapsed_s:.1f}s"
+        ]
+        for cls in sorted(self.counts):
+            parts.append(f"  {cls}: {self.counts[cls]}")
+        if self.disagreements:
+            parts.append(f"  HARD DISAGREEMENTS: {len(self.disagreements)}")
+            for d in self.disagreements:
+                parts.append(
+                    f"    trial {d.trial} [{d.classification}]"
+                    f" -> {d.shrunk.design.describe()}"
+                )
+        else:
+            parts.append("  oracles agree on every trial")
+        return "\n".join(parts)
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """One JSON line per trial, then one ``report`` line with totals."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for i, trial in enumerate(self.trials):
+                fh.write(
+                    json.dumps({"kind": "trial", "trial": i, **trial.to_dict()})
+                    + "\n"
+                )
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "report",
+                        "seed": self.seed,
+                        "runs_requested": self.runs_requested,
+                        "runs_completed": self.runs_completed,
+                        "elapsed_s": self.elapsed_s,
+                        "counts": self.counts,
+                        "ok": self.ok,
+                        "disagreements": [
+                            d.to_dict() for d in self.disagreements
+                        ],
+                    }
+                )
+                + "\n"
+            )
+        return path
+
+
+def run_fuzz(
+    runs: int = 200,
+    seed: int = 0,
+    *,
+    budget_s: float | None = None,
+    corpus_dir: str | Path | None = None,
+    engine: SweepEngine | None = None,
+    profile: SimProfile | None = None,
+    generator: DesignGenerator | None = None,
+) -> FuzzReport:
+    """Run a differential fuzzing campaign.
+
+    Trials are generated and judged in batches; ``budget_s`` is checked
+    between batches, so a campaign is cut short cleanly rather than
+    mid-trial.  Each hard disagreement is shrunk (preserving its exact
+    classification) and, with ``corpus_dir`` set, saved for replay.
+    """
+    profile = profile or SimProfile()
+    generator = generator or DesignGenerator(seed)
+    jobs = engine.jobs if engine is not None else 1
+    batch_size = max(8, jobs * 4)
+    started = time.monotonic()
+    report = FuzzReport(seed=seed, runs_requested=runs)
+    counts: Counter = Counter()
+
+    trial = 0
+    while trial < runs:
+        if budget_s is not None and time.monotonic() - started >= budget_s:
+            break
+        batch = generator.designs(min(batch_size, runs - trial), start=trial)
+        payloads = [(d.to_dict(), profile) for d in batch]
+        if engine is not None:
+            results = engine.map_tasks(_run_trial, payloads)
+        else:
+            results = [_run_trial(p) for p in payloads]
+        for offset, result in enumerate(results):
+            counts[result.classification] += 1
+            report.trials.append(result)
+            if result.disagreement:
+                report.disagreements.append(
+                    _handle_disagreement(
+                        trial + offset, result, profile, corpus_dir, seed
+                    )
+                )
+        trial += len(batch)
+        report.runs_completed = trial
+
+    report.counts = dict(counts)
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def _handle_disagreement(
+    trial: int,
+    result: TrialResult,
+    profile: SimProfile,
+    corpus_dir: str | Path | None,
+    seed: int,
+) -> Disagreement:
+    """Shrink a disagreeing design and persist the witness."""
+    oracle = DifferentialOracle(profile)
+    target = result.classification
+
+    def same_disagreement(candidate: FuzzDesign) -> bool:
+        return oracle.run(candidate).classification == target
+
+    shrunk = shrink(result.design, same_disagreement)
+    disagreement = Disagreement(
+        trial=trial,
+        classification=target,
+        original=result.design,
+        shrunk=shrunk,
+        error=result.error,
+    )
+    if corpus_dir is not None:
+        entry = CorpusEntry(
+            design=shrunk.design,
+            expect=target,
+            note=f"minimised from fuzz trial {trial} ({result.design.describe()})",
+            origin={"seed": seed, "trial": trial, "found-by": "run_fuzz"},
+        )
+        disagreement.corpus_path = str(save_entry(entry, corpus_dir))
+    return disagreement
+
+
+def replay_corpus(
+    corpus_dir: str | Path,
+    *,
+    profile: SimProfile | None = None,
+) -> list[tuple[CorpusEntry, bool, TrialResult]]:
+    """Re-judge every saved witness; (entry, still_detected, trial) each."""
+    oracle = DifferentialOracle(profile or SimProfile())
+    out = []
+    for entry in load_corpus(corpus_dir):
+        detected, trial = replay_entry(entry, oracle)
+        out.append((entry, detected, trial))
+    return out
+
+
+def self_check(profile: SimProfile | None = None) -> tuple[bool, str]:
+    """Prove the detect → shrink pipeline works, end to end.
+
+    Injects a synthetic disagreement — a Theorem-1-violating mutant
+    *falsely labeled valid*, which the oracle must classify as the hard
+    ``valid-design-rejected`` — then shrinks it and checks the witness
+    lands within the 2-ary 2-mesh bound.  A fuzzer whose own alarm wiring
+    is broken would pass every campaign silently; this catches that.
+    """
+    oracle = DifferentialOracle(profile or SimProfile())
+    injected = FuzzDesign(
+        topology_kind="mesh",
+        shape=(4, 4),
+        sequence="X+ X- Y+ -> Y-",
+        rule="none",
+        mutations=(
+            Mutation("duplicate-pair", partition=0, channels="Y2+ Y2-"),
+        ),
+        label="valid:injected-self-check",
+    )
+    result = oracle.run(injected)
+    if result.classification != "valid-design-rejected":
+        return (
+            False,
+            "self-check FAILED: injected disagreement classified as"
+            f" {result.classification!r}, expected 'valid-design-rejected'",
+        )
+
+    def same(candidate: FuzzDesign) -> bool:
+        return oracle.run(candidate).classification == "valid-design-rejected"
+
+    shrunk = shrink(injected, same)
+    if not within_witness_bound(shrunk.design):
+        return (
+            False,
+            "self-check FAILED: witness did not shrink within the 2-ary"
+            f" 2-mesh bound: {shrunk.design.describe()}",
+        )
+    return (
+        True,
+        "self-check ok: injected disagreement detected and shrunk to"
+        f" {shrunk.design.describe()} in {shrunk.steps} steps",
+    )

@@ -42,6 +42,15 @@ class TurnTableRouting(RoutingFunction):
         ``"minimal"`` uses the topology's minimal-direction oracle;
         ``"progressive"`` uses ``progressive_directions`` where available
         (irregular topologies whose minimal oracle can dead-end).
+    turnset:
+        An explicit :class:`TurnSet` to route with instead of extracting
+        one from ``design``.  The differential fuzzer uses this to execute
+        *mutated* (possibly theorem-violating) turn relations; the design
+        still supplies the channel inventory.
+    validate:
+        ``False`` skips Theorem 1/3 validation of the design — required
+        when deliberately routing an invalid design (with ``turnset`` or
+        ``transitions`` extraction via ``validate=False`` upstream).
     """
 
     def __init__(
@@ -55,10 +64,17 @@ class TurnTableRouting(RoutingFunction):
         ui_turns: bool = True,
         fallback: str = "none",
         label: str | None = None,
+        turnset: TurnSet | None = None,
+        validate: bool = True,
     ) -> None:
         super().__init__(topology, rule)
-        self.design = design.validate()
-        self.turnset: TurnSet = extract_turns(design, transitions=transitions)
+        self.design = design.validate() if validate else design
+        if turnset is not None:
+            self.turnset: TurnSet = turnset
+        else:
+            self.turnset = extract_turns(
+                design, transitions=transitions, validate=validate
+            )
         if not ui_turns:
             # Ablation/fault-tolerance studies: strip the Theorem-2/3 U- and
             # I-turns, keeping only 90-degree turns.  Still safe (a subset

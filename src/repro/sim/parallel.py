@@ -392,6 +392,32 @@ class SweepEngine:
 
     # -- fan-out ---------------------------------------------------------------
 
+    def map_tasks(self, fn, payloads: Iterable) -> list:
+        """Fan arbitrary independent tasks out over the worker pool.
+
+        ``fn`` must be a module-level callable and each payload picklable
+        for the parallel path; otherwise the whole batch degrades to the
+        deterministic in-process fallback (same results, serially).
+        Results preserve payload order.  Unlike :meth:`run_many` this does
+        not consult the result cache — callers own their own memoisation.
+        The fuzzing harness (:mod:`repro.fuzz.runner`) uses this to spread
+        differential trials across workers.
+        """
+        items = list(payloads)
+        parallel = (
+            self.jobs > 1
+            and len(items) > 1
+            and _picklable(fn)
+            and all(_picklable(item) for item in items)
+        )
+        if not parallel:
+            return [fn(item) for item in items]
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            return list(pool.map(fn, items))
+        finally:
+            pool.shutdown()
+
     def run_many(
         self,
         points: Iterable[tuple[Topology, object, RunConfig]],

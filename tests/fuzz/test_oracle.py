@@ -1,0 +1,132 @@
+"""The differential oracle: verdicts, classification, forensics wiring."""
+
+import pytest
+
+from repro.cdg.verify import cyclic_core
+from repro.fuzz import (
+    HARD_DISAGREEMENTS,
+    DifferentialOracle,
+    FuzzDesign,
+    Mutation,
+    fast_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return DifferentialOracle(fast_profile())
+
+
+VALID_MESH = FuzzDesign("mesh", (3, 3), "X+ X- Y+ -> Y-", label="valid:mesh-alg1")
+VALID_TORUS = FuzzDesign(
+    "torus",
+    (3,),
+    "X+@r X-@r -> X2+@w X2-@w -> X2+@r X2-@r",
+    rule="dateline",
+    label="valid:torus-dateline",
+)
+DUP_PAIR_2X2 = FuzzDesign(
+    "mesh",
+    (2, 2),
+    "X+ X- Y+ -> Y-",
+    mutations=(Mutation("duplicate-pair", partition=0, channels="Y2+ Y2-"),),
+    label="mutant:duplicate-pair",
+)
+
+
+def test_valid_mesh_is_safe_confirmed(oracle):
+    result = oracle.run(VALID_MESH)
+    assert result.classification == "safe-confirmed"
+    assert result.disagreement is None
+    assert result.theorem_safe and result.cdg_acyclic
+    assert not result.sim_deadlock
+    assert result.error is None
+
+
+def test_valid_dateline_torus_is_safe_confirmed(oracle):
+    result = oracle.run(VALID_TORUS)
+    assert result.classification == "safe-confirmed"
+    assert result.theorem_safe and result.cdg_acyclic
+    assert not result.sim_deadlock
+
+
+def test_duplicate_pair_mutant_flagged_by_all_three(oracle):
+    result = oracle.run(DUP_PAIR_2X2)
+    assert result.classification == "unsafe-flagged"
+    assert result.all_flagged
+    assert result.disagreement is None
+    assert any("complete pairs" in v for v in result.theorem_violations)
+    assert result.cdg_cycle  # concrete wire cycle reported
+
+
+def test_mesh_design_on_torus_caught_by_wrap_ring_check(oracle):
+    design = FuzzDesign(
+        "torus", (3, 3), "X+ X- Y+ -> Y-", rule="none", label="mutant:drop-channel"
+    )
+    result = oracle.run(design)
+    assert result.classification == "unsafe-flagged"
+    assert result.all_flagged
+    assert any("unbroken" in v for v in result.theorem_violations)
+
+
+def test_deadlock_report_embeds_forensics_witness(oracle):
+    result = oracle.run(DUP_PAIR_2X2)
+    assert result.sim_deadlock
+    assert result.forensics is not None
+    assert result.forensics["wait_cycle"]
+    assert result.forensics["witness_channels"]
+
+
+def test_witness_channels_lie_in_cdg_cyclic_core(oracle):
+    """When sim and CDG both fire, the held wires sit in the cyclic core."""
+    result = oracle.run(DUP_PAIR_2X2)
+    assert result.witness_in_core is True
+    graph = oracle.cdg_graph(DUP_PAIR_2X2)
+    core = {str(w) for w in cyclic_core(graph)}
+    held = {w for wires in result.forensics["witness_channels"] for w in wires}
+    assert held and held <= core
+
+
+def test_descending_uturn_is_cyclic_not_triggered(oracle):
+    design = FuzzDesign(
+        "mesh",
+        (3, 3),
+        "X+ X- Y+ -> Y-",
+        mutations=(Mutation("add-turn", turn="X-->X+"),),
+        label="mutant:add-turn",
+    )
+    result = oracle.run(design)
+    # Minimal routing never offers the non-productive reversal, so the
+    # 2-wire CDG cycle cannot be expressed dynamically: agreement, not a
+    # disagreement (the CDG is conservative by construction).
+    assert result.classification == "cyclic-not-triggered"
+    assert result.disagreement is None
+
+
+def test_mutant_falsely_labeled_valid_is_hard_disagreement(oracle):
+    forged = FuzzDesign(
+        "mesh",
+        (2, 2),
+        "X+ X- Y+ -> Y-",
+        mutations=DUP_PAIR_2X2.mutations,
+        label="valid:forged",
+    )
+    result = oracle.run(forged)
+    assert result.classification == "valid-design-rejected"
+    assert result.disagreement in HARD_DISAGREEMENTS
+
+
+def test_oracle_errors_are_captured_not_raised(oracle):
+    broken = FuzzDesign("mesh", (2, 2), "not a sequence", label="valid:broken")
+    result = oracle.run(broken)
+    assert result.classification == "oracle-error"
+    assert result.disagreement == "oracle-error"
+    assert result.error
+
+
+def test_trial_result_is_json_safe(oracle):
+    import json
+
+    result = oracle.run(DUP_PAIR_2X2)
+    payload = json.dumps(result.to_dict())
+    assert "unsafe-flagged" in payload

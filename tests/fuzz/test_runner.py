@@ -1,0 +1,93 @@
+"""Campaign driver: reports, budget, disagreement pipeline, self-check."""
+
+import json
+
+from repro.fuzz import (
+    DesignGenerator,
+    FuzzDesign,
+    Mutation,
+    fast_profile,
+    load_corpus,
+    run_fuzz,
+    self_check,
+)
+from repro.fuzz.shrink import within_witness_bound
+from repro.sim.parallel import SweepEngine
+
+FORGED = FuzzDesign(
+    "mesh",
+    (3, 3),
+    "X+ X- Y+ -> Y-",
+    mutations=(Mutation("duplicate-pair", partition=0, channels="Y2+ Y2-"),),
+    label="valid:forged",
+)
+
+
+class _InjectingGenerator(DesignGenerator):
+    """Yields one forged disagreement amid otherwise honest trials."""
+
+    def design_for(self, trial: int) -> FuzzDesign:
+        if trial == 2:
+            return FORGED
+        return super().design_for(trial)
+
+
+def test_small_campaign_agrees_and_reports(tmp_path):
+    report = run_fuzz(10, seed=0, profile=fast_profile())
+    assert report.ok
+    assert report.runs_completed == 10
+    assert sum(report.counts.values()) == 10
+    assert "oracles agree" in report.summary()
+
+    path = report.to_jsonl(tmp_path / "report.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 11
+    assert lines[-1]["kind"] == "report"
+    assert lines[-1]["ok"] is True
+    assert all(line["kind"] == "trial" for line in lines[:-1])
+
+
+def test_campaign_results_match_serial_reference():
+    serial = run_fuzz(8, seed=4, profile=fast_profile())
+    pooled = run_fuzz(
+        8, seed=4, profile=fast_profile(), engine=SweepEngine(jobs=2)
+    )
+    assert [t.classification for t in serial.trials] == [
+        t.classification for t in pooled.trials
+    ]
+
+
+def test_budget_stops_between_batches():
+    report = run_fuzz(10_000, seed=0, budget_s=0.0, profile=fast_profile())
+    assert report.runs_completed < 10_000
+
+
+def test_injected_disagreement_is_shrunk_and_persisted(tmp_path):
+    report = run_fuzz(
+        4,
+        seed=0,
+        corpus_dir=tmp_path,
+        profile=fast_profile(),
+        generator=_InjectingGenerator(seed=0),
+    )
+    assert not report.ok
+    assert len(report.disagreements) == 1
+    d = report.disagreements[0]
+    assert d.trial == 2
+    assert d.classification == "valid-design-rejected"
+    assert d.original == FORGED
+    assert within_witness_bound(d.shrunk.design)
+    assert d.shrunk.design.size() < FORGED.size()
+
+    saved = load_corpus(tmp_path)
+    assert len(saved) == 1
+    assert saved[0].design == d.shrunk.design
+    assert saved[0].expect == "valid-design-rejected"
+    assert saved[0].origin["trial"] == 2
+    assert "HARD DISAGREEMENTS" in report.summary()
+
+
+def test_self_check_passes():
+    ok, message = self_check(fast_profile())
+    assert ok, message
+    assert "shrunk" in message

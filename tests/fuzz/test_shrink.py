@@ -1,0 +1,93 @@
+"""Shrinker: monotone size decrease, predicate preservation, witness bound."""
+
+from repro.fuzz import (
+    DifferentialOracle,
+    FuzzDesign,
+    Mutation,
+    fast_profile,
+    shrink,
+    within_witness_bound,
+)
+
+START = FuzzDesign(
+    "mesh",
+    (4, 4),
+    "X+ X- Y+ -> Y-",
+    mutations=(Mutation("duplicate-pair", partition=0, channels="Y2+ Y2-"),),
+    label="mutant:duplicate-pair",
+)
+
+
+def _cyclic(design: FuzzDesign) -> bool:
+    return not DifferentialOracle(fast_profile()).cdg_verdict(design).acyclic
+
+
+def test_shrink_preserves_predicate_and_decreases_size():
+    assert _cyclic(START)
+    result = shrink(START, _cyclic)
+    assert _cyclic(result.design)
+    assert result.design.size() < START.size()
+    assert result.steps == len(result.trace)
+
+
+def test_shrink_chain_is_strictly_monotone():
+    # Re-run one accepted move at a time: every step of the chain must
+    # strictly decrease the size metric and keep the predicate true.
+    current = START
+    sizes = [current.size()]
+    while True:
+        step = shrink(current, _cyclic, max_steps=1)
+        if step.steps == 0:
+            break
+        assert step.design.size() < current.size()
+        assert _cyclic(step.design)
+        current = step.design
+        sizes.append(current.size())
+    assert len(sizes) >= 2  # at least one move was accepted
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_duplicate_pair_shrinks_to_minimal_2x2_witness():
+    result = shrink(START, _cyclic)
+    assert within_witness_bound(result.design)
+    assert result.design.shape == (2, 2)
+    # The witness keeps exactly the cycle-forming ingredients: one X pair
+    # partition plus the grafted Y pair mutation.
+    assert result.design.mutations == START.mutations
+    assert result.design.size() == (3, 4, 1)
+
+
+def test_shrink_is_a_fixpoint():
+    result = shrink(START, _cyclic)
+    again = shrink(result.design, _cyclic)
+    assert again.design == result.design
+    assert again.steps == 0
+
+
+def test_shrink_with_full_oracle_predicate_matches():
+    oracle = DifferentialOracle(fast_profile())
+
+    def still_flags(design: FuzzDesign) -> bool:
+        return oracle.run(design).classification == "unsafe-flagged"
+
+    result = shrink(START, still_flags)
+    assert within_witness_bound(result.design)
+    assert still_flags(result.design)
+
+
+def test_torus_witness_can_flatten_or_stay_cyclic():
+    torus = FuzzDesign(
+        "torus", (4, 4), "X+ X- Y+ -> Y-", rule="none", label="mutant:x"
+    )
+    assert _cyclic(torus)
+    result = shrink(torus, _cyclic)
+    assert _cyclic(result.design)
+    assert result.design.size() < torus.size()
+
+
+def test_within_witness_bound():
+    assert within_witness_bound(FuzzDesign("mesh", (2, 2), "X+ X-"))
+    assert within_witness_bound(FuzzDesign("mesh", (2,), "X+ X-"))
+    assert not within_witness_bound(FuzzDesign("mesh", (3, 2), "X+ X-"))
+    assert not within_witness_bound(FuzzDesign("torus", (2, 2), "X+ X-"))
+    assert not within_witness_bound(FuzzDesign("mesh", (2, 2, 2), "X+ X-"))

@@ -1,0 +1,56 @@
+"""Property tests: the differential oracles agree on generated designs.
+
+The fuzzer's own invariant, stated as a property: for any generator seed
+and trial index, running the design through all three oracles never
+produces a hard disagreement — on generator-certified valid designs the
+verdict chain (theorem-safe ⟹ CDG-acyclic ⟹ no simulated deadlock) holds
+end to end, and on deliberate mutants the theorems always fire first.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz import DesignGenerator, DifferentialOracle, fast_profile
+
+ORACLE = DifferentialOracle(fast_profile())
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=999),
+    trial=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=50, deadline=None)
+def test_oracles_agree_on_generated_designs(seed, trial):
+    design = DesignGenerator(seed).design_for(trial)
+    result = ORACLE.run(design)
+    assert result.disagreement is None, (
+        f"seed={seed} trial={trial}: {result.classification}"
+        f" on {design.describe()} ({result.error})"
+    )
+    if design.labeled_valid:
+        # The full soundness chain on certified designs.
+        assert result.theorem_safe
+        assert result.cdg_acyclic
+        assert not result.sim_deadlock
+        assert not result.sim_unroutable
+    elif design.mutations and design.mutations[0].kind != "drop-channel":
+        # duplicate-pair / backward-transition / add-turn mutants are
+        # theorem violations by construction, so the theorems fire first.
+        # (drop-channel is a probe: removing a channel can leave a smaller
+        # but still perfectly valid design, which is agreement, not a bug.)
+        assert not result.theorem_safe
+        assert result.theorem_violations
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=999),
+    trial=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=25, deadline=None)
+def test_cdg_never_acyclic_when_sim_deadlocks(seed, trial):
+    """The conservative oracle dominates the dynamic one, always."""
+    design = DesignGenerator(seed).design_for(trial)
+    result = ORACLE.run(design)
+    if result.sim_deadlock:
+        assert not result.cdg_acyclic
+        assert result.forensics is not None

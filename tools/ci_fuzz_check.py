@@ -1,0 +1,81 @@
+"""CI guard for the differential verification fuzzer.
+
+Three gates, any failure exits non-zero:
+
+* **self-check** — a synthetic disagreement (a Theorem-1-violating mutant
+  falsely labeled valid) must be detected as ``valid-design-rejected``
+  and shrink to within the 2-ary 2-mesh witness bound, proving the
+  detect → shrink pipeline is actually wired up;
+* **corpus replay** — every committed witness under ``tests/fuzz/corpus``
+  must still be flagged by all three oracles (theorems, CDG, simulator);
+* **smoke campaign** — a fixed-seed fuzzing run under a wall-clock budget
+  must finish with zero hard disagreements; any disagreement found is
+  minimised and persisted next to the JSONL trial log for upload.
+
+Run from the repository root:
+    PYTHONPATH=src python tools/ci_fuzz_check.py [report.jsonl] [corpus_out/]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.fuzz import fast_profile, replay_corpus, run_fuzz, self_check
+
+COMMITTED_CORPUS = Path("tests/fuzz/corpus")
+BUDGET_S = 60.0
+SEED = 0
+RUNS = 200
+
+
+def main() -> int:
+    report_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("fuzz-report.jsonl")
+    corpus_out = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("fuzz-corpus-out")
+    profile = fast_profile()
+    failures = 0
+
+    ok, message = self_check(profile)
+    print(message)
+    if not ok:
+        failures += 1
+
+    replayed = replay_corpus(COMMITTED_CORPUS, profile=profile)
+    if len(replayed) < 5:
+        print(f"FAIL: expected >= 5 committed corpus entries, found {len(replayed)}")
+        failures += 1
+    for entry, detected, trial in replayed:
+        status = "ok" if detected and trial.all_flagged else "MISSED"
+        print(
+            f"replay {entry.id} [{status}]"
+            f" got={trial.classification}: {entry.design.describe()}"
+        )
+        if status != "ok":
+            failures += 1
+
+    started = time.monotonic()
+    report = run_fuzz(
+        RUNS,
+        seed=SEED,
+        budget_s=BUDGET_S,
+        corpus_dir=corpus_out,
+        profile=profile,
+    )
+    print(report.summary())
+    report.to_jsonl(report_path)
+    print(f"trial log written to {report_path}")
+    if not report.ok:
+        failures += 1
+    if report.runs_completed == 0:
+        print("FAIL: budget expired before any trial completed")
+        failures += 1
+    print(
+        f"fuzz smoke: {report.runs_completed} trials,"
+        f" {time.monotonic() - started:.1f}s, failures={failures}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,9 @@ def main() -> None:
         "",
         "Auto-generated from docstrings (`python tools/gen_api_index.py`).",
         "One line per public symbol: the first sentence of its docstring.",
-        "The curated guide to the everyday surface is [API.md](API.md).",
+        "The curated guide to the everyday surface is [API.md](API.md);",
+        "the differential fuzzing harness is documented in"
+        " [FUZZING.md](FUZZING.md).",
         "",
     ]
     for modinfo in sorted(
