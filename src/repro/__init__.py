@@ -17,7 +17,11 @@ Deadlock-free Interconnection Networks"* (Ebrahimi & Daneshtalab, ISCA
   with virtual channels, credit flow control and deadlock detection;
 * :mod:`repro.analysis` — adaptiveness metrics and turn accounting;
 * :mod:`repro.fuzz` — differential verification fuzzing cross-checking
-  theorems, CDG and simulator, with minimised replayable counterexamples;
+  theorems, static analyzer, CDG and simulator, with minimised replayable
+  counterexamples;
+* :mod:`repro.analyze` — the static design linter: paper-grounded rules
+  (``EBDA001``...) over partitions/turns/classes with text, JSON and
+  SARIF reporters (``repro lint``), no CDG build or simulation;
 * :mod:`repro.experiments` — one harness per table/figure of the paper.
 
 Quickstart::
@@ -58,7 +62,7 @@ from repro.errors import (
     UnroutableError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: The stable facade (PEP 562 lazy exports): resolving any of these pulls
 #: in the simulator/verification stack on first use, keeping plain
@@ -80,6 +84,11 @@ _FACADE = {
     "DifferentialOracle": "repro.fuzz",
     "run_fuzz": "repro.fuzz",
     "shrink": "repro.fuzz",
+    "Analyzer": "repro.analyze",
+    "AnalysisReport": "repro.analyze",
+    "DesignUnit": "repro.analyze",
+    "Diagnostic": "repro.analyze",
+    "lint_design": "repro.analyze",
 }
 
 
@@ -112,6 +121,11 @@ __all__ = [
     "DifferentialOracle",
     "run_fuzz",
     "shrink",
+    "Analyzer",
+    "AnalysisReport",
+    "DesignUnit",
+    "Diagnostic",
+    "lint_design",
     "Channel",
     "Partition",
     "PartitionSequence",

@@ -1,0 +1,146 @@
+"""The analyzer's input: a design plus everything statically knowable.
+
+A :class:`DesignUnit` bundles a :class:`~repro.core.sequence.PartitionSequence`
+with the :class:`~repro.core.turns.TurnSet` actually granted to routers
+(possibly hand-edited or mutated — judging it is the rules' job), an
+optional topology + class rule for the topology-aware rules, and analysis
+options such as a full-adaptivity claim.
+
+Nothing here builds a concrete CDG or touches the simulator: the topology
+is only consulted for its *link structure* (wrap rings, class-rule tags),
+which is O(links) to enumerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import Protocol, runtime_checkable
+
+from repro.core.channel import Channel
+from repro.core.extraction import extract_turns
+from repro.core.sequence import PartitionSequence
+from repro.core.turns import TurnSet
+from repro.errors import EbdaError
+from repro.topology.base import Topology
+from repro.topology.classes import ClassRule, no_classes
+
+__all__ = ["DesignUnit", "TableProtocol"]
+
+
+@runtime_checkable
+class TableProtocol(Protocol):
+    """Structural type for routings the analyzer can lint directly.
+
+    Any routing exposing its design, granted turn set, topology and class
+    rule — :class:`~repro.routing.table.TurnTableRouting` is the canonical
+    implementation — can be handed to :meth:`DesignUnit.from_routing`.
+    """
+
+    design: PartitionSequence
+    turnset: TurnSet
+    topology: Topology
+    rule: ClassRule
+
+
+@dataclass(frozen=True)
+class DesignUnit:
+    """One design under static analysis."""
+
+    sequence: PartitionSequence
+    turnset: TurnSet
+    name: str = ""
+    #: Optional concrete topology: enables the topology-aware rules
+    #: (wrap rings, phantom classes).  Never used to build a CDG.
+    topology: Topology | None = None
+    rule: ClassRule = no_classes
+    #: Design intent: set when the designer claims full adaptivity, arming
+    #: the Section-4 minimum-channel check (EBDA009).
+    claims_fully_adaptive: bool = False
+    #: Extra context echoed into reports (free-form).
+    tags: tuple[str, ...] = field(default=())
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_sequence(
+        cls,
+        sequence: PartitionSequence | str,
+        *,
+        name: str = "",
+        topology: Topology | None = None,
+        rule: ClassRule = no_classes,
+        transitions: str = "all",
+        claims_fully_adaptive: bool = False,
+    ) -> DesignUnit:
+        """Compile a (possibly invalid) sequence into a lintable unit.
+
+        Turn extraction deliberately skips theorem validation — surfacing
+        violations as diagnostics is the analyzer's entire purpose.
+        """
+        if isinstance(sequence, str):
+            sequence = PartitionSequence.parse(sequence)
+        turnset = extract_turns(sequence, transitions=transitions, validate=False)
+        return cls(
+            sequence=sequence,
+            turnset=turnset,
+            name=name or sequence.arrow_notation(),
+            topology=topology,
+            rule=rule,
+            claims_fully_adaptive=claims_fully_adaptive,
+        )
+
+    @classmethod
+    def from_routing(cls, routing: TableProtocol, *, name: str = "") -> DesignUnit:
+        """Lint a live routing through the table protocol.
+
+        Accepts any object exposing ``design``/``turnset``/``topology``/
+        ``rule`` (duck-typed, checked at runtime).
+        """
+        for attr in ("design", "turnset", "topology", "rule"):
+            if not hasattr(routing, attr):
+                raise EbdaError(
+                    f"{type(routing).__name__} does not implement the table"
+                    f" protocol (missing {attr!r}); lint the PartitionSequence"
+                    " directly instead"
+                )
+        return cls(
+            sequence=routing.design,
+            turnset=routing.turnset,
+            name=name or getattr(routing, "name", "") or type(routing).__name__,
+            topology=routing.topology,
+            rule=routing.rule,
+        )
+
+    def with_topology(self, topology: Topology, rule: ClassRule | None = None) -> DesignUnit:
+        """A copy bound to a concrete topology (arms topology-aware rules)."""
+        return replace(self, topology=topology, rule=rule if rule is not None else self.rule)
+
+    # -- derived structure (cached: units are frozen) ----------------------
+
+    @cached_property
+    def channels(self) -> tuple[Channel, ...]:
+        """Every channel class of the design, in sequence order."""
+        return self.sequence.all_channels
+
+    @cached_property
+    def dims(self) -> tuple[int, ...]:
+        """Sorted dimension indices the design's channels cover."""
+        return tuple(sorted({ch.dim for ch in self.channels}))
+
+    @cached_property
+    def directions(self) -> frozenset[tuple[int, int]]:
+        """Every (dim, sign) movement direction some channel provides."""
+        return frozenset((ch.dim, ch.sign) for ch in self.channels)
+
+    def channels_of_direction(self, dim: int, sign: int) -> tuple[Channel, ...]:
+        """All channel classes providing movement along (dim, sign)."""
+        return tuple(ch for ch in self.channels if ch.dim == dim and ch.sign == sign)
+
+    def step_allowed(self, src: Channel | None, dst: Channel) -> bool:
+        """May a packet hop onto ``dst`` coming from ``src``?
+
+        Injection (``src is None``) and continuing straight are always
+        legal; anything else requires an explicit turn.
+        """
+        return src is None or src == dst or self.turnset.allows(src, dst)

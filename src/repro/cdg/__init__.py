@@ -28,6 +28,7 @@ from repro.cdg.turnmodel import (
     unique_turn_models,
 )
 from repro.cdg.verify import (
+    CycleEnumerationTruncated,
     Verdict,
     all_cycles,
     cyclic_core,
@@ -61,6 +62,7 @@ __all__ = [
     "symmetry_orbit",
     "turn_label",
     "unique_turn_models",
+    "CycleEnumerationTruncated",
     "Verdict",
     "all_cycles",
     "cyclic_core",

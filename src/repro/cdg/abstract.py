@@ -13,6 +13,8 @@ close on a concrete network.  The abstract graph is still useful:
 
 from __future__ import annotations
 
+from collections import Counter
+
 import networkx as nx
 
 from repro.core.sequence import PartitionSequence
@@ -29,9 +31,22 @@ def abstract_graph(turnset: TurnSet) -> "nx.DiGraph":
 
 
 def partition_order_graph(design: PartitionSequence, turnset: TurnSet) -> "nx.DiGraph":
-    """Partition-level graph: an edge P -> Q when some turn crosses P to Q."""
+    """Partition-level graph: an edge P -> Q when some turn crosses P to Q.
+
+    Node names are the partition names with unnamed partitions falling
+    back to ``P<i>``.  A user-chosen name may collide with a fallback (a
+    partition literally named "P1" next to the unnamed partition at index
+    1) or with another user name; every occurrence of a duplicated name is
+    disambiguated with its index (``P1#0``, ``P1#1``) so distinct
+    partitions never merge into one node.
+    """
     graph = nx.DiGraph()
     names = [p.name or f"P{i}" for i, p in enumerate(design)]
+    tally = Counter(names)
+    names = [
+        f"{name}#{i}" if tally[name] > 1 else name
+        for i, name in enumerate(names)
+    ]
     graph.add_nodes_from(names)
     index = {}
     for i, part in enumerate(design):

@@ -9,6 +9,7 @@ with a cycle witness when one exists.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -126,11 +127,32 @@ def cyclic_core(graph: "nx.DiGraph") -> frozenset[Wire]:
     return frozenset(core)
 
 
+class CycleEnumerationTruncated(Warning):
+    """``all_cycles`` hit its ``limit`` — the returned list is incomplete.
+
+    Simple-cycle counts grow exponentially with CDG size, so truncation is
+    routine for badly broken designs; what must never happen is a caller
+    mistaking a truncated list for the complete census.  The warning makes
+    the cut observable (and turnable into an error via ``filterwarnings``).
+    """
+
+
 def all_cycles(graph: "nx.DiGraph", limit: int = 50) -> list[tuple[Wire, ...]]:
-    """Up to ``limit`` simple cycles of a dependency graph (diagnostics)."""
+    """Up to ``limit`` simple cycles of a dependency graph (diagnostics).
+
+    When the graph holds more than ``limit`` simple cycles the list is cut
+    short and a :class:`CycleEnumerationTruncated` warning is issued —
+    truncation is signalled, never silent.
+    """
     out: list[tuple[Wire, ...]] = []
     for cycle in nx.simple_cycles(graph):
-        out.append(tuple(cycle))
         if len(out) >= limit:
+            warnings.warn(
+                f"cycle enumeration truncated at limit={limit}; the graph"
+                " holds more simple cycles than returned",
+                CycleEnumerationTruncated,
+                stacklevel=2,
+            )
             break
+        out.append(tuple(cycle))
     return out

@@ -26,6 +26,12 @@ Commands
     Render an exported telemetry file: text summary, per-partition
     channel-utilization heatmap, deadlock forensics (all three when no
     section flag is given).
+``lint <designs...|--all> [--format text|json|sarif] [--fail-on SEV]``
+    Static lint pass (:mod:`repro.analyze`): run the EBDA rule catalog
+    over catalog names or arrow notation without building a CDG or
+    simulating.  ``--select/--ignore`` tune the rule set, ``--baseline``
+    suppresses recorded findings, ``--torus`` arms the wrap-ring checks,
+    ``--list-rules`` prints the catalog.
 
 ``run`` and ``simulate``/``sweep`` accept ``--jobs``, ``--cache`` /
 ``--no-cache`` and ``--cache-dir``; experiments that fan simulation
@@ -422,6 +428,117 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analyze import (
+        RULES,
+        Analyzer,
+        DesignUnit,
+        Severity,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analyze.reporters import render_json, render_sarif, render_text
+    from repro.topology import Torus
+
+    if args.list_rules:
+        for rid, info in sorted(RULES.items()):
+            flags = []
+            if info.requires_topology:
+                flags.append("topology")
+            if not info.default_enabled:
+                flags.append("opt-in")
+            extra = f" [{', '.join(flags)}]" if flags else ""
+            print(f"{rid} {info.severity.value:7s} {info.title}"
+                  f" ({info.citation}){extra}")
+        return 0
+
+    names = list(args.designs)
+    if args.all:
+        names.extend(n for n in sorted(catalog.NAMED_DESIGNS) if n not in names)
+    if not names:
+        raise SystemExit("nothing to lint: name designs or pass --all")
+
+    select = tuple(args.select.split(",")) if args.select else None
+    ignore = tuple(args.ignore.split(",")) if args.ignore else ()
+    try:
+        analyzer = Analyzer(select=select, ignore=ignore)
+    except EbdaError as exc:
+        raise SystemExit(str(exc))
+
+    rule = None
+    if args.rule:
+        if args.rule not in NAMED_RULES:
+            raise SystemExit(
+                f"unknown rule {args.rule!r}; known: {', '.join(NAMED_RULES)}"
+            )
+        rule = NAMED_RULES[args.rule]
+
+    def topology_for(design: PartitionSequence):
+        if args.no_topology:
+            return None
+        n = len({ch.dim for ch in design.all_channels})
+        if args.torus:
+            try:
+                return Torus(*(int(k) for k in args.torus.lower().split("x")))
+            except Exception as exc:  # noqa: BLE001 - CLI boundary
+                raise SystemExit(f"bad torus spec {args.torus!r}: {exc}")
+        if args.mesh:
+            return _parse_mesh(args.mesh)
+        return Mesh(*((4,) * max(1, n)))
+
+    def resolve_unvalidated(text: str) -> tuple[PartitionSequence, str]:
+        # Unlike _resolve_design, skip .validate(): surfacing theorem
+        # violations as diagnostics is the linter's entire purpose.
+        if text in catalog.NAMED_DESIGNS:
+            return catalog.design(text), text
+        try:
+            return PartitionSequence.parse(text), ""
+        except EbdaError as exc:
+            raise SystemExit(f"cannot parse design {text!r}: {exc}")
+
+    reports = []
+    for name in names:
+        design, suggested = resolve_unvalidated(name)
+        unit = DesignUnit.from_sequence(
+            design,
+            name=name if name in catalog.NAMED_DESIGNS else design.arrow_notation(),
+            topology=topology_for(design),
+            rule=rule if rule is not None else rule_for_design(suggested),
+            claims_fully_adaptive=args.full_adaptive,
+        )
+        reports.append(analyzer.run(unit))
+
+    if args.write_baseline:
+        n = write_baseline(reports, args.write_baseline)
+        print(f"baseline with {n} fingerprint(s) written to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        try:
+            reports = apply_baseline(reports, load_baseline(args.baseline))
+        except EbdaError as exc:
+            raise SystemExit(str(exc))
+
+    if args.format == "json":
+        rendered = render_json(reports)
+    elif args.format == "sarif":
+        rendered = render_sarif(reports)
+    else:
+        rendered = render_text(reports, verbose=args.verbose)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(rendered)
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity(args.fail_on)
+    failing = sum(len(r.at_or_above(threshold)) for r in reports)
+    return 1 if failing else 0
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -572,6 +689,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only the deadlock forensics report",
     )
     p_inspect.set_defaults(func=cmd_inspect)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static lint pass over designs (no CDG build, no simulation)",
+    )
+    p_lint.add_argument(
+        "designs", nargs="*",
+        help="catalog names or arrow notation (with --all: the whole catalog)",
+    )
+    p_lint.add_argument(
+        "--all", action="store_true", help="lint every catalog design"
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog (IDs, severities, citations) and exit",
+    )
+    p_lint.add_argument(
+        "--mesh", default="", metavar="KxK",
+        help="lint on this mesh (default: a 4-per-dim mesh per design)",
+    )
+    p_lint.add_argument(
+        "--torus", default="", metavar="KxK",
+        help="lint on this torus instead of a mesh (arms wrap-ring checks)",
+    )
+    p_lint.add_argument(
+        "--no-topology", action="store_true",
+        help="skip topology-aware rules entirely",
+    )
+    p_lint.add_argument(
+        "--rule", default="", help=f"class rule, one of: {', '.join(NAMED_RULES)}"
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default text)",
+    )
+    p_lint.add_argument(
+        "--output", default="", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    p_lint.add_argument(
+        "--select", default="", metavar="IDS",
+        help="comma-separated rule IDs to run (enables opt-in rules)",
+    )
+    p_lint.add_argument(
+        "--ignore", default="", metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    p_lint.add_argument(
+        "--fail-on", choices=("error", "warning", "note", "never"),
+        default="error",
+        help="exit nonzero when a diagnostic at/above this severity remains"
+        " (default error)",
+    )
+    p_lint.add_argument(
+        "--baseline", default="", metavar="FILE",
+        help="suppress findings whose fingerprints appear in this baseline",
+    )
+    p_lint.add_argument(
+        "--write-baseline", default="", metavar="FILE",
+        help="record current findings as a baseline and exit",
+    )
+    p_lint.add_argument(
+        "--full-adaptive", action="store_true",
+        help="assert the design claims full adaptivity (arms EBDA009)",
+    )
+    p_lint.add_argument(
+        "--verbose", action="store_true",
+        help="show per-design rule lists and timings (text format)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_fuzz = sub.add_parser(
         "fuzz",

@@ -162,6 +162,99 @@ def check_theorem3(sequence: PartitionSequence) -> TheoremReport:
     return TheoremReport(3, not violations, tuple(violations))
 
 
+@dataclass(frozen=True)
+class Violation:
+    """One structured theorem violation with its design location.
+
+    ``code`` identifies the failure mode independently of the message text
+    (the static analyzer maps codes to stable rule IDs):
+
+    * ``duplicate-pair`` — Theorem 1, a partition covers >1 complete D-pair;
+    * ``overlap`` — Theorem 3 precondition, two partitions share a channel;
+    * ``foreign-channel`` — a turn uses a channel outside the design;
+    * ``non-ascending`` — Theorem 2, a U-/I-turn breaks the numbering;
+    * ``backward`` — Theorem 3, an inter-partition turn flows backward.
+    """
+
+    theorem: int
+    code: str
+    message: str
+    partition: int | None = None
+    turn: "Turn | None" = None
+
+
+def sequence_violations(sequence: PartitionSequence) -> tuple[Violation, ...]:
+    """Structured Theorem-1/disjointness violations of a sequence."""
+    out: list[Violation] = []
+    parts = sequence.partitions
+    for i, part in enumerate(parts):
+        for message in check_theorem1(part).violations:
+            out.append(Violation(1, "duplicate-pair", message, partition=i))
+        for b in parts[i + 1:]:
+            if not part.is_disjoint_from(b):
+                shared = sorted(map(str, part.channel_set & b.channel_set))
+                out.append(
+                    Violation(
+                        3,
+                        "overlap",
+                        f"partitions {part.name or '?'} and {b.name or '?'}"
+                        f" share {shared}",
+                        partition=i,
+                    )
+                )
+    return tuple(out)
+
+
+def turn_violations(
+    sequence: PartitionSequence, turns: Iterable["Turn"]
+) -> tuple[Violation, ...]:
+    """Structured per-turn violations against Theorems 2 and 3."""
+    from repro.errors import PartitionError
+
+    out: list[Violation] = []
+    parts = sequence.partitions
+    for turn in turns:
+        try:
+            src_idx = sequence.partition_index(turn.src)
+            dst_idx = sequence.partition_index(turn.dst)
+        except PartitionError:
+            out.append(
+                Violation(
+                    3,
+                    "foreign-channel",
+                    f"turn {turn} uses a channel outside the design",
+                    turn=turn,
+                )
+            )
+            continue
+        if src_idx == dst_idx:
+            if turn.src.dim == turn.dst.dim and not uturn_allowed(
+                parts[src_idx], turn.src, turn.dst
+            ):
+                out.append(
+                    Violation(
+                        2,
+                        "non-ascending",
+                        f"{turn} violates the ascending numbering of partition"
+                        f" {parts[src_idx]}",
+                        partition=src_idx,
+                        turn=turn,
+                    )
+                )
+        elif dst_idx < src_idx:
+            out.append(
+                Violation(
+                    3,
+                    "backward",
+                    f"{turn} flows backward from partition {src_idx} to partition"
+                    f" {dst_idx}; inter-partition transitions must ascend",
+                    partition=src_idx,
+                    turn=turn,
+                )
+            )
+    return tuple(out)
+
+
 def audit_turns(
     sequence: PartitionSequence, turns: Iterable["Turn"]
 ) -> tuple[TheoremReport, TheoremReport, TheoremReport]:
@@ -177,50 +270,19 @@ def audit_turns(
       inter-partition turn flows backward (descending partition index).
 
     Returns the three reports in theorem order.  The differential fuzzer
-    (:mod:`repro.fuzz`) uses this as its theorem-level oracle.
+    (:mod:`repro.fuzz`) uses this as its theorem-level oracle; the static
+    analyzer (:mod:`repro.analyze`) consumes the same structured
+    :func:`sequence_violations` / :func:`turn_violations` streams, so both
+    verdict paths agree by construction.
     """
-    from repro.errors import PartitionError
-
-    t1: list[str] = []
-    for part in sequence.partitions:
-        t1.extend(check_theorem1(part).violations)
-
-    t2: list[str] = []
-    t3: list[str] = []
-    parts = sequence.partitions
-    for i, a in enumerate(parts):
-        for b in parts[i + 1:]:
-            if not a.is_disjoint_from(b):
-                shared = sorted(map(str, a.channel_set & b.channel_set))
-                t3.append(
-                    f"partitions {a.name or '?'} and {b.name or '?'} share {shared}"
-                )
-
-    for turn in turns:
-        try:
-            src_idx = sequence.partition_index(turn.src)
-            dst_idx = sequence.partition_index(turn.dst)
-        except PartitionError:
-            t3.append(f"turn {turn} uses a channel outside the design")
-            continue
-        if src_idx == dst_idx:
-            if turn.src.dim == turn.dst.dim and not uturn_allowed(
-                parts[src_idx], turn.src, turn.dst
-            ):
-                t2.append(
-                    f"{turn} violates the ascending numbering of partition"
-                    f" {parts[src_idx]}"
-                )
-        elif dst_idx < src_idx:
-            t3.append(
-                f"{turn} flows backward from partition {src_idx} to partition"
-                f" {dst_idx}; inter-partition transitions must ascend"
-            )
-
+    found = sequence_violations(sequence) + turn_violations(sequence, turns)
+    by_theorem: dict[int, list[str]] = {1: [], 2: [], 3: []}
+    for v in found:
+        by_theorem[v.theorem].append(v.message)
     return (
-        TheoremReport(1, not t1, tuple(t1)),
-        TheoremReport(2, not t2, tuple(t2)),
-        TheoremReport(3, not t3, tuple(t3)),
+        TheoremReport(1, not by_theorem[1], tuple(by_theorem[1])),
+        TheoremReport(2, not by_theorem[2], tuple(by_theorem[2])),
+        TheoremReport(3, not by_theorem[3], tuple(by_theorem[3])),
     )
 
 

@@ -1,4 +1,4 @@
-"""The differential oracle: three independent verdicts on one design.
+"""The differential oracle: four independent verdicts on one design.
 
 For every :class:`~repro.fuzz.design.FuzzDesign` the oracle computes:
 
@@ -6,9 +6,15 @@ For every :class:`~repro.fuzz.design.FuzzDesign` the oracle computes:
    compiled turns, plus a wrap-ring closure check on wrap topologies (the
    paper's Theorem 2 torus remark: every ring must be broken by a one-way
    class switch; class-level checks alone cannot see ring closure);
-2. **CDG verdict** — Dally acyclicity of the conservative turn CDG
+2. **static-analyzer verdict** — the lint pass of :mod:`repro.analyze`
+   restricted to its theorem-mirror rules (EBDA001-005).  Those rules
+   consume the same structured violation streams as verdict 1 through an
+   entirely different wiring (DesignUnit construction, rule registry,
+   diagnostic engine), so the two must agree on every trial — any split
+   is a bug in the analyzer plumbing;
+3. **CDG verdict** — Dally acyclicity of the conservative turn CDG
    (:func:`repro.cdg.verify.verdict_for`);
-3. **simulation verdict** — short wormhole runs with the deadlock
+4. **simulation verdict** — short wormhole runs with the deadlock
    watchdog: a *crafted ring* run that parks worms along a concrete CDG
    cycle (deterministic deadlock if the cycle is real), then adversarial
    runs (tornado/rotate90 + hotspot traffic).
@@ -18,6 +24,10 @@ any edge violated in that chain is a **hard disagreement**:
 
 * ``theorem-safe-cdg-cyclic`` — the theorems certified a cyclic design;
 * ``cdg-acyclic-sim-deadlock`` — acyclic CDG but the watchdog fired;
+* ``static-clean-theorem-unsafe`` — the linter passed a design the
+  theorem oracle rejects (analyzer wiring bug);
+* ``static-error-theorem-safe`` — the linter errored on a design the
+  theorem oracle certifies (analyzer wiring bug);
 * ``valid-design-rejected`` — Algorithm 1/2 output failed the theorems;
 * ``valid-design-unroutable`` — a certified design cannot route a pair;
 * ``oracle-error`` — an oracle crashed (never acceptable).
@@ -41,6 +51,9 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.analyze.engine import static_errors as _static_errors
+from repro.analyze.rings import unbroken_wrap_rings
+from repro.analyze.unit import DesignUnit
 from repro.cdg.graph import build_turn_cdg
 from repro.cdg.verify import Verdict, cyclic_core, verdict_for
 from repro.core.channel import Channel
@@ -55,7 +68,7 @@ from repro.sim.metrics import MetricsCollector
 from repro.sim.network import NetworkSimulator
 from repro.sim.patterns import hotspot, rotate90, tornado, uniform
 from repro.sim.traffic import ScriptedTraffic, TrafficConfig, TrafficGenerator
-from repro.topology.base import Coord, Link, Topology
+from repro.topology.base import Coord, Topology
 from repro.topology.classes import ClassRule
 from repro.topology.wires import Wire
 
@@ -71,6 +84,8 @@ __all__ = [
 HARD_DISAGREEMENTS = (
     "theorem-safe-cdg-cyclic",
     "cdg-acyclic-sim-deadlock",
+    "static-clean-theorem-unsafe",
+    "static-error-theorem-safe",
     "valid-design-rejected",
     "valid-design-unroutable",
     "oracle-error",
@@ -109,6 +124,9 @@ class TrialResult:
     design: FuzzDesign
     theorem_safe: bool = False
     theorem_violations: tuple[str, ...] = ()
+    #: Verdict of the static analyzer's theorem-mirror rules (EBDA001-005).
+    static_safe: bool = False
+    static_errors: tuple[str, ...] = ()
     cdg_acyclic: bool = False
     cdg_wires: int = 0
     cdg_dependencies: int = 0
@@ -125,9 +143,12 @@ class TrialResult:
 
     @property
     def all_flagged(self) -> bool:
-        """Did all three oracles independently flag the design unsafe?"""
+        """Did all four oracles independently flag the design unsafe?"""
         return (
-            not self.theorem_safe and not self.cdg_acyclic and self.sim_deadlock
+            not self.theorem_safe
+            and not self.static_safe
+            and not self.cdg_acyclic
+            and self.sim_deadlock
         )
 
     def to_dict(self) -> dict:
@@ -135,6 +156,8 @@ class TrialResult:
             "design": self.design.to_dict(),
             "theorem_safe": self.theorem_safe,
             "theorem_violations": list(self.theorem_violations),
+            "static_safe": self.static_safe,
+            "static_errors": list(self.static_errors),
             "cdg_acyclic": self.cdg_acyclic,
             "cdg_wires": self.cdg_wires,
             "cdg_dependencies": self.cdg_dependencies,
@@ -195,82 +218,8 @@ class CycleRouting(RoutingFunction):
         return [(wire.dst, wire.channel)]
 
 
-def unbroken_wrap_rings(
-    topology: Topology,
-    classes: tuple[Channel, ...],
-    turnset: TurnSet,
-    rule: ClassRule,
-) -> list[str]:
-    """Concrete rings a packet class-walk can traverse end-around.
-
-    For each unidirectional ring of links (a closed walk all in one
-    (dim, sign)), build the tiny graph of (position, channel) states
-    connected by straight-through or allowed same-ring transitions; a
-    cycle there means the ring is *unbroken* — some class assignment lets
-    a packet chase its own tail around the wrap, which the theorem oracle
-    must report as unsafe (dateline's one-way class switch is exactly what
-    breaks it).  Meshes have no link rings, so this is vacuous there.
-    """
-    out: list[str] = []
-    for ring in _link_rings(topology):
-        graph = nx.DiGraph()
-        k = len(ring)
-        for i, link in enumerate(ring):
-            nxt = ring[(i + 1) % k]
-            here = _instantiable(classes, link, rule)
-            there = _instantiable(classes, nxt, rule)
-            for a in here:
-                for b in there:
-                    if a == b or turnset.allows(a, b):
-                        graph.add_edge((i, a), ((i + 1) % k, b))
-        try:
-            nx.find_cycle(graph)
-        except nx.NetworkXNoCycle:
-            continue
-        first = ring[0]
-        out.append(
-            f"ring dim={first.dim} sign={first.sign:+d} through"
-            f" {first.src} is unbroken (closed class walk exists)"
-        )
-    return out
-
-
-def _instantiable(
-    classes: tuple[Channel, ...], link: Link, rule: ClassRule
-) -> list[Channel]:
-    tag = rule(link)
-    return [
-        c
-        for c in classes
-        if c.dim == link.dim and c.sign == link.sign and c.cls == tag
-    ]
-
-
-def _link_rings(topology: Topology) -> list[list[Link]]:
-    """Every closed unidirectional link walk, one per (dim, sign, ring)."""
-    by_dir: dict[tuple[int, int], dict[Coord, Link]] = {}
-    for link in topology.links:
-        by_dir.setdefault((link.dim, link.sign), {})[link.src] = link
-    rings: list[list[Link]] = []
-    for _direction, nxt in sorted(by_dir.items()):
-        visited: set[Coord] = set()
-        for start in sorted(nxt):
-            if start in visited:
-                continue
-            walk: list[Link] = []
-            node = start
-            while node in nxt and node not in visited:
-                visited.add(node)
-                link = nxt[node]
-                walk.append(link)
-                node = link.dst
-            if walk and node == start:
-                rings.append(walk)
-    return rings
-
-
 class DifferentialOracle:
-    """Runs one design through all three verdict paths and classifies."""
+    """Runs one design through all four verdict paths and classifies."""
 
     def __init__(self, profile: SimProfile | None = None) -> None:
         self.profile = profile or SimProfile()
@@ -290,6 +239,19 @@ class DifferentialOracle:
             )
         )
         return (not violations, tuple(violations))
+
+    def static_verdict(self, design: FuzzDesign) -> tuple[bool, tuple[str, ...]]:
+        """(safe, error strings) from the static analyzer's mirror rules."""
+        seq, turnset = design.compile()
+        unit = DesignUnit(
+            sequence=seq,
+            turnset=turnset,
+            name=design.label or seq.arrow_notation(),
+            topology=design.topology(),
+            rule=design.class_rule(),
+        )
+        errors = _static_errors(unit)
+        return (not errors, errors)
 
     def cdg_graph(self, design: FuzzDesign) -> "nx.DiGraph":
         seq, turnset = design.compile()
@@ -327,6 +289,17 @@ class DifferentialOracle:
         result.theorem_safe = not violations
         result.theorem_violations = tuple(violations)
 
+        unit = DesignUnit(
+            sequence=seq,
+            turnset=turnset,
+            name=design.label or seq.arrow_notation(),
+            topology=topology,
+            rule=rule,
+        )
+        static = _static_errors(unit)
+        result.static_safe = not static
+        result.static_errors = static
+
         graph = build_turn_cdg(topology, turnset, seq.all_channels, rule)
         verdict = verdict_for(graph)
         result.cdg_acyclic = verdict.acyclic
@@ -353,6 +326,7 @@ class DifferentialOracle:
             result.cdg_acyclic,
             result.sim_deadlock,
             result.sim_unroutable,
+            static_safe=result.static_safe,
         )
 
     @staticmethod
@@ -362,7 +336,17 @@ class DifferentialOracle:
         cdg_acyclic: bool,
         deadlock: bool,
         unroutable: bool,
+        static_safe: bool | None = None,
     ) -> tuple[str, str | None]:
+        # The static analyzer's mirror rules share the theorem oracle's
+        # violation streams — a split verdict is an analyzer wiring bug.
+        if static_safe is not None and static_safe != theorem_safe:
+            kind = (
+                "static-clean-theorem-unsafe"
+                if static_safe
+                else "static-error-theorem-safe"
+            )
+            return kind, kind
         if theorem_safe and not cdg_acyclic:
             return "theorem-safe-cdg-cyclic", "theorem-safe-cdg-cyclic"
         if cdg_acyclic and deadlock:

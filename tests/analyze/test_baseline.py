@@ -1,0 +1,77 @@
+"""Baseline files: record findings, suppress them, fail on new ones."""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    Analyzer,
+    DesignUnit,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.errors import EbdaError
+
+
+@pytest.fixture()
+def broken_report():
+    return Analyzer().run(
+        DesignUnit.from_sequence("X+ X- Y+ Y- -> X2+", name="broken")
+    )
+
+
+class TestRoundTrip:
+    def test_write_load_apply_suppresses_everything(self, broken_report, tmp_path):
+        path = tmp_path / "baseline.json"
+        n = write_baseline([broken_report], path)
+        assert n == len(broken_report.diagnostics)
+        fingerprints = load_baseline(path)
+        assert len(fingerprints) == n
+        (filtered,) = apply_baseline([broken_report], fingerprints)
+        assert filtered.diagnostics == ()
+        assert filtered.ok
+        # execution metadata survives filtering
+        assert filtered.rules_run == broken_report.rules_run
+        assert filtered.elapsed_s == broken_report.elapsed_s
+
+    def test_new_findings_survive_old_baseline(self, broken_report, tmp_path):
+        path = tmp_path / "baseline.json"
+        clean = Analyzer().run(DesignUnit.from_sequence("X+ -> Y+", name="ok"))
+        write_baseline([clean], path)
+        (filtered,) = apply_baseline([broken_report], load_baseline(path))
+        assert filtered.diagnostics == broken_report.diagnostics
+
+    def test_file_shape(self, broken_report, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([broken_report], path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        for note in payload["fingerprints"].values():
+            rule, design = note.split(" ", 1)
+            assert rule.startswith("EBDA")
+            assert design == "broken"
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EbdaError, match="not found"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(EbdaError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps({"version": 99, "fingerprints": {}}))
+        with pytest.raises(EbdaError, match="unsupported shape"):
+            load_baseline(path)
+
+    def test_misshapen_fingerprints(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"version": 1, "fingerprints": ["a"]}))
+        with pytest.raises(EbdaError, match="must be an object"):
+            load_baseline(path)

@@ -1,0 +1,114 @@
+"""Diagnostic records, locations, fingerprints and the rule registry."""
+
+import re
+
+import pytest
+
+from repro.analyze import RULES, Diagnostic, Location, Severity, rule_ids
+from repro.analyze.diagnostics import register_rule
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.NOTE.rank
+
+    def test_at_least(self):
+        assert Severity.ERROR.at_least(Severity.WARNING)
+        assert Severity.WARNING.at_least(Severity.WARNING)
+        assert not Severity.NOTE.at_least(Severity.WARNING)
+
+    def test_values_are_sarif_levels(self):
+        assert {s.value for s in Severity} <= {"error", "warning", "note", "none"}
+
+
+class TestLocation:
+    def test_describe_partition_with_name(self):
+        loc = Location(partition=0, partition_name="PA")
+        assert loc.describe() == "P0(PA)"
+
+    def test_describe_full(self):
+        loc = Location(partition=1, partition_name="PB", channel="X+", turn="X+->Y+")
+        assert loc.describe() == "P1(PB) channel X+ turn X+->Y+"
+
+    def test_describe_empty_falls_back(self):
+        assert Location().describe() == "design"
+
+    def test_fully_qualified_roots_at_design(self):
+        loc = Location(partition=0)
+        assert loc.fully_qualified("west-first") == "west-first::P0"
+        assert loc.fully_qualified("") == "design::P0"
+
+    def test_to_dict_omits_unset(self):
+        assert Location(channel="X+").to_dict() == {"channel": "X+"}
+
+
+class TestDiagnostic:
+    def _diag(self, **kw):
+        base = dict(
+            rule="EBDA001",
+            severity=Severity.ERROR,
+            message="partition covers two pairs",
+            location=Location(partition=0, partition_name="PA"),
+            design="demo",
+        )
+        base.update(kw)
+        return Diagnostic(**base)
+
+    def test_fingerprint_is_stable(self):
+        assert self._diag().fingerprint() == self._diag().fingerprint()
+
+    def test_fingerprint_ignores_message_wording(self):
+        a = self._diag(message="one wording")
+        b = self._diag(message="completely different wording")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_depends_on_rule_design_location(self):
+        base = self._diag()
+        assert base.fingerprint() != self._diag(rule="EBDA002").fingerprint()
+        assert base.fingerprint() != self._diag(design="other").fingerprint()
+        assert (
+            base.fingerprint()
+            != self._diag(location=Location(partition=1)).fingerprint()
+        )
+
+    def test_render_one_line_plus_hint(self):
+        text = self._diag(hint="split the partition").render()
+        assert text.startswith("EBDA001 error")
+        assert "P0(PA)" in text
+        assert "hint: split the partition" in text
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        payload = json.loads(json.dumps(self._diag(hint="h").to_dict()))
+        assert payload["rule"] == "EBDA001"
+        assert payload["severity"] == "error"
+        assert payload["fingerprint"] == self._diag().fingerprint()
+
+
+class TestRegistry:
+    def test_ids_are_stable_format(self):
+        assert RULES
+        for rid in RULES:
+            assert re.fullmatch(r"EBDA\d{3}", rid), rid
+
+    def test_metadata_complete(self):
+        for info in RULES.values():
+            assert info.title
+            assert info.citation
+            assert info.description
+            assert callable(info.func)
+
+    def test_rule_ids_sorted_and_filtered(self):
+        all_ids = rule_ids()
+        assert list(all_ids) == sorted(all_ids)
+        default_ids = rule_ids(include_optional=False)
+        assert set(default_ids) <= set(all_ids)
+        assert all(RULES[r].default_enabled for r in default_ids)
+
+    def test_duplicate_registration_rejected(self):
+        existing = next(iter(RULES))
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            register_rule(
+                existing, "dup", Severity.NOTE, "nowhere"
+            )(lambda unit: iter(()))

@@ -1,0 +1,120 @@
+"""The Analyzer: rule selection, execution, reports, the oracle face."""
+
+import pytest
+
+from repro.analyze import Analyzer, DesignUnit, Severity, lint_design, static_errors
+from repro.analyze.diagnostics import RULES
+from repro.analyze.rules import THEOREM_MIRROR_RULES
+from repro.errors import EbdaError
+from repro.topology import Mesh
+
+
+CLEAN = "X- -> X+ Y+ Y-"  # west-first
+BROKEN = "X+ X- Y+ Y- -> X2+"  # Theorem 1 violation in P0
+
+
+class TestSelection:
+    def test_default_runs_default_enabled_only(self):
+        enabled = Analyzer().enabled_rules
+        assert enabled == tuple(
+            sorted(r for r, i in RULES.items() if i.default_enabled)
+        )
+        assert "EBDA011" not in enabled
+
+    def test_explicit_select_allows_opt_in(self):
+        a = Analyzer(select=("EBDA011", "EBDA001"))
+        assert a.enabled_rules == ("EBDA001", "EBDA011")
+
+    def test_ignore_subtracts_after_select(self):
+        a = Analyzer(select=("EBDA001", "EBDA002"), ignore=("EBDA002",))
+        assert a.enabled_rules == ("EBDA001",)
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(EbdaError, match="unknown rule id 'EBDA999'"):
+            Analyzer(select=("EBDA999",))
+
+    def test_unknown_ignore_rejected(self):
+        with pytest.raises(EbdaError, match="unknown rule id"):
+            Analyzer(ignore=("NOPE",))
+
+
+class TestRun:
+    def test_topology_rules_skipped_and_recorded(self):
+        unit = DesignUnit.from_sequence(CLEAN, name="wf")
+        report = Analyzer().run(unit)
+        assert "EBDA005" not in report.rules_run
+        assert "EBDA007" not in report.rules_run
+        with_topo = Analyzer().run(unit.with_topology(Mesh(4, 4)))
+        assert "EBDA005" in with_topo.rules_run
+        assert "EBDA007" in with_topo.rules_run
+
+    def test_diagnostics_stamped_with_design_name(self):
+        unit = DesignUnit.from_sequence(BROKEN, name="broken-demo")
+        report = Analyzer().run(unit)
+        assert report.errors
+        assert all(d.design == "broken-demo" for d in report.diagnostics)
+
+    def test_report_properties(self):
+        report = Analyzer().run(DesignUnit.from_sequence(BROKEN, name="b"))
+        assert not report.ok
+        assert report.worst() is Severity.ERROR
+        assert report.counts["error"] == len(report.errors) >= 1
+        assert set(report.counts) == {"error", "warning", "note"}
+        assert report.at_or_above(Severity.ERROR) == report.errors
+        assert len(report.at_or_above(Severity.NOTE)) == len(report.diagnostics)
+        assert report.elapsed_s >= 0
+
+    def test_clean_report(self):
+        report = Analyzer().run(DesignUnit.from_sequence("X+ -> Y+ -> X- -> Y-"))
+        assert report.ok
+        assert report.worst() is None
+        assert report.diagnostics == ()
+
+    def test_run_many(self):
+        units = [
+            DesignUnit.from_sequence(CLEAN, name="a"),
+            DesignUnit.from_sequence(BROKEN, name="b"),
+        ]
+        reports = Analyzer().run_many(units)
+        assert [r.unit_name for r in reports] == ["a", "b"]
+        assert reports[0].ok and not reports[1].ok
+
+    def test_to_dict_json_safe(self):
+        import json
+
+        report = Analyzer().run(DesignUnit.from_sequence(BROKEN, name="b"))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["design"] == "b"
+        assert payload["counts"]["error"] >= 1
+        assert payload["rules_run"]
+
+
+class TestLintDesign:
+    def test_one_shot_matches_analyzer(self):
+        unit = DesignUnit.from_sequence(BROKEN, name="b")
+        assert (
+            lint_design(unit).counts == Analyzer().run(unit).counts
+        )
+
+    def test_select_pass_through(self):
+        unit = DesignUnit.from_sequence(BROKEN, name="b")
+        report = lint_design(unit, select=["EBDA001"])
+        assert report.rules_run == ("EBDA001",)
+
+
+class TestStaticErrors:
+    def test_clean_design_empty(self):
+        assert static_errors(DesignUnit.from_sequence(CLEAN)) == ()
+
+    def test_broken_design_flat_strings(self):
+        errors = static_errors(DesignUnit.from_sequence(BROKEN))
+        assert errors
+        assert all(e.split(":")[0] in THEOREM_MIRROR_RULES for e in errors)
+
+    def test_only_mirror_rules_consulted(self):
+        # EBDA008 fires on this design (missing X- direction) but is not a
+        # mirror rule, so the oracle face must stay clean — the theorem
+        # oracle would also accept it.
+        unit = DesignUnit.from_sequence("X+ -> Y+ Y-")
+        assert static_errors(unit) == ()
+        assert not lint_design(unit).ok

@@ -97,3 +97,62 @@ class TestRecoverPartitions:
         assert groups.index(frozenset(channels("X+ X- Y-"))) < groups.index(
             frozenset(channels("Y+"))
         )
+
+
+class TestPartitionOrderGraphNameCollisions:
+    def _pog(self, seq):
+        return partition_order_graph(seq, extract_turns(seq))
+
+    def test_user_name_colliding_with_fallback_stays_distinct(self):
+        # A partition literally named "P1" next to the *unnamed* partition
+        # at index 1 (whose fallback name is also "P1") must not merge
+        # into a single node.
+        from repro.core import channels
+        from repro.core.partition import Partition
+
+        seq = PartitionSequence(
+            (
+                Partition(tuple(channels("X-")), name="P1"),
+                Partition(tuple(channels("X+ Y+ Y-"))),  # fallback name: P1
+            )
+        )
+        pog = self._pog(seq)
+        assert pog.number_of_nodes() == 2
+        assert set(pog.nodes) == {"P1#0", "P1#1"}
+        assert list(pog.edges) == [("P1#0", "P1#1")]
+
+    def test_duplicate_user_names_stay_distinct(self):
+        from repro.core import channels
+        from repro.core.partition import Partition
+
+        seq = PartitionSequence(
+            (
+                Partition(tuple(channels("X-")), name="ESC"),
+                Partition(tuple(channels("Y-")), name="ESC"),
+                Partition(tuple(channels("X+ Y+")), name="ADAPT"),
+            )
+        )
+        pog = self._pog(seq)
+        assert set(pog.nodes) == {"ESC#0", "ESC#1", "ADAPT"}
+        assert ("ESC#0", "ESC#1") in pog.edges
+        assert ("ESC#1", "ADAPT") in pog.edges
+
+    def test_unique_names_are_untouched(self):
+        seq = PartitionSequence.parse("X+ X- Y- -> Y+")
+        pog = self._pog(seq)
+        assert set(pog.nodes) == {"PA", "PB"}
+
+    def test_disambiguation_is_deterministic(self):
+        from repro.core import channels
+        from repro.core.partition import Partition
+
+        seq = PartitionSequence(
+            (
+                Partition(tuple(channels("X-")), name="P1"),
+                Partition(tuple(channels("X+ Y+ Y-"))),
+            )
+        )
+        first = self._pog(seq)
+        second = self._pog(seq)
+        assert list(first.nodes) == list(second.nodes)
+        assert list(first.edges) == list(second.edges)

@@ -70,8 +70,101 @@ class TestAllCycles:
     def test_enumerates_witnesses(self, mesh4):
         from repro.cdg import build_turn_cdg
 
+        from repro.cdg import CycleEnumerationTruncated
+
         bad = PartitionSequence.parse("X+ X- Y+ Y-")
         ts = extract_turns(bad, validate=False)
         graph = build_turn_cdg(mesh4, ts, bad.all_channels)
-        cycles = all_cycles(graph, limit=5)
-        assert 1 <= len(cycles) <= 5
+        with pytest.warns(CycleEnumerationTruncated):
+            cycles = all_cycles(graph, limit=5)
+        assert len(cycles) == 5
+
+    def test_empty_graph_has_no_cycles(self):
+        import networkx as nx
+
+        assert all_cycles(nx.DiGraph()) == []
+
+    def test_self_loop_wire_is_a_cycle(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edge("w", "w")
+        assert all_cycles(g) == [("w",)]
+
+    def test_truncation_is_signalled_not_silent(self, mesh4):
+        import warnings
+
+        from repro.cdg import CycleEnumerationTruncated, build_turn_cdg
+
+        bad = PartitionSequence.parse("X+ X- Y+ Y-")
+        ts = extract_turns(bad, validate=False)
+        graph = build_turn_cdg(mesh4, ts, bad.all_channels)
+        with pytest.warns(CycleEnumerationTruncated, match="limit=3"):
+            cycles = all_cycles(graph, limit=3)
+        assert len(cycles) == 3
+
+    def test_no_warning_when_under_limit(self):
+        import networkx as nx
+        import warnings
+
+        g = nx.DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning -> test failure
+            cycles = all_cycles(g, limit=50)
+        assert len(cycles) == 1
+
+    def test_exactly_limit_cycles_no_warning(self):
+        # The warning fires only when a (limit+1)-th cycle exists, not
+        # when the census happens to land exactly on the limit.
+        import networkx as nx
+        import warnings
+
+        g = nx.DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cycles = all_cycles(g, limit=1)
+        assert len(cycles) == 1
+
+
+class TestCyclicCore:
+    def test_empty_graph(self):
+        import networkx as nx
+
+        from repro.cdg import cyclic_core
+
+        assert cyclic_core(nx.DiGraph()) == frozenset()
+
+    def test_self_loop_included(self):
+        import networkx as nx
+
+        from repro.cdg import cyclic_core
+
+        g = nx.DiGraph()
+        g.add_edge("w", "w")
+        g.add_edge("w", "x")  # acyclic appendage stays out
+        assert cyclic_core(g) == frozenset({"w"})
+
+    def test_acyclic_graph_empty_core(self, mesh4, north_last_design):
+        from repro.cdg import cyclic_core
+
+        graph = build_design_cdg(mesh4, north_last_design)
+        assert cyclic_core(graph) == frozenset()
+
+    def test_core_contains_every_witness_wire(self, mesh4):
+        from repro.cdg import build_turn_cdg, cyclic_core
+
+        bad = PartitionSequence.parse("X+ X- Y+ Y-")
+        ts = extract_turns(bad, validate=False)
+        graph = build_turn_cdg(mesh4, ts, bad.all_channels)
+        core = cyclic_core(graph)
+        assert core
+        from repro.cdg import CycleEnumerationTruncated
+
+        with pytest.warns(CycleEnumerationTruncated):
+            cycles = all_cycles(graph, limit=5)
+        for cycle in cycles:
+            assert set(cycle) <= core

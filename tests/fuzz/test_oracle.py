@@ -130,3 +130,64 @@ def test_trial_result_is_json_safe(oracle):
     result = oracle.run(DUP_PAIR_2X2)
     payload = json.dumps(result.to_dict())
     assert "unsafe-flagged" in payload
+
+
+class TestStaticOracle:
+    """The fourth oracle: `repro.analyze` static verdicts on every trial."""
+
+    def test_valid_design_static_clean(self, oracle):
+        result = oracle.run(VALID_MESH)
+        assert result.static_safe
+        assert result.static_errors == ()
+
+    def test_mutant_static_errors_carry_rule_ids(self, oracle):
+        result = oracle.run(DUP_PAIR_2X2)
+        assert not result.static_safe
+        assert result.static_errors
+        assert all(e.startswith("EBDA") for e in result.static_errors)
+
+    def test_static_and_theorem_verdicts_agree(self, oracle):
+        for design in (VALID_MESH, VALID_TORUS, DUP_PAIR_2X2):
+            result = oracle.run(design)
+            assert result.static_safe == result.theorem_safe, design.describe()
+            assert result.disagreement is None
+
+    def test_all_flagged_requires_static_error(self, oracle):
+        result = oracle.run(DUP_PAIR_2X2)
+        assert result.all_flagged  # four-way: theorems+static+CDG+sim
+
+    def test_static_verdict_method(self, oracle):
+        safe, errors = oracle.static_verdict(VALID_MESH)
+        assert safe and errors == ()
+        safe, errors = oracle.static_verdict(DUP_PAIR_2X2)
+        assert not safe and errors
+
+    def test_static_mismatch_is_hard_disagreement(self, oracle):
+        clean, kind = oracle._classify(
+            labeled_valid=True,
+            theorem_safe=False,
+            cdg_acyclic=True,
+            deadlock=False,
+            unroutable=False,
+            static_safe=True,
+        )
+        assert clean == kind == "static-clean-theorem-unsafe"
+        noisy, kind = oracle._classify(
+            labeled_valid=True,
+            theorem_safe=True,
+            cdg_acyclic=True,
+            deadlock=False,
+            unroutable=False,
+            static_safe=False,
+        )
+        assert noisy == kind == "static-error-theorem-safe"
+        assert "static-clean-theorem-unsafe" in HARD_DISAGREEMENTS
+        assert "static-error-theorem-safe" in HARD_DISAGREEMENTS
+
+    def test_trial_json_carries_static_fields(self, oracle):
+        import json
+
+        result = oracle.run(DUP_PAIR_2X2)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["static_safe"] is False
+        assert payload["static_errors"]

@@ -229,3 +229,90 @@ class TestTelemetryCli:
         assert all(r["record"] == "sweep-point" for r in records)
         assert [r["injection_rate"] for r in records] == [0.02, 0.05]
         assert all(r["samples"] > 0 for r in records)
+
+
+class TestLint:
+    def test_catalog_design_clean_exit_zero(self, capsys):
+        assert main(["lint", "west-first"]) == 0
+        out = capsys.readouterr().out
+        assert "west-first" in out
+        assert "checked 1 design(s)" in out
+
+    def test_all_catalog_designs_lint_clean(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out.splitlines()[-1]
+
+    def test_invalid_design_reports_and_fails(self, capsys):
+        assert main(["lint", "X+ X- Y+ Y- -> X2+"]) == 1
+        out = capsys.readouterr().out
+        assert "EBDA001" in out
+        assert "error" in out
+
+    def test_fail_on_never_masks_exit(self, capsys):
+        assert main(["lint", "X+ X- Y+ Y- -> X2+", "--fail-on", "never"]) == 0
+
+    def test_fail_on_note_tightens(self, capsys):
+        # west-first is error-free but carries EBDA010 notes
+        assert main(["lint", "west-first", "--fail-on", "note"]) == 1
+
+    def test_torus_topology_flags_unbroken_rings(self, capsys):
+        assert main(["lint", "X+ X- -> Y+ Y-", "--torus", "4x4"]) == 1
+        assert "EBDA005" in capsys.readouterr().out
+
+    def test_no_topology_skips_ring_check(self, capsys):
+        assert main(["lint", "X+ X- -> Y+ Y-", "--no-topology"]) == 0
+
+    def test_select_runs_exactly_those_rules(self, capsys):
+        import json
+
+        assert main([
+            "lint", "west-first", "--select", "EBDA001,EBDA011",
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["designs"][0]["rules_run"] == ["EBDA001", "EBDA011"]
+
+    def test_unknown_select_exits(self):
+        with pytest.raises(SystemExit, match="unknown rule id"):
+            main(["lint", "xy", "--select", "EBDA999"])
+
+    def test_sarif_output_to_file(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "lint.sarif"
+        assert main([
+            "lint", "west-first", "--format", "sarif",
+            "--output", str(out_file),
+        ]) == 0
+        log = json.loads(out_file.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_baseline_round_trip(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        bad = "X+ X- Y+ Y- -> X2+"
+        assert main(["lint", bad, "--write-baseline", str(baseline)]) == 0
+        assert main(["lint", bad, "--baseline", str(baseline)]) == 0
+
+    def test_missing_baseline_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["lint", "xy", "--baseline", str(tmp_path / "nope.json")])
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "EBDA001" in out and "EBDA011" in out
+        assert "Theorem 1" in out
+
+    def test_nothing_to_lint_exits(self):
+        with pytest.raises(SystemExit, match="nothing to lint"):
+            main(["lint"])
+
+    def test_unparseable_design_exits(self):
+        with pytest.raises(SystemExit, match="cannot parse"):
+            main(["lint", "garbage spec"])
+
+    def test_full_adaptive_claim_arms_ebda009(self, capsys):
+        assert main(["lint", "X+ X- Y- -> Y+", "--full-adaptive"]) == 1
+        assert "EBDA009" in capsys.readouterr().out
