@@ -1,0 +1,52 @@
+"""Chaos campaign throughput: trials/second, serial vs parallel.
+
+A chaos campaign is embarrassingly parallel — every trial is derived
+independently from the master seed — so `SweepEngine.map_tasks` should
+buy near-linear speedup while staying byte-identical to the serial run.
+These benchmarks put numbers on both halves of that claim on the
+acceptance-criteria configuration (4x4 mesh, negative-first).
+
+Run with ``pytest benchmarks/bench_chaos.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.chaos import CampaignConfig, ChaosCampaign
+from repro.experiments import chaos_campaign
+from repro.sim.parallel import SweepEngine
+
+#: The acceptance-criteria campaign: 4x4 mesh, all workloads, all policies.
+CONFIG = CampaignConfig(trials=24, seed=0, mesh=(4, 4), cycles=300)
+
+
+def _trials_per_second(benchmark, engine):
+    result = benchmark.pedantic(
+        lambda: ChaosCampaign(CONFIG, engine=engine).run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.trials_completed == CONFIG.trials
+    assert not result.interrupted
+    elapsed = benchmark.stats.stats.mean
+    print(f"\n  {CONFIG.trials} trials in {elapsed:.2f}s "
+          f"-> {CONFIG.trials / elapsed:.1f} trials/s")
+    return result
+
+
+def test_campaign_serial(benchmark):
+    """Baseline: the deterministic in-process path (--jobs 1)."""
+    _trials_per_second(benchmark, SweepEngine(jobs=1))
+
+
+def test_campaign_parallel(benchmark):
+    """Worker-pool path (--jobs 4); must stay byte-identical to serial."""
+    serial = ChaosCampaign(CONFIG).run()
+    parallel = _trials_per_second(benchmark, SweepEngine(jobs=4))
+    assert parallel.trial_bytes == serial.trial_bytes
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_v9_chaos(once):
+    """The V9 experiment end to end (determinism + resume checks)."""
+    report(once(chaos_campaign.run))

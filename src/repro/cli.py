@@ -26,6 +26,13 @@ Commands
     Render an exported telemetry file: text summary, per-partition
     channel-utilization heatmap, deadlock forensics (all three when no
     section flag is given).
+``chaos [--trials N] [--seed S] [--checkpoint-dir DIR] [--out FILE]``
+    Monte-Carlo chaos campaign (:mod:`repro.chaos`): seeded random fault
+    schedules x recovery policies x trace-driven workloads, survival
+    curves rendered per policy.  ``--checkpoint-dir`` makes the campaign
+    resumable (kill it, rerun the same command, byte-identical output);
+    ``--budget-s`` bounds wall-clock time like ``fuzz``; ``--load FILE``
+    renders an existing campaign JSONL without running anything.
 ``lint <designs...|--all> [--format text|json|sarif] [--fail-on SEV]``
     Static lint pass (:mod:`repro.analyze`): run the EBDA rule catalog
     over catalog names or arrow notation without building a CDG or
@@ -428,6 +435,56 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import CampaignConfig, ChaosCampaign, render_survival
+    from repro.sim.parallel import SweepEngine
+
+    if args.load:
+        try:
+            print(render_survival(args.load))
+        except EbdaError as exc:
+            raise SystemExit(str(exc))
+        return 0
+
+    try:
+        mesh = tuple(int(k) for k in args.mesh.lower().split("x"))
+    except ValueError:
+        raise SystemExit(f"bad mesh spec {args.mesh!r} (use e.g. 4x4)")
+    try:
+        config = CampaignConfig(
+            trials=args.trials,
+            seed=args.seed,
+            mesh=mesh,
+            routing=args.routing,
+            workloads=tuple(w for w in args.workloads.split(",") if w),
+            policies=tuple(p for p in args.policies.split(",") if p),
+            max_faults=args.max_faults,
+            cycles=args.cycles,
+            buffer_depth=args.buffers,
+            watchdog=args.watchdog,
+        )
+    except EbdaError as exc:
+        raise SystemExit(str(exc))
+
+    engine = _engine_from_args(args) or SweepEngine()
+    campaign = ChaosCampaign(
+        config, engine=engine, checkpoint_dir=args.checkpoint_dir or None
+    )
+    report = campaign.run(budget_s=args.budget_s, progress=print)
+    print(report.summary())
+    if args.out:
+        n = report.to_jsonl(args.out)
+        print(f"campaign report: {n} records -> {args.out}")
+    print()
+    print(report.render())
+    if report.interrupted:
+        print(
+            "(budget expired — rerun the same command with the same"
+            " --checkpoint-dir to finish)"
+        )
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analyze import (
         RULES,
@@ -759,6 +816,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="show per-design rule lists and timings (text format)",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="Monte-Carlo chaos campaign: faults x policies x workloads",
+    )
+    p_chaos.add_argument(
+        "--trials", type=int, default=50, metavar="N",
+        help="number of Monte-Carlo trials (default 50)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="campaign root seed (default 0)"
+    )
+    p_chaos.add_argument("--mesh", default="4x4")
+    p_chaos.add_argument(
+        "--routing", default="negative-first",
+        help="routing spec under test (catalog design or native name)",
+    )
+    p_chaos.add_argument(
+        "--workloads", default="all-reduce,shuffle,incast,bursty",
+        help="comma-separated named workloads to mix (see docs/CHAOS.md)",
+    )
+    p_chaos.add_argument(
+        "--policies", default="none,retry-2,retry-8",
+        help="comma-separated recovery policies to compare",
+    )
+    p_chaos.add_argument(
+        "--max-faults", type=int, default=2, metavar="K",
+        help="per-trial link failures drawn uniformly from 0..K (default 2)",
+    )
+    p_chaos.add_argument("--cycles", type=int, default=300)
+    p_chaos.add_argument("--buffers", type=int, default=4)
+    p_chaos.add_argument("--watchdog", type=int, default=200)
+    p_chaos.add_argument(
+        "--budget-s", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; the campaign stops cleanly between batches",
+    )
+    p_chaos.add_argument(
+        "--checkpoint-dir", default="", metavar="DIR",
+        help="persist per-trial records here; rerunning resumes byte-identically",
+    )
+    p_chaos.add_argument(
+        "--out", default="", metavar="FILE",
+        help="write the campaign report (meta + trials + survival) as JSONL",
+    )
+    p_chaos.add_argument(
+        "--load", default="", metavar="FILE",
+        help="render an existing campaign JSONL and exit (no simulation)",
+    )
+    _add_engine_flags(p_chaos)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_fuzz = sub.add_parser(
         "fuzz",

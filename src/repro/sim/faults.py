@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from repro.errors import SimulationError, TopologyError
+from repro.errors import FaultError, SimulationError, TopologyError
 from repro.topology.base import Coord, Topology
 from repro.topology.irregular import FaultyMesh
 
@@ -111,16 +111,50 @@ class FaultSchedule:
     ['cycle 10: link (0, 0)-(1, 0)']
     >>> sched.at(11)
     ()
+
+    ``max_cycles`` (when given) rejects events the run could never apply:
+    a fault at/after the horizon would silently not fire, which has
+    historically masked off-by-one mistakes in generated schedules.
+    Same-cycle duplicates targeting the same resource — the same
+    (unordered) link pair, the same router, or the same targeted drop pid
+    — are rejected too: the second application is a no-op, so one of the
+    intended faults silently shadows the other.  Untargeted drops
+    (``pid=None``) are exempt — each picks its own victim.
     """
 
-    def __init__(self, events: Iterable[FaultEvent], *, seed: int = 0) -> None:
+    def __init__(
+        self,
+        events: Iterable[FaultEvent],
+        *,
+        seed: int = 0,
+        max_cycles: int | None = None,
+    ) -> None:
         self.events: tuple[FaultEvent, ...] = tuple(
             sorted(events, key=lambda e: (e.cycle, e.kind, str(e.link), str(e.node)))
         )
         #: Seed for the simulator's fault-targeting RNG (random drop victims).
         self.seed = seed
+        #: Validation horizon the schedule was checked against (if any).
+        self.max_cycles = max_cycles
+        seen: set[tuple] = set()
         by_cycle: dict[int, list[FaultEvent]] = {}
         for event in self.events:
+            if max_cycles is not None and event.cycle >= max_cycles:
+                raise FaultError(
+                    f"fault scheduled at/after the run horizon"
+                    f" (max_cycles={max_cycles}): {event}"
+                )
+            key: tuple | None = None
+            if event.kind == "link" and event.link is not None:
+                key = (event.cycle, "link", tuple(sorted(event.link)))
+            elif event.kind == "router":
+                key = (event.cycle, "router", event.node)
+            elif event.kind == "drop" and event.pid is not None:
+                key = (event.cycle, "drop", event.pid)
+            if key is not None:
+                if key in seen:
+                    raise FaultError(f"duplicate fault event: {event}")
+                seen.add(key)
             by_cycle.setdefault(event.cycle, []).append(event)
         self._by_cycle = {c: tuple(es) for c, es in by_cycle.items()}
 

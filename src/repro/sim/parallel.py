@@ -106,7 +106,7 @@ def _config_token(config: RunConfig) -> str | None:
     parts: list[str] = []
     for f in fields(config):
         value = getattr(config, f.name)
-        if f.name in ("pattern", "selection", "metrics"):
+        if f.name in ("pattern", "selection", "metrics", "workload"):
             token = spec_token(f.name, value)
         elif f.name == "routing_factory":
             token = spec_token("routing", value)

@@ -83,6 +83,13 @@ class RunConfig:
     metrics: "object | bool | None" = None
     #: Sampling interval (cycles) when ``metrics=True``.
     sample_every: int = 100
+    #: Traced-workload mode: a :class:`~repro.chaos.workloads.WorkloadTrace`
+    #: (or a :data:`~repro.chaos.workloads.NAMED_WORKLOADS` name) replaces
+    #: the Bernoulli :class:`~repro.sim.traffic.TrafficGenerator` —
+    #: ``injection_rate``/``packet_length``/``pattern`` are then ignored in
+    #: favour of the trace's own schedule.  Traced points stay cacheable:
+    #: traces token-ise by name or content digest.
+    workload: "object | str | None" = None
 
     def with_rate(self, rate: float) -> "RunConfig":
         return replace(self, injection_rate=rate)
@@ -159,15 +166,25 @@ def run_point(
         recovery=config.recovery,
         routing_factory=routing_factory,
     )
-    traffic = TrafficGenerator(
-        topology,
-        TrafficConfig(
-            injection_rate=config.injection_rate,
-            packet_length=config.packet_length,
-            pattern=resolve_pattern(config.pattern),
-            seed=config.seed + 7919,
-        ),
-    )
+    if config.workload is not None:
+        # Traced mode: the workload's own deterministic schedule replaces
+        # the Bernoulli injection process (lazy import — chaos depends on
+        # sim, so the reverse edge must not exist at module level).
+        from repro.chaos.workloads import resolve_workload
+
+        traffic: "object" = resolve_workload(config.workload).materialize(
+            topology, config.cycles
+        )
+    else:
+        traffic = TrafficGenerator(
+            topology,
+            TrafficConfig(
+                injection_rate=config.injection_rate,
+                packet_length=config.packet_length,
+                pattern=resolve_pattern(config.pattern),
+                seed=config.seed + 7919,
+            ),
+        )
     stats = sim.run(config.cycles, traffic, drain=config.drain)
     if collector is not None:
         collector.finalize()

@@ -246,6 +246,12 @@ def spec_token(kind: str, spec: object) -> str | None:
         # stored SimStats but cannot replay the samples the collector
         # would have taken.  The disabled default stays cacheable.
         return "none" if not spec else None
+    if kind == "workload":
+        # Traces are plain data: named ones token-ise by name, anonymous
+        # ones by content digest (lazy import — chaos depends on sim).
+        from repro.chaos.workloads import workload_token
+
+        return workload_token(spec)
     if spec is None:
         return "none"
     if isinstance(spec, str):

@@ -84,10 +84,19 @@ class ScriptedTraffic:
     """Deterministic packet script for unit tests and deadlock setups.
 
     ``script`` maps a cycle to the (src, dst, length) packets created then.
+    The script round-trips through :meth:`to_dict`/:meth:`from_dict`
+    (mirroring :class:`~repro.sim.stats.SimStats`), so a scripted scenario
+    can be stored as plain JSON and replayed exactly — pids included,
+    since they are assigned in script order.
     """
 
     def __init__(self, script: dict[int, Sequence[tuple[Coord, Coord, int]]]) -> None:
-        self.script = {cycle: list(entries) for cycle, entries in script.items()}
+        self.script = {
+            int(cycle): [
+                (tuple(src), tuple(dst), int(length)) for src, dst, length in entries
+            ]
+            for cycle, entries in script.items()
+        }
         self._next_pid = 0
 
     def packets_for_cycle(self, cycle: int) -> list[Packet]:
@@ -98,3 +107,38 @@ class ScriptedTraffic:
             )
             self._next_pid += 1
         return created
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict` (exact round trip).
+
+        Cycles serialize as string keys (JSON objects have no int keys),
+        in sorted order so equal scripts always produce equal dicts.
+        """
+        return {
+            "script": {
+                str(cycle): [
+                    [list(src), list(dst), length]
+                    for src, dst, length in self.script[cycle]
+                ]
+                for cycle in sorted(self.script)
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScriptedTraffic":
+        """Rebuild a script from :meth:`to_dict` output (JSON round-trip safe)."""
+        try:
+            script = data["script"]
+        except (KeyError, TypeError):
+            raise SimulationError(
+                "scripted-traffic dict needs a 'script' mapping"
+            ) from None
+        return cls(
+            {
+                int(cycle): [
+                    (tuple(src), tuple(dst), int(length))
+                    for src, dst, length in entries
+                ]
+                for cycle, entries in script.items()
+            }
+        )

@@ -1,0 +1,199 @@
+"""Unit tests for survival-curve analytics."""
+
+import pytest
+
+from repro.chaos.survival import (
+    CHAOS_SCHEMA,
+    _percentile,
+    load_survival,
+    render_survival,
+    survival_curves,
+)
+from repro.errors import EbdaError
+
+
+def trial(index, policy="none", n_faults=0, outcome="delivered", **extra):
+    record = {
+        "record": "trial",
+        "index": index,
+        "workload": "shuffle",
+        "policy": policy,
+        "n_faults": n_faults,
+        "outcome": outcome,
+        "delivery_ratio": 1.0 if outcome == "delivered" else 0.5,
+        "packets_aborted": 0,
+        "retransmissions": 0,
+        "recovered_deadlocks": 0,
+        "time_to_deadlock": None,
+        "recovery_latency_mean": None,
+    }
+    record.update(extra)
+    return record
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 50) is None
+
+    def test_single(self):
+        assert _percentile([7.0], 50) == 7.0
+        assert _percentile([7.0], 95) == 7.0
+
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0) == 1.0
+        assert _percentile(values, 100) == 4.0
+        assert _percentile(values, 50) == pytest.approx(2.5)
+
+    def test_matches_simstats_convention(self):
+        from repro.sim.stats import SimStats
+
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        stats = SimStats(latencies=[(v, v) for v in values])
+        for q in (0, 25, 50, 90, 100):
+            assert _percentile(values, q) == pytest.approx(
+                stats.latency_percentile(q)
+            )
+
+
+class TestSurvivalCurves:
+    def test_groups_by_policy_sorted(self):
+        trials = [
+            trial(0, policy="retry-2"),
+            trial(1, policy="none"),
+            trial(2, policy="none"),
+        ]
+        curves = survival_curves(trials)
+        assert [s["policy"] for s in curves] == ["none", "retry-2"]
+        assert [s["trials"] for s in curves] == [2, 1]
+
+    def test_conditional_probability(self):
+        trials = [
+            trial(0, n_faults=1, outcome="delivered"),
+            trial(1, n_faults=1, outcome="deadlock"),
+            trial(2, n_faults=1, outcome="delivered"),
+            trial(3, n_faults=0, outcome="delivered"),
+        ]
+        (s,) = survival_curves(trials)
+        by_faults = {p["faults"]: p for p in s["curve"]}
+        assert by_faults[0]["p_delivered"] == 1.0
+        assert by_faults[1]["p_delivered"] == pytest.approx(2 / 3)
+        assert by_faults[1]["deadlocks"] == 1
+
+    def test_time_to_deadlock_distribution(self):
+        trials = [
+            trial(0, n_faults=2, outcome="deadlock", time_to_deadlock=40),
+            trial(1, n_faults=2, outcome="deadlock", time_to_deadlock=80),
+            trial(2, n_faults=1, outcome="delivered"),
+        ]
+        (s,) = survival_curves(trials)
+        assert s["time_to_deadlock"]["n"] == 2
+        assert s["time_to_deadlock"]["max"] == 80
+        assert s["time_to_deadlock"]["p50"] == pytest.approx(60.0)
+
+    def test_no_deadlocks_means_no_distribution(self):
+        (s,) = survival_curves([trial(0)])
+        assert s["time_to_deadlock"] is None
+
+    def test_recovery_aggregates(self):
+        trials = [
+            trial(0, policy="retry-2", packets_aborted=3, retransmissions=2,
+                  recovered_deadlocks=1, recovery_latency_mean=12.0),
+            trial(1, policy="retry-2", packets_aborted=1, retransmissions=1,
+                  recovered_deadlocks=0, recovery_latency_mean=20.0),
+        ]
+        (s,) = survival_curves(trials)
+        assert s["recovery"]["aborts"] == 4
+        assert s["recovery"]["retransmissions"] == 3
+        assert s["recovery"]["recovered_deadlocks"] == 1
+        assert s["recovery"]["latency_p50"] == pytest.approx(16.0)
+
+    def test_ignores_non_trial_records(self):
+        records = [{"record": "campaign-meta", "schema": CHAOS_SCHEMA}, trial(0)]
+        assert survival_curves(records)[0]["trials"] == 1
+
+    def test_empty_input(self):
+        assert survival_curves([]) == []
+
+
+class TestLoadSurvival:
+    def write(self, tmp_path, text):
+        path = tmp_path / "report.jsonl"
+        path.write_text(text)
+        return path
+
+    def test_rejects_missing_meta(self, tmp_path):
+        path = self.write(tmp_path, '{"record": "trial", "policy": "none"}\n')
+        with pytest.raises(EbdaError):
+            load_survival(path)
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = self.write(
+            tmp_path, '{"record": "campaign-meta", "schema": 999}\n'
+        )
+        with pytest.raises(EbdaError):
+            load_survival(path)
+
+    def test_rejects_nan(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            '{"record": "campaign-meta", "schema": 1}\n'
+            '{"record": "trial", "delivery_ratio": NaN}\n',
+        )
+        with pytest.raises(EbdaError):
+            load_survival(path)
+
+    def test_rejects_unknown_record_kind(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            '{"record": "campaign-meta", "schema": 1}\n{"record": "mystery"}\n',
+        )
+        with pytest.raises(EbdaError):
+            load_survival(path)
+
+    def test_rejects_non_object_line(self, tmp_path):
+        path = self.write(
+            tmp_path, '{"record": "campaign-meta", "schema": 1}\n[1, 2]\n'
+        )
+        with pytest.raises(EbdaError):
+            load_survival(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EbdaError):
+            load_survival(tmp_path / "absent.jsonl")
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = self.write(
+            tmp_path, '{"record": "campaign-meta", "schema": 1}\n\n'
+        )
+        assert len(load_survival(path)) == 1
+
+
+class TestRenderSurvival:
+    def test_renders_trials_without_survival_records(self):
+        records = [
+            {
+                "record": "campaign-meta",
+                "schema": CHAOS_SCHEMA,
+                "token": "cafebabe",
+                "mesh": [4, 4],
+                "routing": "negative-first",
+                "trials": 2,
+            },
+            trial(0, n_faults=1, outcome="deadlock", time_to_deadlock=40),
+            trial(1, n_faults=0),
+        ]
+        text = render_survival(records)
+        assert "cafebabe" in text
+        assert "mesh 4x4" in text
+        assert "P[delivered]" in text
+        assert "deadlock 1" in text
+
+    def test_renders_empty_campaign(self):
+        records = [{"record": "campaign-meta", "schema": CHAOS_SCHEMA}]
+        assert "(no trials recorded)" in render_survival(records)
+
+    def test_accepts_path(self, tmp_path):
+        path = tmp_path / "report.jsonl"
+        path.write_text('{"record": "campaign-meta", "schema": 1, "trials": 0}\n')
+        assert "chaos survival report" in render_survival(path)

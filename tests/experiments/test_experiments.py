@@ -177,7 +177,7 @@ def test_telemetry_demo_reduced():
 
 
 def test_registry_covers_everything():
-    assert len(ALL_EXPERIMENTS) == 38
+    assert len(ALL_EXPERIMENTS) == 39
     assert all(callable(f) for f in ALL_EXPERIMENTS.values())
 
 

@@ -1,0 +1,85 @@
+"""Property tests: chaos workload round-trips and campaign resume equivalence.
+
+Two invariants the chaos subsystem stakes its checkpointing on:
+
+* a :class:`~repro.chaos.WorkloadTrace` survives the JSONL round trip
+  exactly (``load(save(t)) == t``) for *any* valid knob combination;
+* a campaign interrupted at an arbitrary checkpoint prefix and resumed
+  produces trial records identical to an uninterrupted run — resume is
+  equivalence, not approximation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import CampaignConfig, ChaosCampaign, WorkloadTrace
+from repro.chaos.campaign import run_trial, trial_record_bytes
+from repro.chaos.checkpoint import CampaignCheckpoint
+from repro.chaos.workloads import load_workload
+
+KINDS = st.sampled_from(("all-reduce", "shuffle", "incast", "bursty"))
+
+generator_traces = st.builds(
+    WorkloadTrace,
+    kind=KINDS,
+    seed=st.integers(min_value=0, max_value=2**31),
+    packet_length=st.integers(min_value=1, max_value=8),
+    start=st.integers(min_value=0, max_value=50),
+    rounds=st.integers(min_value=1, max_value=6),
+    interval=st.integers(min_value=1, max_value=20),
+    rate=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    burst_len=st.integers(min_value=1, max_value=40),
+    off_len=st.integers(min_value=1, max_value=80),
+    fraction=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+)
+
+coords = st.tuples(
+    st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)
+)
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),
+        coords,
+        coords,
+        st.integers(min_value=1, max_value=8),
+    ).filter(lambda e: e[1] != e[2]),
+    min_size=1,
+    max_size=20,
+).map(tuple)
+
+replay_traces = st.builds(
+    WorkloadTrace, kind=st.just("replay"), events=events
+)
+
+
+@given(trace=st.one_of(generator_traces, replay_traces))
+@settings(max_examples=60, deadline=None)
+def test_workload_jsonl_round_trip(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    trace.save_jsonl(path)
+    loaded = load_workload(path)
+    assert loaded == trace
+    assert loaded.token() == trace.token()
+
+
+@given(trace=generator_traces)
+@settings(max_examples=40, deadline=None)
+def test_workload_dict_round_trip(trace):
+    assert WorkloadTrace.from_dict(trace.to_dict()) == trace
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16), cut=st.integers(min_value=0, max_value=6))
+@settings(max_examples=5, deadline=None)
+def test_campaign_resume_equivalence(seed, cut, tmp_path_factory):
+    """Resuming from any checkpoint prefix reproduces the full run exactly."""
+    config = CampaignConfig(trials=6, seed=seed, mesh=(3, 3), cycles=150)
+    full = [trial_record_bytes(run_trial(config, i)) for i in range(config.trials)]
+
+    ckpt_dir = tmp_path_factory.mktemp("ckpt")
+    ckpt = CampaignCheckpoint(ckpt_dir, config.token())
+    for i in range(cut):  # as if a prior run was killed after `cut` trials
+        ckpt.store(i, full[i])
+
+    resumed = ChaosCampaign(config, checkpoint_dir=ckpt_dir).run()
+    assert not resumed.interrupted
+    assert list(resumed.trial_bytes) == full

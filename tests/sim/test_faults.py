@@ -398,3 +398,71 @@ class TestRunnerIntegration:
         result = run_point(mesh, factory(mesh), cfg)
         assert result.stats.faults_injected == 1
         assert result.stats.delivery_ratio == 1.0
+
+
+class TestScheduleValidation:
+    """Construction-time rejection of unapplyable schedules."""
+
+    def test_event_at_horizon_rejected(self):
+        event = FaultEvent(100, "link", link=((0, 0), (1, 0)))
+        with pytest.raises(FaultError, match="max_cycles=100"):
+            FaultSchedule([event], max_cycles=100)
+
+    def test_event_after_horizon_rejected(self):
+        event = FaultEvent(250, "drop")
+        with pytest.raises(FaultError, match="horizon"):
+            FaultSchedule([event], max_cycles=200)
+
+    def test_error_names_the_offending_event(self):
+        event = FaultEvent(99, "router", node=(1, 1))
+        with pytest.raises(FaultError, match=r"cycle 99: router \(1, 1\)"):
+            FaultSchedule([event], max_cycles=50)
+
+    def test_event_inside_horizon_accepted(self):
+        sched = FaultSchedule(
+            [FaultEvent(99, "link", link=((0, 0), (1, 0)))], max_cycles=100
+        )
+        assert sched.max_cycles == 100
+        assert len(sched) == 1
+
+    def test_no_horizon_accepts_any_cycle(self):
+        assert len(FaultSchedule([FaultEvent(10**6, "drop")])) == 1
+
+    def test_duplicate_link_same_cycle_rejected(self):
+        a = FaultEvent(10, "link", link=((0, 0), (1, 0)))
+        b = FaultEvent(10, "link", link=((1, 0), (0, 0)))  # same pair, flipped
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultSchedule([a, b])
+
+    def test_same_link_different_cycles_accepted(self):
+        a = FaultEvent(10, "link", link=((0, 0), (1, 0)))
+        b = FaultEvent(20, "link", link=((0, 0), (1, 0)))
+        assert len(FaultSchedule([a, b])) == 2
+
+    def test_duplicate_router_same_cycle_rejected(self):
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultSchedule(
+                [FaultEvent(5, "router", node=(1, 1)),
+                 FaultEvent(5, "router", node=(1, 1))]
+            )
+
+    def test_duplicate_targeted_drop_rejected(self):
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultSchedule(
+                [FaultEvent(5, "drop", pid=3), FaultEvent(5, "drop", pid=3)]
+            )
+
+    def test_untargeted_drops_exempt(self):
+        sched = FaultSchedule([FaultEvent(5, "drop"), FaultEvent(5, "drop")])
+        assert len(sched) == 2
+
+    def test_random_schedules_pass_validation(self):
+        mesh = Mesh(4, 4)
+        sched = FaultSchedule.random(
+            mesh, seed=11, n_link_failures=2, n_drops=2, window=(10, 150)
+        )
+        # Re-validating against the window's end must not raise.
+        revalidated = FaultSchedule(
+            sched.events, seed=sched.seed, max_cycles=150
+        )
+        assert revalidated.events == sched.events

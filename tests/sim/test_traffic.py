@@ -58,3 +58,41 @@ class TestScriptedTraffic:
         assert script.packets_for_cycle(1) == []
         (p,) = script.packets_for_cycle(3)
         assert p.length == 2 and p.created == 3
+
+    def test_dict_round_trip(self):
+        script = ScriptedTraffic(
+            {0: [((0, 0), (1, 1), 4)], 3: [((1, 0), (0, 1), 2), ((2, 0), (0, 2), 6)]}
+        )
+        rebuilt = ScriptedTraffic.from_dict(script.to_dict())
+        assert rebuilt.script == script.script
+
+    def test_to_dict_is_json_safe_and_canonical(self):
+        import json
+
+        script = ScriptedTraffic({3: [((1, 0), (0, 1), 2)], 0: [((0, 0), (1, 1), 4)]})
+        data = json.loads(json.dumps(script.to_dict()))
+        rebuilt = ScriptedTraffic.from_dict(data)
+        assert rebuilt.script == script.script
+        assert list(script.to_dict()["script"]) == ["0", "3"]  # sorted cycles
+
+    def test_from_dict_rejects_missing_script(self):
+        with pytest.raises(SimulationError):
+            ScriptedTraffic.from_dict({})
+
+    def test_round_trip_preserves_injection_sequence(self):
+        script = ScriptedTraffic(
+            {0: [((0, 0), (1, 1), 4)], 2: [((1, 0), (0, 1), 2), ((0, 1), (1, 0), 3)]}
+        )
+        rebuilt = ScriptedTraffic.from_dict(script.to_dict())
+        original = [
+            (p.pid, p.src, p.dst, p.length, p.created)
+            for c in range(5)
+            for p in script.packets_for_cycle(c)
+        ]
+        replayed = [
+            (p.pid, p.src, p.dst, p.length, p.created)
+            for c in range(5)
+            for p in rebuilt.packets_for_cycle(c)
+        ]
+        assert original == replayed
+        assert [p[0] for p in original] == list(range(len(original)))

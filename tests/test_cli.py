@@ -316,3 +316,59 @@ class TestLint:
     def test_full_adaptive_claim_arms_ebda009(self, capsys):
         assert main(["lint", "X+ X- Y- -> Y+", "--full-adaptive"]) == 1
         assert "EBDA009" in capsys.readouterr().out
+
+
+class TestChaosCli:
+    ARGS = ["chaos", "--trials", "6", "--cycles", "150", "--mesh", "3x3"]
+
+    def test_runs_and_reports(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "chaos survival report" in out
+        assert "P[delivered]" in out
+
+    def test_out_writes_loadable_jsonl(self, capsys, tmp_path):
+        from repro.chaos import load_survival
+
+        path = tmp_path / "campaign.jsonl"
+        assert main(self.ARGS + ["--out", str(path)]) == 0
+        records = load_survival(path)
+        assert records[0]["record"] == "campaign-meta"
+        assert sum(1 for r in records if r["record"] == "trial") == 6
+
+    def test_out_is_deterministic(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(self.ARGS + ["--out", str(a)]) == 0
+        assert main(self.ARGS + ["--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_load_renders_existing_report(self, capsys, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        main(self.ARGS + ["--out", str(path)])
+        capsys.readouterr()
+        assert main(["chaos", "--load", str(path)]) == 0
+        assert "chaos survival report" in capsys.readouterr().out
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["chaos", "--load", str(bad)])
+
+    def test_checkpoint_resume(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        args = ["chaos", "--trials", "12", "--cycles", "150", "--mesh", "3x3",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(args + ["--budget-s", "0"]) == 1  # interrupted -> nonzero
+        out = capsys.readouterr().out
+        assert "interrupted" in out
+        assert main(args) == 0  # resume completes
+        assert "12/12" in capsys.readouterr().out
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--trials", "2", "--workloads", "nope"])
+
+    def test_bad_mesh_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--trials", "2", "--mesh", "huge"])

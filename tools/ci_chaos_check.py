@@ -1,0 +1,104 @@
+"""CI guard for the chaos campaign engine.
+
+Three gates, any failure exits non-zero:
+
+* **determinism** — a tiny seeded campaign run twice must produce
+  byte-identical trial records and byte-identical JSONL reports;
+* **schema** — the report must load back through the strict
+  :func:`repro.chaos.load_survival` reader, carry exactly one trial
+  record per trial, and end with per-policy ``survival`` records whose
+  probabilities are probabilities;
+* **kill-and-resume** — a checkpointed campaign interrupted after one
+  batch (``budget_s=0``) and resumed must finish with exactly the
+  records of the uninterrupted run.
+
+The report JSONL is left on disk for artifact upload.
+
+Run from the repository root:
+    PYTHONPATH=src python tools/ci_chaos_check.py [report.jsonl]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.chaos import (
+    CampaignConfig,
+    ChaosCampaign,
+    load_survival,
+    render_survival,
+)
+
+CONFIG = CampaignConfig(trials=12, seed=0, mesh=(4, 4), cycles=200)
+
+
+def main() -> int:
+    report_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("chaos-report.jsonl")
+    started = time.monotonic()
+    failures = 0
+
+    first = ChaosCampaign(CONFIG).run()
+    second = ChaosCampaign(CONFIG).run()
+    if first.trial_bytes != second.trial_bytes:
+        print("FAIL: same-seed campaigns produced different trial records")
+        failures += 1
+    if first.interrupted or first.trials_completed != CONFIG.trials:
+        print(f"FAIL: campaign incomplete ({first.trials_completed}/{CONFIG.trials})")
+        failures += 1
+
+    first.to_jsonl(report_path)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-ci-") as tmp:
+        twin = Path(tmp) / "twin.jsonl"
+        second.to_jsonl(twin)
+        if report_path.read_bytes() != twin.read_bytes():
+            print("FAIL: same-seed campaign reports are not byte-identical")
+            failures += 1
+
+        records = load_survival(report_path)  # raises on any schema violation
+        trials = [r for r in records if r["record"] == "trial"]
+        survival = [r for r in records if r["record"] == "survival"]
+        if [t["index"] for t in trials] != list(range(CONFIG.trials)):
+            print("FAIL: report does not carry one trial record per trial")
+            failures += 1
+        if not survival:
+            print("FAIL: report carries no survival records")
+            failures += 1
+        probabilities = [
+            p["p_delivered"] for s in survival for p in s["curve"]
+        ]
+        if not all(0.0 <= p <= 1.0 for p in probabilities):
+            print("FAIL: survival probabilities outside [0, 1]")
+            failures += 1
+
+        ckpt = Path(tmp) / "ckpt"
+        partial = ChaosCampaign(CONFIG, checkpoint_dir=ckpt).run(budget_s=0)
+        if not (0 < partial.trials_completed < CONFIG.trials):
+            print(
+                f"FAIL: budget_s=0 should interrupt mid-campaign,"
+                f" got {partial.trials_completed}/{CONFIG.trials}"
+            )
+            failures += 1
+        resumed = ChaosCampaign(CONFIG, checkpoint_dir=ckpt).run()
+        if resumed.interrupted or resumed.trial_bytes != first.trial_bytes:
+            print("FAIL: resumed campaign does not reproduce the full run")
+            failures += 1
+        else:
+            print(
+                f"kill-and-resume ok: {partial.trials_completed} trials before"
+                f" the kill, {CONFIG.trials} after resume, records identical"
+            )
+
+    print(render_survival(records))
+    print(f"report written to {report_path}")
+    print(
+        f"chaos gate: {CONFIG.trials}-trial campaign x2 + resume,"
+        f" {time.monotonic() - started:.1f}s, failures={failures}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
