@@ -1,0 +1,107 @@
+"""Benchmark: vector backend speedup over the reference simulator.
+
+Measures the 16x16 uniform-random rate sweep both ways (identical
+traffic, shared routing instance so the vector engine's shared routing
+memos amortise the way a real sweep does), asserts bit-identical stats
+at every rate, and reports the aggregate speedup — the PR gate requires
+>= 20x.  A single 64x64 point then shows the large-mesh ratio.
+
+Not collected by pytest (``testpaths = tests``); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_vector.py [--quick]
+
+``--quick`` shrinks cycles/mesh for smoke runs (no speedup assertion).
+Measured results are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.routing import xy_routing
+from repro.sim import (
+    NetworkSimulator,
+    TrafficConfig,
+    TrafficGenerator,
+    VectorSimulator,
+)
+from repro.topology import Mesh
+
+SWEEP_RATES = (0.04, 0.06, 0.08, 0.10, 0.12, 0.14)
+SWEEP_CYCLES = 2000
+SWEEP_MESH = (16, 16)
+BIG_MESH = (64, 64)
+BIG_RATE = 0.05
+BIG_CYCLES = 200
+SEED = 1
+REQUIRED_SPEEDUP = 20.0
+
+
+def _run(cls, topology, routing, *, rate, cycles, seed):
+    sim = cls(topology, routing, buffer_depth=4, watchdog=500, seed=seed)
+    traffic = TrafficGenerator(
+        topology,
+        TrafficConfig(injection_rate=rate, packet_length=4, seed=seed),
+    )
+    started = time.perf_counter()
+    stats = sim.run(cycles, traffic, drain=True)
+    return stats, time.perf_counter() - started
+
+
+def sweep_speedup(mesh_shape, rates, cycles) -> tuple[float, float, float]:
+    """(total reference s, total vector s, speedup) over the rate sweep."""
+    topology = Mesh(*mesh_shape)
+    # One routing instance per engine family, as SweepEngine points share
+    # specs: the vector backend's cross-instance routing memos warm once.
+    routing = xy_routing(topology)
+    total_ref = total_vec = 0.0
+    dims = "x".join(str(k) for k in mesh_shape)
+    for rate in rates:
+        ref_stats, ref_s = _run(
+            NetworkSimulator, topology, routing, rate=rate, cycles=cycles, seed=SEED
+        )
+        vec_stats, vec_s = _run(
+            VectorSimulator, topology, routing, rate=rate, cycles=cycles, seed=SEED
+        )
+        assert ref_stats.to_dict() == vec_stats.to_dict(), (
+            f"stats diverged at {dims} rate={rate}"
+        )
+        total_ref += ref_s
+        total_vec += vec_s
+        print(
+            f"{dims} rate={rate:.2f}: reference {ref_s:6.2f}s"
+            f"  vector {vec_s:5.2f}s  ({ref_s / vec_s:5.1f}x)"
+            f"  delivered={ref_stats.packets_delivered}"
+        )
+    return total_ref, total_vec, total_ref / total_vec
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    rates = SWEEP_RATES[:2] if quick else SWEEP_RATES
+    cycles = 300 if quick else SWEEP_CYCLES
+    mesh = (8, 8) if quick else SWEEP_MESH
+
+    print(f"== uniform-random sweep, {mesh[0]}x{mesh[1]}, {cycles} cycles ==")
+    ref_s, vec_s, speedup = sweep_speedup(mesh, rates, cycles)
+    print(
+        f"sweep total: reference {ref_s:.1f}s, vector {vec_s:.1f}s"
+        f" -> {speedup:.1f}x"
+    )
+
+    if not quick:
+        print(f"\n== single point, {BIG_MESH[0]}x{BIG_MESH[1]},"
+              f" rate={BIG_RATE}, {BIG_CYCLES} cycles ==")
+        _, _, big = sweep_speedup(BIG_MESH, (BIG_RATE,), BIG_CYCLES)
+        print(f"64x64 point: {big:.1f}x")
+
+        if speedup < REQUIRED_SPEEDUP:
+            print(f"FAIL: sweep speedup {speedup:.1f}x < {REQUIRED_SPEEDUP}x")
+            return 1
+        print(f"\nspeedup gate: {speedup:.1f}x >= {REQUIRED_SPEEDUP}x  [ok]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

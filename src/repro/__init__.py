@@ -51,6 +51,7 @@ from repro.core import (
 )
 from repro.errors import (
     ChannelParseError,
+    ConfigError,
     DeadlockDetected,
     EbdaError,
     FaultError,
@@ -62,7 +63,7 @@ from repro.errors import (
     UnroutableError,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: The stable facade (PEP 562 lazy exports): resolving any of these pulls
 #: in the simulator/verification stack on first use, keeping plain
@@ -73,6 +74,8 @@ _FACADE = {
     "verify": "repro.api",
     "RunConfig": "repro.sim.runner",
     "RunResult": "repro.sim.runner",
+    "BackendInfo": "repro.sim.backend",
+    "backends": "repro.sim.backend",
     "SimStats": "repro.sim.stats",
     "SweepEngine": "repro.sim.parallel",
     "SweepReport": "repro.sim.parallel",
@@ -110,6 +113,8 @@ __all__ = [
     "verify",
     "RunConfig",
     "RunResult",
+    "BackendInfo",
+    "backends",
     "SimStats",
     "SweepEngine",
     "SweepReport",
@@ -139,6 +144,7 @@ __all__ = [
     "minimal_fully_adaptive",
     "partition_vc_budget",
     "ChannelParseError",
+    "ConfigError",
     "DeadlockDetected",
     "EbdaError",
     "FaultError",

@@ -47,6 +47,7 @@ def run_point(
     rule: ClassRule = no_classes,
     cache: "bool | str | Path | ResultCache" = False,
     metrics: "object | bool | None" = None,
+    backend: str | None = None,
 ) -> RunResult:
     """Simulate one point.
 
@@ -57,17 +58,21 @@ def run_point(
     :class:`~repro.sim.metrics.MetricsCollector`) attaches telemetry: the
     finalized collector lands on ``result.metrics`` — and the point is
     uncacheable, since a cache hit cannot replay samples.
+    ``backend=`` overrides the config's simulation engine
+    (``"reference"`` or ``"vector"``; see :func:`repro.backends`).
 
     >>> from repro import run_point, RunConfig
     >>> from repro.topology import Mesh
     >>> run_point(Mesh(4, 4), "xy", RunConfig(cycles=200)).deadlocked
     False
     """
+    from dataclasses import replace
+
     config = config if config is not None else RunConfig()
     if metrics is not None:
-        from dataclasses import replace
-
         config = replace(config, metrics=metrics)
+    if backend is not None:
+        config = replace(config, backend=backend)
     if cache:
         engine = SweepEngine(jobs=1, cache=cache)
         return engine.run_point(topology, routing, config, rule).result
@@ -84,18 +89,25 @@ def sweep(
     jobs: int = 1,
     cache: "bool | str | Path | ResultCache" = False,
     engine: SweepEngine | None = None,
+    backend: str | None = None,
 ) -> SweepReport:
     """Latency/throughput sweep over injection rates.
 
     Fans points out over ``jobs`` worker processes (named specs keep the
     work picklable; raw callables degrade to the deterministic in-process
     path) and consults the result cache when ``cache`` is enabled.
+    ``backend=`` overrides the config's simulation engine for every
+    point (``"reference"`` or ``"vector"``; see :func:`repro.backends`).
     Returns a :class:`~repro.sim.parallel.SweepReport`; the bare result
     list is its ``.results``.
     """
     if engine is None:
         engine = SweepEngine(jobs=jobs, cache=cache)
     config = config if config is not None else RunConfig()
+    if backend is not None:
+        from dataclasses import replace
+
+        config = replace(config, backend=backend)
     return engine.sweep(topology, routing_factory, rates, config, rule)
 
 

@@ -16,12 +16,16 @@ Commands
     ``--fail-link 1,1-2,1 --fail-at 100`` injects runtime link failures
     (with rerouting over the degraded topology); ``--drops N`` injects
     transient flit corruption; ``--recover`` arms regressive recovery.
-    ``--cache`` serves repeated fault-free points from the result cache.
+    ``--cache`` serves repeated fault-free points from the result cache;
+    ``--backend vector`` runs the struct-of-arrays numpy engine.
 ``sweep <design-or-routing> [--rates ...] [--jobs N] [--cache]``
     Latency/throughput sweep through the parallel engine; ``--report``
     writes the SweepReport (per-point wall times, engine stage times,
     cache hits) as JSON; ``--metrics-out`` meters every point and writes
-    per-point telemetry summaries as JSONL.
+    per-point telemetry summaries as JSONL; ``--backend`` selects the
+    simulation engine for every point.
+``backends``
+    List the registered simulation backends and their capabilities.
 ``inspect <metrics.jsonl> [--summary] [--heatmap] [--forensics]``
     Render an exported telemetry file: text summary, per-partition
     channel-utilization heatmap, deadlock forensics (all three when no
@@ -211,6 +215,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     rule = rule_for_design(suggested)
     telemetry = bool(args.metrics_out or args.trace_out)
 
+    if (args.fail_link or args.drops or telemetry) and args.backend != "reference":
+        raise SystemExit(
+            f"--backend {args.backend} does not support faults or telemetry;"
+            " drop the flag (the reference engine handles these)"
+        )
+
     if not (args.fail_link or args.drops or telemetry):
         # Fault-free untelemetered point: run through the engine so
         # --cache works (telemetry forces the direct path below — a
@@ -225,6 +235,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             buffer_depth=args.buffers,
             watchdog=500,
             seed=args.seed,
+            backend=args.backend,
         )
         point = engine.run_point(mesh, EbdaDesignFactory(args.design), config, rule)
         print(point.result.stats.summary(len(mesh.nodes)))
@@ -328,7 +339,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         metrics=bool(args.metrics_out),
         sample_every=args.sample_every,
+        backend=args.backend,
     )
+    from repro.errors import ConfigError
+    from repro.sim import check_run_config, resolve_backend
+
+    try:
+        check_run_config(resolve_backend(args.backend), config)
+    except ConfigError as exc:
+        raise SystemExit(str(exc))
     report = engine.sweep(mesh, args.routing, rates, config)
     print(compare_table({args.routing: report.results}))
     sat = saturation_rate(report.results)
@@ -353,6 +372,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 fh.write(json.dumps(entry, allow_nan=False) + "\n")
         print(f"per-point metrics written to {args.metrics_out}")
     return 1 if any(r.deadlocked for r in report.results) else 0
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    from repro.sim import backends
+
+    for info in backends():
+        print(f"{info.name}: {info.description}")
+        print(f"  cycle-exact:  {'yes' if info.cycle_exact else 'no'}")
+        features = {
+            "metrics": info.supports_metrics,
+            "tracer": info.supports_tracer,
+            "faults": info.supports_faults,
+            "recovery": info.supports_recovery,
+            "waypoints": info.supports_waypoints,
+        }
+        supported = [k for k, v in features.items() if v]
+        print(f"  features:     {', '.join(supported) if supported else '(none)'}")
+        print(f"  selections:   {', '.join(info.supported_selections)}")
+        print(f"  switching:    {', '.join(info.supported_switching)}")
+    return 0
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
@@ -596,6 +635,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("reference", "vector"), default="reference",
+        help="simulation engine: reference (full feature set) or vector"
+        " (numpy kernel, cycle-exact, much faster; see `repro backends`)",
+    )
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -687,6 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default="", metavar="FILE",
         help="attach a Trace and export per-event records as JSONL",
     )
+    _add_backend_flag(p_sim)
     _add_engine_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
@@ -727,8 +775,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-every", type=int, default=100, metavar="N",
         help="metrics sampling interval in cycles (default 100)",
     )
+    _add_backend_flag(p_sweep)
     _add_engine_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    sub.add_parser(
+        "backends", help="list simulation backends and their capabilities"
+    ).set_defaults(func=cmd_backends)
 
     p_inspect = sub.add_parser(
         "inspect", help="render an exported telemetry JSONL file"

@@ -40,6 +40,17 @@ class RoutingError(EbdaError, ValueError):
     """A routing function was queried with an invalid state or has no legal output."""
 
 
+class ConfigError(EbdaError, ValueError):
+    """A run configuration is invalid or unsupported as a whole.
+
+    Raised eagerly — before any simulation state is built — when a
+    :class:`~repro.sim.runner.RunConfig` names an unknown simulation
+    backend or requests a feature the chosen backend does not implement
+    (e.g. ``metrics=`` on the vectorized backend).  The message always
+    names the offending field and the backend that would accept it.
+    """
+
+
 class SimulationError(EbdaError, RuntimeError):
     """The simulator reached an inconsistent internal state."""
 

@@ -19,6 +19,15 @@ For every :class:`~repro.fuzz.design.FuzzDesign` the oracle computes:
    cycle (deterministic deadlock if the cycle is real), then adversarial
    runs (tornado/rotate90 + hotspot traffic).
 
+Every simulation run is additionally mirrored on the vector backend
+(:class:`~repro.sim.vector.VectorSimulator`, same traffic, same seeds)
+when the profile's ``compare_backends`` is on: the two engines claim
+cycle-exactness, so any difference in the resulting
+:meth:`~repro.sim.stats.SimStats.to_dict` — deadlock declaration cycle
+included — is the hard disagreement ``backend-divergence``.  Designs
+outside the vector engine's scope (custom selections, faults) simply
+skip the mirror; ``backend_agree`` stays ``None`` for them.
+
 The theory says theorem-safe ⟹ CDG-acyclic ⟹ no simulator deadlock, so
 any edge violated in that chain is a **hard disagreement**:
 
@@ -30,6 +39,8 @@ any edge violated in that chain is a **hard disagreement**:
   theorem oracle certifies (analyzer wiring bug);
 * ``valid-design-rejected`` — Algorithm 1/2 output failed the theorems;
 * ``valid-design-unroutable`` — a certified design cannot route a pair;
+* ``backend-divergence`` — the vector backend produced different stats
+  (or a different unroutable verdict) than the reference simulator;
 * ``oracle-error`` — an oracle crashed (never acceptable).
 
 Everything else is agreement: ``safe-confirmed``, ``unsafe-flagged`` (all
@@ -60,7 +71,7 @@ from repro.core.channel import Channel
 from repro.core.sequence import PartitionSequence
 from repro.core.theorems import audit_turns
 from repro.core.turns import TurnSet
-from repro.errors import EbdaError, RoutingError, SimulationError
+from repro.errors import ConfigError, EbdaError, RoutingError, SimulationError
 from repro.fuzz.design import FuzzDesign
 from repro.routing.base import Candidate, RoutingFunction
 from repro.routing.table import TurnTableRouting
@@ -68,6 +79,7 @@ from repro.sim.metrics import MetricsCollector
 from repro.sim.network import NetworkSimulator
 from repro.sim.patterns import hotspot, rotate90, tornado, uniform
 from repro.sim.traffic import ScriptedTraffic, TrafficConfig, TrafficGenerator
+from repro.sim.vector import VectorSimulator
 from repro.topology.base import Coord, Topology
 from repro.topology.classes import ClassRule
 from repro.topology.wires import Wire
@@ -88,6 +100,7 @@ HARD_DISAGREEMENTS = (
     "static-error-theorem-safe",
     "valid-design-rejected",
     "valid-design-unroutable",
+    "backend-divergence",
     "oracle-error",
 )
 
@@ -110,6 +123,9 @@ class SimProfile:
     hotspot_fraction: float = 0.5
     #: Simple-cycle enumeration budget when picking a crafted ring.
     cycle_search_limit: int = 400
+    #: Mirror every simulation run on the vector backend and require
+    #: bit-identical stats (the ``backend-divergence`` oracle).
+    compare_backends: bool = True
 
 
 def fast_profile() -> SimProfile:
@@ -137,6 +153,10 @@ class TrialResult:
     forensics: dict | None = None
     #: Witness wires ⊆ CDG cyclic core?  None when either oracle is quiet.
     witness_in_core: bool | None = None
+    #: Did the vector backend reproduce every run bit-identically?
+    #: None when no run could be mirrored (vector-unsupported config).
+    backend_agree: bool | None = None
+    backend_divergences: tuple[str, ...] = ()
     classification: str = "oracle-error"
     disagreement: str | None = None
     error: str | None = None
@@ -167,6 +187,8 @@ class TrialResult:
             "sim_runs": list(self.sim_runs),
             "forensics": self.forensics,
             "witness_in_core": self.witness_in_core,
+            "backend_agree": self.backend_agree,
+            "backend_divergences": list(self.backend_divergences),
             "classification": self.classification,
             "disagreement": self.disagreement,
             "error": self.error,
@@ -315,6 +337,13 @@ class DifferentialOracle:
         result.sim_unroutable = any(r.get("unroutable") for r in runs)
         result.forensics = forensics.to_dict() if forensics else None
 
+        mirrored = [r for r in runs if "backend_agree" in r]
+        result.backend_divergences = tuple(
+            d for r in mirrored for d in r.get("backend_divergences", ())
+        )
+        if mirrored:
+            result.backend_agree = not result.backend_divergences
+
         if forensics is not None and not verdict.acyclic:
             core = {str(w) for w in cyclic_core(graph)}
             held = {w for wires in forensics.witness_channels for w in wires}
@@ -328,6 +357,11 @@ class DifferentialOracle:
             result.sim_unroutable,
             static_safe=result.static_safe,
         )
+        if result.backend_agree is False:
+            # Two engines claiming cycle-exactness disagreed: that trumps
+            # whatever the (now untrustworthy) simulation verdict implied.
+            result.classification = "backend-divergence"
+            result.disagreement = "backend-divergence"
 
     @staticmethod
     def _classify(
@@ -458,19 +492,43 @@ class DifferentialOracle:
             ),
         )
         record: dict = {"kind": "adversarial", "pattern": pattern_name, "seed": seed}
+        ref_stats = ref_error = None
         try:
-            stats = sim.run(profile.cycles, traffic)
+            stats = ref_stats = sim.run(profile.cycles, traffic)
         except (RoutingError, SimulationError) as exc:
+            ref_error = exc
             record.update(unroutable=True, error=str(exc))
-            return record
-        record.update(
-            deadlocked=stats.deadlocked,
-            cycles=stats.cycles,
-            delivered=stats.packets_delivered,
-        )
-        if stats.deadlocked and collector.forensics is not None:
-            record["_forensics"] = True
-            record["_forensics_obj"] = collector.forensics
+        else:
+            record.update(
+                deadlocked=stats.deadlocked,
+                cycles=stats.cycles,
+                delivered=stats.packets_delivered,
+            )
+            if stats.deadlocked and collector.forensics is not None:
+                record["_forensics"] = True
+                record["_forensics_obj"] = collector.forensics
+        if profile.compare_backends:
+            self._mirror_on_vector(
+                record,
+                topology,
+                routing,
+                rule,
+                cycles=profile.cycles,
+                buffer_depth=profile.buffer_depth,
+                watchdog=profile.watchdog,
+                seed=seed,
+                make_traffic=lambda: TrafficGenerator(
+                    topology,
+                    TrafficConfig(
+                        injection_rate=profile.injection_rate,
+                        packet_length=profile.packet_length,
+                        pattern=pattern,
+                        seed=seed,
+                    ),
+                ),
+                ref_stats=ref_stats,
+                ref_error=ref_error,
+            )
         return record
 
     def _crafted_ring_run(
@@ -505,13 +563,100 @@ class DifferentialOracle:
             metrics=collector,
         )
         record: dict = {"kind": "crafted-ring", "ring": [str(w) for w in cycle]}
+        ref_stats = ref_error = None
         try:
-            stats = sim.run(profile.crafted_watchdog * 5, ScriptedTraffic({0: script}))
+            stats = ref_stats = sim.run(
+                profile.crafted_watchdog * 5, ScriptedTraffic({0: script})
+            )
         except (RoutingError, SimulationError) as exc:
+            ref_error = exc
             record.update(unroutable=True, error=str(exc))
+        else:
+            record.update(deadlocked=stats.deadlocked, cycles=stats.cycles)
+        if profile.compare_backends:
+            self._mirror_on_vector(
+                record,
+                topology,
+                routing,
+                rule,
+                cycles=profile.crafted_watchdog * 5,
+                buffer_depth=depth,
+                watchdog=profile.crafted_watchdog,
+                seed=0,
+                make_traffic=lambda: ScriptedTraffic({0: script}),
+                ref_stats=ref_stats,
+                ref_error=ref_error,
+            )
+        if ref_error is not None:
             return record, None
-        record.update(deadlocked=stats.deadlocked, cycles=stats.cycles)
         return record, collector.forensics
+
+    def _mirror_on_vector(
+        self,
+        record: dict,
+        topology: Topology,
+        routing: RoutingFunction,
+        rule: ClassRule,
+        *,
+        cycles: int,
+        buffer_depth: int,
+        watchdog: int,
+        seed: int,
+        make_traffic,
+        ref_stats,
+        ref_error,
+    ) -> None:
+        """Replay a reference run on the vector backend and diff the stats.
+
+        Annotates ``record`` with ``backend_agree`` (and the divergence
+        strings when the engines split).  A config outside the vector
+        engine's scope leaves the record unannotated — nothing to compare.
+        """
+        try:
+            sim = VectorSimulator(
+                topology,
+                routing,
+                rule,
+                buffer_depth=buffer_depth,
+                watchdog=watchdog,
+                seed=seed,
+            )
+        except ConfigError:
+            return
+        divergences: list[str] = []
+        try:
+            stats = sim.run(cycles, make_traffic())
+        except (RoutingError, SimulationError) as exc:
+            if ref_error is None:
+                divergences.append(
+                    f"vector raised {type(exc).__name__} ({exc}) where the"
+                    " reference completed"
+                )
+            elif type(exc) is not type(ref_error):
+                divergences.append(
+                    f"vector raised {type(exc).__name__} where the reference"
+                    f" raised {type(ref_error).__name__}"
+                )
+        else:
+            if ref_error is not None:
+                divergences.append(
+                    "vector completed where the reference raised"
+                    f" {type(ref_error).__name__} ({ref_error})"
+                )
+            else:
+                ref_dict, vec_dict = ref_stats.to_dict(), stats.to_dict()
+                if ref_dict != vec_dict:
+                    keys = sorted(
+                        k for k in ref_dict if ref_dict[k] != vec_dict.get(k)
+                    )
+                    divergences.append(
+                        f"stats differ on {', '.join(keys)}"
+                        f" (kind={record.get('kind')},"
+                        f" pattern={record.get('pattern')}, seed={seed})"
+                    )
+        record["backend_agree"] = not divergences
+        if divergences:
+            record["backend_divergences"] = tuple(divergences)
 
     def _pick_cycle(self, graph: "nx.DiGraph") -> tuple[Wire, ...] | None:
         """A small node-simple CDG cycle (distinct routers), if any exists.

@@ -28,6 +28,15 @@ Candidate = tuple[Coord, Channel]
 class RoutingFunction(ABC):
     """Base class for all routing algorithms."""
 
+    #: Declares whether :meth:`candidates` ever reads ``in_channel``.
+    #: Subclasses whose candidate sets are provably independent of the
+    #: arrival channel set this False, which lets the vectorized backend
+    #: share one routing memo across every input port of a router.  Like
+    #: :meth:`route_signature`, this is a correctness contract: declare
+    #: False only when the implementation visibly never touches the
+    #: argument.
+    uses_in_channel: bool = True
+
     def __init__(self, topology: Topology, rule: ClassRule = no_classes) -> None:
         self.topology = topology
         self.rule = rule
@@ -55,6 +64,26 @@ class RoutingFunction(ABC):
         waypoint, which the simulator then passes to :meth:`candidates`.
         """
         return packet.dst
+
+    def route_signature(self, cur: Coord, dst: Coord):
+        """Optional coarse memoization key for :meth:`candidates`.
+
+        A hashable value such that ``candidates(cur, dst1, ch)`` equals
+        ``candidates(cur, dst2, ch)`` (for any ``ch``) whenever ``dst1``
+        and ``dst2`` share the signature at ``cur`` — or None (the
+        default) when no such coarsening is known.  The vectorized
+        backend uses this to collapse its routing memo from
+        per-destination to per-direction-class, which is what makes
+        uniform random traffic converge instead of querying the routing
+        function for every (router, destination) pair it ever sees.
+
+        Override ONLY where the invariance is provable from the routing
+        definition (e.g. dimension-order routing reads the destination
+        exclusively through ``topology.minimal_directions``).  A wrong
+        signature silently corrupts routing — it is a correctness
+        contract, not a heuristic.
+        """
+        return None
 
     # -- helpers shared by implementations ------------------------------------
 

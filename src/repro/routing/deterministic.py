@@ -25,6 +25,8 @@ class DimensionOrderRouting(RoutingFunction):
     [((1, 0), Channel(X+))]
     """
 
+    uses_in_channel = False  # candidates() never reads the arrival channel
+
     def __init__(
         self,
         topology: Topology,
@@ -59,6 +61,10 @@ class DimensionOrderRouting(RoutingFunction):
             if dim in productive:
                 return self._outputs_matching(cur, [(dim, productive[dim])])
         return []
+
+    def route_signature(self, cur: Coord, dst: Coord):
+        # candidates() reads dst exclusively through minimal_directions.
+        return self.topology.minimal_directions(cur, dst)
 
 
 def xy_routing(topology: Topology) -> DimensionOrderRouting:

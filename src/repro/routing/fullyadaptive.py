@@ -46,6 +46,8 @@ class UnrestrictedAdaptive(RoutingFunction):
     negative-control experiments.
     """
 
+    uses_in_channel = False  # candidates() never reads the arrival channel
+
     def __init__(self, topology: Topology, rule: ClassRule = no_classes) -> None:
         super().__init__(topology, rule)
         self._classes = tuple(
@@ -66,3 +68,7 @@ class UnrestrictedAdaptive(RoutingFunction):
         if cur == dst:
             return []
         return self._outputs_matching(cur, self.topology.minimal_directions(cur, dst))
+
+    def route_signature(self, cur: Coord, dst: Coord):
+        # candidates() reads dst exclusively through minimal_directions.
+        return self.topology.minimal_directions(cur, dst)

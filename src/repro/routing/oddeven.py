@@ -49,6 +49,14 @@ class OddEven(RoutingFunction):
     def name(self) -> str:
         return "odd-even"
 
+    def route_signature(self, cur: Coord, dst: Coord):
+        # candidates() reads dst only through the offset signs, the
+        # "exactly one east hop left" test and the destination column's
+        # parity (Rule 1's last-turn column constraint).
+        dx = dst[0] - cur[0]
+        dy = dst[1] - cur[1]
+        return (dx > 0) - (dx < 0), (dy > 0) - (dy < 0), dx == 1, dst[0] % 2
+
     def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
         if cur == dst:
             return []

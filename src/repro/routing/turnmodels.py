@@ -25,6 +25,8 @@ _2D_CLASSES = (
 class _TurnModel2D(RoutingFunction):
     """Shared plumbing for the 2D turn models (no VCs)."""
 
+    uses_in_channel = False  # none of the turn models read the arrival channel
+
     def __init__(self, topology: Topology, rule: ClassRule = no_classes) -> None:
         if topology.n_dims != 2:
             raise RoutingError(f"{type(self).__name__} is a 2D algorithm")
@@ -36,6 +38,13 @@ class _TurnModel2D(RoutingFunction):
 
     def _moves(self, cur: Coord, dirs: list[tuple[int, int]]) -> list[Candidate]:
         return self._outputs_matching(cur, dirs)
+
+    def route_signature(self, cur: Coord, dst: Coord):
+        # Every 2D turn model below reads dst exclusively through the
+        # signs of the X/Y offsets.
+        dx = dst[0] - cur[0]
+        dy = dst[1] - cur[1]
+        return (dx > 0) - (dx < 0), (dy > 0) - (dy < 0)
 
 
 class WestFirst(_TurnModel2D):

@@ -1,5 +1,12 @@
 """Cycle-based flit-level wormhole network simulator."""
 
+from repro.sim.backend import (
+    BackendInfo,
+    backends,
+    check_run_config,
+    resolve_backend,
+    simulator_class,
+)
 from repro.sim.buffers import WireState
 from repro.sim.deadlock import (
     build_waitfor_graph,
@@ -60,8 +67,14 @@ from repro.sim.specs import (
 from repro.sim.stats import SimStats
 from repro.sim.trace import Trace, TraceEvent
 from repro.sim.traffic import ScriptedTraffic, TrafficConfig, TrafficGenerator
+from repro.sim.vector import VectorSimulator
 
 __all__ = [
+    "BackendInfo",
+    "backends",
+    "check_run_config",
+    "resolve_backend",
+    "simulator_class",
     "WireState",
     "build_waitfor_graph",
     "cycle_witness",
@@ -116,4 +129,5 @@ __all__ = [
     "ScriptedTraffic",
     "TrafficConfig",
     "TrafficGenerator",
+    "VectorSimulator",
 ]

@@ -20,7 +20,10 @@ Cache-key contract (what invalidates a cached point):
 * the routing spec token (name, registered factory, or design notation);
 * the class-rule token;
 * every :class:`~repro.sim.runner.RunConfig` field (callable fields via
-  their spec tokens; fault schedules event by event);
+  their spec tokens; fault schedules event by event) — except
+  ``backend``, which is deliberately excluded: every registered backend
+  is cycle-exact (:mod:`repro.sim.backend`), so a point simulated by one
+  backend is a valid hit for the other;
 * the library version (:data:`repro.__version__`) and the cache schema.
 
 A point whose spec has no stable token (a lambda pattern, a closure
@@ -105,6 +108,11 @@ def _config_token(config: RunConfig) -> str | None:
     """Canonical string of every RunConfig field, or None when uncacheable."""
     parts: list[str] = []
     for f in fields(config):
+        if f.name == "backend":
+            # Backends are cycle-exact (repro.sim.backend): identical
+            # stats either way, so keys stay backend-agnostic and the
+            # engines share cache entries.
+            continue
         value = getattr(config, f.name)
         if f.name in ("pattern", "selection", "metrics", "workload"):
             token = spec_token(f.name, value)
@@ -244,6 +252,10 @@ class SweepReport:
     #: Wall seconds per engine stage: ``cache_read`` (probing existing
     #: entries), ``spawn`` (process-pool construction), ``simulate``
     #: (executing the misses), ``cache_write`` (persisting new entries).
+    #: Simulation time is additionally attributed per engine under
+    #: ``simulate:<backend>`` keys (``simulate:reference``,
+    #: ``simulate:vector``) summing each miss's own wall time, so a
+    #: mixed-backend batch shows where the cycles actually ran.
     stage_times: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -475,6 +487,8 @@ class SweepEngine:
             key = cache_key(*payload) if self.cache is not None else None
             if key is not None and self.cache is not None:
                 self.cache.put(key, result, elapsed)
+            backend_stage = f"simulate:{payload[2].backend}"
+            stage_times[backend_stage] = stage_times.get(backend_stage, 0.0) + elapsed
             outcomes[i] = PointOutcome(result, elapsed, cached=False, key=key)
         stage_times["cache_write"] = time.perf_counter() - mark
 

@@ -15,14 +15,13 @@ and opt out of result caching.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.routing.base import RoutingFunction
 from repro.routing.selection import SelectionPolicy
+from repro.sim.backend import check_run_config, resolve_backend, simulator_class
 from repro.sim.faults import FaultSchedule, RecoveryPolicy
-from repro.sim.network import NetworkSimulator
 from repro.sim.patterns import TrafficPattern
 from repro.sim.specs import (
     RoutingFactory,
@@ -90,6 +89,12 @@ class RunConfig:
     #: favour of the trace's own schedule.  Traced points stay cacheable:
     #: traces token-ise by name or content digest.
     workload: "object | str | None" = None
+    #: Simulation engine: ``"reference"`` (per-flit objects, full feature
+    #: set) or ``"vector"`` (struct-of-arrays numpy kernel, cycle-exact
+    #: on its supported subset — see :func:`repro.sim.backend.backends`).
+    #: Cycle-exact backends share result-cache entries: the backend name
+    #: is deliberately absent from the cache key.
+    backend: str = "reference"
 
     def with_rate(self, rate: float) -> "RunConfig":
         return replace(self, injection_rate=rate)
@@ -142,6 +147,8 @@ def run_point(
     """
     if not isinstance(routing, RoutingFunction):
         routing = resolve_routing_factory(routing)(topology)
+    backend = resolve_backend(config.backend)
+    check_run_config(backend, config)
     routing_factory = config.routing_factory
     if isinstance(routing_factory, str):
         routing_factory = resolve_routing_factory(routing_factory)
@@ -152,7 +159,7 @@ def run_point(
         collector = MetricsCollector(sample_every=config.sample_every)
     elif collector is False:
         collector = None
-    sim = NetworkSimulator(
+    sim = simulator_class(backend.name)(
         topology,
         routing,
         rule,
@@ -210,24 +217,16 @@ def sweep_rates(
     out over processes, with optional result caching.  The default stays
     the deterministic serial loop.
 
-    .. deprecated:: 1.1
-        Passing ``rule`` positionally; use the keyword form.
+    .. versionchanged:: 1.6
+        Passing ``rule`` positionally (deprecated since 1.1) is now an
+        error; pass it by keyword.
     """
     if deprecated_rule:
-        if len(deprecated_rule) > 1:
-            raise TypeError(
-                f"sweep_rates() takes 4 positional arguments plus an optional"
-                f" rule, got {4 + len(deprecated_rule)}"
-            )
-        if rule is not None:
-            raise TypeError("sweep_rates() got rule both positionally and by keyword")
-        warnings.warn(
-            "passing rule positionally to sweep_rates() is deprecated;"
-            " use sweep_rates(..., rule=...)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "sweep_rates() no longer accepts the class rule positionally"
+            " (deprecated in 1.1, removed in 1.6): pass it by keyword,"
+            " sweep_rates(..., rule=...)"
         )
-        rule = deprecated_rule[0]
     if rule is None:
         rule = no_classes
 

@@ -64,12 +64,17 @@ class SimStats:
 
     @property
     def deadlock_cycle(self) -> int | None:
-        """Deprecated alias for :attr:`deadlock_declared_at`.
+        """Removed alias of :attr:`deadlock_declared_at`.
 
-        Kept for backward compatibility; the old name ambiguously
-        suggested the "cycle of packets" of a deadlock witness.
+        .. versionchanged:: 1.6
+            Accessing it now raises; the old name ambiguously suggested
+            the "cycle of packets" of a deadlock witness.  Deprecated
+            since 1.2.
         """
-        return self.deadlock_declared_at
+        raise AttributeError(
+            "SimStats.deadlock_cycle was removed in 1.6 (deprecated in 1.2):"
+            " use SimStats.deadlock_declared_at"
+        )
 
     def record_delivery(self, total: int, network: int, flits: int) -> None:
         self.packets_delivered += 1

@@ -59,24 +59,28 @@ class TrafficGenerator:
         """
         created: list[Packet] = []
         endpoints = self.topology.endpoints
+        # Locals hoisted out of the per-endpoint loop: this runs every
+        # cycle for every node and is shared overhead for both backends.
+        roll = self.rng.random
+        rate = self.config.injection_rate
+        pattern = self.config.pattern
+        rng = self.rng
+        node_set = self.topology.node_set
+        length = self.config.packet_length
+        pid = self._next_pid
         for node in endpoints:
-            if self.rng.random() >= self.config.injection_rate:
+            if roll() >= rate:
                 continue
-            dst = self.config.pattern(node, endpoints, self.rng)
+            dst = pattern(node, endpoints, rng)
             if dst == node:
                 continue
-            if dst not in self.topology.node_set:
+            if dst not in node_set:
                 raise SimulationError(f"pattern produced unknown node {dst}")
             created.append(
-                Packet(
-                    pid=self._next_pid,
-                    src=node,
-                    dst=dst,
-                    length=self.config.packet_length,
-                    created=cycle,
-                )
+                Packet(pid=pid, src=node, dst=dst, length=length, created=cycle)
             )
-            self._next_pid += 1
+            pid += 1
+        self._next_pid = pid
         return created
 
 

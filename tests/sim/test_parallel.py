@@ -189,10 +189,12 @@ class TestTelemetry:
     def test_stage_times_in_report_and_dict(self, mesh4):
         report = SweepEngine(jobs=1).sweep(mesh4, "xy", RATES, _config())
         assert set(report.stage_times) == {
-            "cache_read", "spawn", "simulate", "cache_write"
+            "cache_read", "spawn", "simulate", "simulate:reference",
+            "cache_write",
         }
         assert all(v >= 0.0 for v in report.stage_times.values())
         assert report.stage_times["simulate"] > 0.0
+        assert report.stage_times["simulate:reference"] > 0.0
         payload = report.to_dict()
         assert payload["stage_times"] == report.stage_times
 

@@ -11,6 +11,7 @@ from repro.sim import (
     sweep_rates,
 )
 from repro.topology import Mesh
+from repro.topology.classes import no_classes
 
 
 class TestRunPoint:
@@ -49,40 +50,23 @@ class TestSweep:
         assert cfg.injection_rate == 0.01
 
 
-class TestSweepRatesDeprecation:
-    def test_positional_rule_warns_but_works(self, mesh4):
+class TestSweepRatesPositionalRuleRemoved:
+    def test_positional_rule_raises(self, mesh4):
         from repro.topology.classes import no_classes
 
-        with pytest.warns(DeprecationWarning, match="rule positionally"):
-            results = sweep_rates(
+        with pytest.raises(TypeError, match="rule positionally"):
+            sweep_rates(
                 mesh4, "xy", [0.02], RunConfig(cycles=200, seed=2), no_classes
             )
+
+    def test_keyword_rule_works(self, mesh4):
+        results = sweep_rates(
+            mesh4, "xy", [0.02], RunConfig(cycles=200, seed=2), rule=no_classes
+        )
         assert len(results) == 1
 
-    def test_keyword_rule_does_not_warn(self, mesh4):
-        import warnings
-
-        from repro.topology.classes import no_classes
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            sweep_rates(
-                mesh4, "xy", [0.02], RunConfig(cycles=200, seed=2), rule=no_classes
-            )
-
-    def test_rule_both_ways_rejected(self, mesh4):
-        from repro.topology.classes import no_classes
-
-        with pytest.raises(TypeError, match="both"):
-            sweep_rates(
-                mesh4, "xy", [0.02], RunConfig(cycles=200), no_classes,
-                rule=no_classes,
-            )
-
     def test_excess_positionals_rejected(self, mesh4):
-        from repro.topology.classes import no_classes
-
-        with pytest.raises(TypeError, match="positional"):
+        with pytest.raises(TypeError, match="positionally"):
             sweep_rates(
                 mesh4, "xy", [0.02], RunConfig(cycles=200), no_classes, no_classes
             )

@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.sim import SimStats
 
 
@@ -112,11 +114,11 @@ class TestSimStats:
         assert s.packets_lost == 0
         assert s.recovery_latencies == []
 
-    def test_deadlock_cycle_alias_tracks_declared_at(self):
+    def test_deadlock_cycle_alias_removed(self):
         s = SimStats()
-        assert s.deadlock_cycle is None
         s.deadlock_declared_at = 123
-        assert s.deadlock_cycle == 123
+        with pytest.raises(AttributeError, match="deadlock_declared_at"):
+            s.deadlock_cycle
 
     def test_avg_recovery_latency(self):
         s = SimStats()
