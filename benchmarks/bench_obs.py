@@ -1,0 +1,138 @@
+"""Benchmark: observability overhead — the disabled-tracing <2% gate.
+
+Instrumentation is only free if *disabled* tracing costs nothing anyone
+can measure.  This benchmark quantifies that three ways on the 16x16
+uniform-random sweep the acceptance gate names:
+
+1. **per-span cost, disabled** — a microbenchmark of the exact hot-path
+   sequence the instrumented subsystems run (``current_tracer()`` +
+   ``span()`` enter/exit against the shared :data:`~repro.obs.NULL_TRACER`);
+2. **span volume** — how many spans one traced sweep actually opens
+   (counted by running the same sweep under a live
+   :class:`~repro.obs.Tracer`);
+3. **the gate** — worst-case disabled overhead = per-span cost x span
+   volume / untraced sweep wall time, which must stay under 2%.  This
+   bound is *deliberately pessimistic*: it charges every span at full
+   microbenchmark price against the measured wall time, yet the product
+   is orders of magnitude below the budget because spans sit at
+   orchestration granularity (stages and batches, never cycles).
+
+An enabled-vs-disabled A/B wall-time comparison is also recorded (for
+the record, not the gate — single-run wall-clock deltas at this scale
+are noise-dominated).
+
+Not collected by pytest (``testpaths = tests``); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--quick]
+
+Writes ``BENCH_obs.json``; exits 1 if the overhead gate fails.
+Measured results are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.obs import NULL_TRACER, Tracer, current_tracer, set_tracer, tracing
+from repro.sim import RunConfig, SweepEngine
+from repro.topology import Mesh
+
+SWEEP_MESH = (16, 16)
+SWEEP_RATES = (0.04, 0.08, 0.12)
+SWEEP_CYCLES = 400
+SEED = 1
+MICROBENCH_SPANS = 200_000
+MAX_OVERHEAD = 0.02
+
+
+def null_span_cost(iterations: int = MICROBENCH_SPANS) -> float:
+    """Seconds per disabled span (lookup + enter + exit, amortised)."""
+    previous = set_tracer(NULL_TRACER)
+    try:
+        started = time.perf_counter()
+        for _ in range(iterations):
+            with current_tracer().span("bench.noop", i=0):
+                pass
+        return (time.perf_counter() - started) / iterations
+    finally:
+        set_tracer(previous)
+
+
+def run_sweep(mesh, rates, cycles) -> float:
+    """One uncached uniform sweep; returns its wall seconds."""
+    engine = SweepEngine(jobs=1, cache=None)
+    config = RunConfig(cycles=cycles, seed=SEED, watchdog=2 * cycles)
+    started = time.perf_counter()
+    engine.sweep(Mesh(*mesh), "xy", list(rates), config)
+    return time.perf_counter() - started
+
+
+def traced_sweep(mesh, rates, cycles) -> tuple[float, int]:
+    """The same sweep under a live tracer; (wall seconds, span count)."""
+    tracer = Tracer()
+    with tracing(tracer):
+        wall = run_sweep(mesh, rates, cycles)
+    spans = sum(1 for e in tracer.events if e["event"] == "span-start")
+    return wall, spans
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    mesh = (8, 8) if quick else SWEEP_MESH
+    rates = SWEEP_RATES[:1] if quick else SWEEP_RATES
+    cycles = 100 if quick else SWEEP_CYCLES
+
+    per_span = null_span_cost(10_000 if quick else MICROBENCH_SPANS)
+    print(f"disabled span cost: {per_span * 1e9:.0f} ns/span")
+
+    dims = "x".join(str(k) for k in mesh)
+    untraced = run_sweep(mesh, rates, cycles)
+    traced, spans = traced_sweep(mesh, rates, cycles)
+    print(f"{dims} sweep ({len(rates)} rates, {cycles} cycles):"
+          f" untraced {untraced:.3f}s, traced {traced:.3f}s, {spans} spans")
+
+    overhead = (per_span * spans) / untraced
+    enabled_delta = (traced - untraced) / untraced
+    print(f"disabled overhead bound: {spans} spans x {per_span * 1e9:.0f} ns"
+          f" / {untraced:.3f}s = {overhead * 100:.4f}%")
+    print(f"enabled A/B delta: {enabled_delta * 100:+.1f}% (informational)")
+
+    try:
+        from benchmarks.benchlib import write_bench_json
+    except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+        from benchlib import write_bench_json
+
+    path = write_bench_json(
+        "obs",
+        params={
+            "mesh": list(mesh),
+            "rates": list(rates),
+            "cycles": cycles,
+            "microbench_spans": MICROBENCH_SPANS,
+            "quick": quick,
+        },
+        wall_s=untraced + traced,
+        throughput=(1.0 / per_span) if per_span else None,
+        extra={
+            "null_span_cost_s": per_span,
+            "sweep_untraced_s": untraced,
+            "sweep_traced_s": traced,
+            "span_count": spans,
+            "disabled_overhead_fraction": overhead,
+            "enabled_delta_fraction": enabled_delta,
+            "max_overhead_fraction": MAX_OVERHEAD,
+        },
+    )
+    print(f"benchmark record written to {path}")
+
+    if overhead >= MAX_OVERHEAD:
+        print(f"FAIL: disabled tracing overhead {overhead * 100:.2f}%"
+              f" >= {MAX_OVERHEAD * 100:.0f}%")
+        return 1
+    print(f"overhead gate: {overhead * 100:.4f}% < {MAX_OVERHEAD * 100:.0f}%  [ok]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -90,12 +90,38 @@ def main(argv: list[str]) -> int:
         f" -> {speedup:.1f}x"
     )
 
+    big = None
     if not quick:
         print(f"\n== single point, {BIG_MESH[0]}x{BIG_MESH[1]},"
               f" rate={BIG_RATE}, {BIG_CYCLES} cycles ==")
         _, _, big = sweep_speedup(BIG_MESH, (BIG_RATE,), BIG_CYCLES)
         print(f"64x64 point: {big:.1f}x")
 
+    try:
+        from benchmarks.benchlib import write_bench_json
+    except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+        from benchlib import write_bench_json
+
+    path = write_bench_json(
+        "vector",
+        params={
+            "mesh": list(mesh),
+            "rates": list(rates),
+            "cycles": cycles,
+            "quick": quick,
+        },
+        wall_s=ref_s + vec_s,
+        throughput=speedup,
+        extra={
+            "reference_s": ref_s,
+            "vector_s": vec_s,
+            "big_mesh_speedup": big,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
+    print(f"benchmark record written to {path}")
+
+    if not quick:
         if speedup < REQUIRED_SPEEDUP:
             print(f"FAIL: sweep speedup {speedup:.1f}x < {REQUIRED_SPEEDUP}x")
             return 1

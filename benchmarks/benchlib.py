@@ -1,0 +1,67 @@
+"""Shared writer for the standard benchmark artifact, ``BENCH_<name>.json``.
+
+Every benchmark module lands one JSON file with the same shape — name,
+parameters, wall seconds, a headline throughput number, and the library +
+Python versions that produced it — so regressions are diffable across
+commits without re-parsing free-form stdout:
+
+* pytest-benchmark modules get theirs automatically from the
+  ``pytest_sessionfinish`` hook in ``benchmarks/conftest.py`` (one file
+  per ``bench_*.py`` module, each test's stats under ``"benchmarks"``);
+* script-style benchmarks (``bench_vector.py``, ``bench_obs.py``) call
+  :func:`write_bench_json` directly from ``main``.
+
+Files land in the repository root (git-ignored); baseline numbers worth
+keeping are copied into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+#: Bump when the BENCH record schema changes shape.
+BENCH_SCHEMA = 1
+
+
+def bench_versions() -> dict:
+    """The version stamp every BENCH record carries."""
+    import repro
+
+    return {"repro": repro.__version__, "python": platform.python_version()}
+
+
+def write_bench_json(
+    name: str,
+    *,
+    params: dict,
+    wall_s: float,
+    throughput: "float | None" = None,
+    extra: "dict | None" = None,
+    directory: "str | Path | None" = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` (strict JSON); returns the path.
+
+    ``throughput`` is the module's headline rate — trials/s, ops/s, or a
+    speedup ratio — whatever the module's docstring says it reports.
+    ``extra`` fields (per-test stats, gate outcomes) merge into the
+    record top-level and must be strict-JSON-safe.
+    """
+    record = {
+        "schema": BENCH_SCHEMA,
+        "record": "bench",
+        "name": name,
+        "params": params,
+        "wall_s": wall_s,
+        "throughput": throughput,
+        "versions": bench_versions(),
+    }
+    if extra:
+        record.update(extra)
+    root = Path(directory) if directory else Path(__file__).resolve().parent.parent
+    path = root / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
+    return path

@@ -63,7 +63,7 @@ from repro.errors import (
     UnroutableError,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: The stable facade (PEP 562 lazy exports): resolving any of these pulls
 #: in the simulator/verification stack on first use, keeping plain

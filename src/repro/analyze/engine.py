@@ -27,6 +27,8 @@ from repro.analyze.diagnostics import RULES, Diagnostic, Severity
 from repro.analyze.rules import THEOREM_MIRROR_RULES
 from repro.analyze.unit import DesignUnit
 from repro.errors import EbdaError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import current_tracer
 
 __all__ = ["AnalysisReport", "Analyzer", "lint_design", "static_errors"]
 
@@ -120,22 +122,30 @@ class Analyzer:
         start = time.perf_counter()
         diagnostics: list[Diagnostic] = []
         ran: list[str] = []
-        for rid in self._resolved:
-            info = RULES[rid]
-            if info.requires_topology and unit.topology is None:
-                continue
-            ran.append(rid)
-            for diag in info.func(unit):
-                if diag.design != unit.name:
-                    diag = Diagnostic(
-                        rule=diag.rule,
-                        severity=diag.severity,
-                        message=diag.message,
-                        location=diag.location,
-                        hint=diag.hint,
-                        design=unit.name,
-                    )
-                diagnostics.append(diag)
+        with current_tracer().span("lint.unit", unit=unit.name) as span:
+            for rid in self._resolved:
+                info = RULES[rid]
+                if info.requires_topology and unit.topology is None:
+                    continue
+                ran.append(rid)
+                for diag in info.func(unit):
+                    if diag.design != unit.name:
+                        diag = Diagnostic(
+                            rule=diag.rule,
+                            severity=diag.severity,
+                            message=diag.message,
+                            location=diag.location,
+                            hint=diag.hint,
+                            design=unit.name,
+                        )
+                    diagnostics.append(diag)
+            span.set(rules=len(ran), diagnostics=len(diagnostics))
+        REGISTRY.counter(
+            "repro_lint_units_total", help="Design units linted."
+        ).inc()
+        REGISTRY.counter(
+            "repro_lint_diagnostics_total", help="Lint diagnostics emitted."
+        ).inc(len(diagnostics))
         return AnalysisReport(
             unit_name=unit.name,
             diagnostics=tuple(diagnostics),

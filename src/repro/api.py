@@ -66,6 +66,7 @@ def run_point(
     >>> run_point(Mesh(4, 4), "xy", RunConfig(cycles=200)).deadlocked
     False
     """
+    import time
     from dataclasses import replace
 
     config = config if config is not None else RunConfig()
@@ -73,10 +74,44 @@ def run_point(
         config = replace(config, metrics=metrics)
     if backend is not None:
         config = replace(config, backend=backend)
+    started = time.perf_counter()
     if cache:
         engine = SweepEngine(jobs=1, cache=cache)
-        return engine.run_point(topology, routing, config, rule).result
-    return _run_point(topology, routing, config, rule)
+        result = engine.run_point(topology, routing, config, rule).result
+    else:
+        result = _run_point(topology, routing, config, rule)
+    _ledger_point(
+        topology, routing, config, rule, result, time.perf_counter() - started
+    )
+    return result
+
+
+def _ledger_point(topology, routing, config, rule, result, wall_s) -> None:
+    """Append a ``run_point`` ledger record when a ledger is configured.
+
+    Identity is the version-free :func:`~repro.sim.parallel.point_token`
+    (falling back to the routing name for unhashable specs); the outcome
+    digest covers the full deterministic stats dict, so drift in *any*
+    counter is visible to ``repro runs diff``.
+    """
+    from repro.obs.ledger import current_ledger, record_run
+
+    if current_ledger() is None:
+        return
+    from repro.sim.parallel import point_token
+
+    spec = point_token(topology, routing, config, rule)
+    if spec is None:
+        spec = f"unhashable:{result.routing_name}"
+    record_run(
+        "run_point",
+        spec=spec,
+        backend=config.backend,
+        seed=config.seed,
+        outcome="deadlock" if result.deadlocked else "ok",
+        payload=result.stats.to_dict(),
+        wall_s=wall_s,
+    )
 
 
 def sweep(

@@ -28,6 +28,9 @@ from functools import cached_property
 from pathlib import Path
 
 from repro.errors import EbdaError, SimulationError, UnroutableError
+from repro.obs.ledger import record_run
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import current_tracer
 from repro.sim.faults import FaultSchedule, RecoveryPolicy
 from repro.sim.runner import RunConfig, run_point
 from repro.sim.specs import EbdaDesignFactory, resolve_routing_factory
@@ -430,6 +433,7 @@ class ChaosCampaign:
         *,
         budget_s: "float | None" = None,
         progress=None,
+        heartbeat=None,
     ) -> CampaignReport:
         """Run (or resume) the campaign.
 
@@ -437,9 +441,16 @@ class ChaosCampaign:
         at least one batch of pending trials always completes, so even
         ``budget_s=0`` makes forward progress and a repeatedly-killed
         campaign still terminates.  ``progress`` (``str -> None``) receives
-        one line per batch.
+        one line per batch; ``heartbeat`` (a
+        :class:`~repro.obs.heartbeat.HeartbeatWriter`) is beaten per batch
+        for the ``repro top`` live view.  Both are observational only and
+        never reach the deterministic trial records.
         """
         started = time.monotonic()
+        tracer = current_tracer()
+        trials_metric = REGISTRY.counter(
+            "repro_chaos_trials_total", help="Chaos campaign trials completed."
+        )
         stored: dict[int, bytes] = {}
         if self.checkpoint is not None:
             stored = {
@@ -451,34 +462,95 @@ class ChaosCampaign:
         resumed = len(stored)
         if resumed and progress is not None:
             progress(f"resumed {resumed} trial(s) from {self.checkpoint.directory}")
+        counts: dict[str, int] = {}
+        for data in stored.values():
+            outcome = json.loads(data)["outcome"]
+            counts[outcome] = counts.get(outcome, 0) + 1
 
         batch_size = max(8, self.engine.jobs * 4)
         interrupted = False
-        while pending:
-            batch, pending = pending[:batch_size], pending[batch_size:]
-            results = self.engine.map_tasks(
-                _run_trial, [(self.config, i) for i in batch]
-            )
-            for index, record in zip(batch, results):
-                data = trial_record_bytes(record)
-                if self.checkpoint is not None:
-                    self.checkpoint.store(index, data)
-                stored[index] = data
-            if progress is not None:
-                progress(
-                    f"{len(stored)}/{self.config.trials} trials"
-                    f" ({time.monotonic() - started:.1f}s)"
-                )
-            if (
-                pending
-                and budget_s is not None
-                and time.monotonic() - started >= budget_s
-            ):
-                interrupted = True
-                break
+        with tracer.span(
+            "chaos.campaign",
+            token=self.config.token(),
+            trials=self.config.trials,
+            resumed=resumed,
+        ) as root:
+            batch_no = 0
+            while pending:
+                batch, pending = pending[:batch_size], pending[batch_size:]
+                with tracer.span(
+                    "chaos.batch", batch=batch_no, trials=len(batch)
+                ):
+                    results = self.engine.map_tasks(
+                        _run_trial, [(self.config, i) for i in batch]
+                    )
+                    for index, record in zip(batch, results):
+                        data = trial_record_bytes(record)
+                        if self.checkpoint is not None:
+                            self.checkpoint.store(index, data)
+                        stored[index] = data
+                        counts[record["outcome"]] = (
+                            counts.get(record["outcome"], 0) + 1
+                        )
+                trials_metric.inc(len(batch))
+                for outcome, n in counts.items():
+                    REGISTRY.gauge(
+                        "repro_chaos_outcomes",
+                        labels={"outcome": outcome},
+                        help="Chaos trial outcomes so far, by classification.",
+                    ).set(n)
+                batch_no += 1
+                if heartbeat is not None:
+                    heartbeat.beat(
+                        len(stored),
+                        batch=batch_no,
+                        **{f"n_{o}": n for o, n in sorted(counts.items())},
+                    )
+                if progress is not None:
+                    outcomes = " ".join(
+                        f"{o}={n}" for o, n in sorted(counts.items())
+                    )
+                    progress(
+                        f"{len(stored)}/{self.config.trials} trials"
+                        f" ({time.monotonic() - started:.1f}s)"
+                        + (f" {outcomes}" if outcomes else "")
+                    )
+                if (
+                    pending
+                    and budget_s is not None
+                    and time.monotonic() - started >= budget_s
+                ):
+                    interrupted = True
+                    break
+            root.set(completed=len(stored), interrupted=interrupted)
 
-        return CampaignReport(
+        report = CampaignReport(
             config=self.config,
             trial_bytes=[stored[i] for i in sorted(stored)],
             interrupted=interrupted,
         )
+        if heartbeat is not None:
+            heartbeat.beat(
+                len(stored),
+                state="interrupted" if interrupted else "done",
+                **{f"n_{o}": n for o, n in sorted(counts.items())},
+            )
+        record_run(
+            "chaos",
+            spec=self.config.token(),
+            seed=self.config.seed,
+            outcome=(
+                "interrupted"
+                if interrupted
+                else ("ok" if report.ok else "error")
+            ),
+            payload={
+                "trials_completed": report.trials_completed,
+                "counts": report.outcome_counts(),
+                "digest": hashlib.sha256(
+                    b"\n".join(report.trial_bytes)
+                ).hexdigest()[:16],
+            },
+            wall_s=time.monotonic() - started,
+        )
+        return report

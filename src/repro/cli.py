@@ -43,6 +43,14 @@ Commands
     simulating.  ``--select/--ignore`` tune the rule set, ``--baseline``
     suppresses recorded findings, ``--torus`` arms the wrap-ring checks,
     ``--list-rules`` prints the catalog.
+``runs list|show <id-prefix>|diff [--ledger DIR]``
+    Query the run ledger (:mod:`repro.obs.ledger`): list every recorded
+    invocation, show one record by run-id prefix, or report *drift* —
+    identities whose outcome digest changed between library versions
+    (``diff`` exits 1 when any drift is found).
+``top [--dir DIR] [--watch SECONDS]``
+    Live progress of running campaigns, tailed from the heartbeat files
+    ``fuzz``/``chaos`` write per batch (:mod:`repro.obs.heartbeat`).
 
 ``run`` and ``simulate``/``sweep`` accept ``--jobs``, ``--cache`` /
 ``--no-cache`` and ``--cache-dir``; experiments that fan simulation
@@ -50,12 +58,19 @@ points out (V2/V3/V7) inherit them.  ``simulate`` grows telemetry
 exports: ``--metrics-out FILE`` (sampled metrics + forensics JSONL,
 ``--sample-every`` controls the interval) and ``--trace-out FILE``
 (structured per-event trace JSONL).
+
+Observability flags (``run``/``simulate``/``sweep``/``fuzz``/``chaos``/
+``lint``): ``--spans-out FILE`` traces the command's pipeline spans to
+strict JSONL; ``--ledger DIR`` appends the run to the provenance ledger
+``repro runs`` queries.  ``fuzz`` and ``chaos`` print a progress line
+and beat a heartbeat file per batch; ``--quiet`` suppresses both.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Sequence
 
 from repro.analysis import format_turn_table
@@ -109,6 +124,36 @@ def _engine_from_args(args: argparse.Namespace):
     if jobs == 1 and not cache:
         return None
     return SweepEngine(jobs=jobs, cache=cache)
+
+
+@contextmanager
+def _obs_scope(args: argparse.Namespace):
+    """Arm the observability runtime the --spans-out/--ledger flags ask for.
+
+    Installs a :class:`~repro.obs.trace.Tracer` (written to JSONL on the
+    way out, even when the command fails) and/or the run ledger for the
+    duration of one command.  Commands without the flags pass through
+    untouched — ``main`` wraps every command in this scope.
+    """
+    spans_out = getattr(args, "spans_out", "")
+    ledger_dir = getattr(args, "ledger", "")
+    if not spans_out and not ledger_dir:
+        yield
+        return
+    from repro.obs import Tracer, set_ledger, set_tracer
+
+    tracer = Tracer() if spans_out else None
+    prev_tracer = set_tracer(tracer) if tracer is not None else None
+    prev_ledger = set_ledger(ledger_dir) if ledger_dir else None
+    try:
+        yield
+    finally:
+        if ledger_dir:
+            set_ledger(prev_ledger)
+        if tracer is not None:
+            set_tracer(prev_tracer)
+            n = tracer.to_jsonl(spans_out)
+            print(f"spans: {n} events -> {spans_out}", file=sys.stderr)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -238,6 +283,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             backend=args.backend,
         )
         point = engine.run_point(mesh, EbdaDesignFactory(args.design), config, rule)
+        from repro.api import _ledger_point
+
+        _ledger_point(
+            mesh, EbdaDesignFactory(args.design), config, rule,
+            point.result, point.wall_time,
+        )
         print(point.result.stats.summary(len(mesh.nodes)))
         if point.cached:
             print(f"(served from cache in {point.wall_time * 1000:.1f} ms)")
@@ -353,6 +404,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sat = saturation_rate(report.results)
     print(f"saturation: {sat if sat is not None else '> max rate'}")
     print(report.summary())
+    print(report.stage_summary())
     if args.report:
         with open(args.report, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2)
@@ -456,6 +508,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         engine = _engine_from_args(args)
         if engine is None and args.jobs > 1:
             engine = SweepEngine(jobs=args.jobs)
+        heartbeat = None
+        progress = None
+        if not args.quiet:
+            from repro.obs import HeartbeatWriter
+
+            progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
+            heartbeat = HeartbeatWriter(
+                f"fuzz-{args.seed}", "fuzz", args.runs
+            )
         report = run_fuzz(
             args.runs,
             seed=args.seed,
@@ -463,6 +524,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             corpus_dir=args.corpus_dir or None,
             engine=engine,
             profile=profile,
+            progress=progress,
+            heartbeat=heartbeat,
         )
         print(report.summary())
         if args.report:
@@ -509,7 +572,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     campaign = ChaosCampaign(
         config, engine=engine, checkpoint_dir=args.checkpoint_dir or None
     )
-    report = campaign.run(budget_s=args.budget_s, progress=print)
+    heartbeat = None
+    progress = None
+    if not args.quiet:
+        from repro.obs import HeartbeatWriter
+
+        progress = print
+        heartbeat = HeartbeatWriter(config.token(), "chaos", config.trials)
+    report = campaign.run(
+        budget_s=args.budget_s, progress=progress, heartbeat=heartbeat
+    )
     print(report.summary())
     if args.out:
         n = report.to_jsonl(args.out)
@@ -605,6 +677,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         reports.append(analyzer.run(unit))
 
+    _ledger_lint(names, reports)
+
     if args.write_baseline:
         n = write_baseline(reports, args.write_baseline)
         print(f"baseline with {n} fingerprint(s) written to {args.write_baseline}")
@@ -635,11 +709,123 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def _ledger_lint(names: list, reports: list) -> None:
+    """Append one ``lint`` run record (pre-baseline) when a ledger is armed.
+
+    The payload maps each unit to its sorted diagnostic rule IDs — a
+    deterministic digest, so a rule catalog change shows up as drift.
+    """
+    import hashlib
+
+    from repro.obs.ledger import current_ledger, record_run
+
+    if current_ledger() is None:
+        return
+    spec = ",".join(names)
+    if len(spec) > 80:
+        spec = "designs:" + hashlib.sha256(spec.encode()).hexdigest()[:16]
+    findings = sum(len(r.diagnostics) for r in reports)
+    record_run(
+        "lint",
+        spec=spec,
+        outcome="findings" if findings else "ok",
+        payload={
+            r.unit_name: sorted(d.rule for d in r.diagnostics) for r in reports
+        },
+        wall_s=sum(r.elapsed_s for r in reports),
+    )
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs import RunLedger
+
+    ledger = RunLedger(args.ledger or None)
+    try:
+        records = ledger.records()
+    except EbdaError as exc:
+        raise SystemExit(str(exc))
+
+    if args.action == "list":
+        if not records:
+            print(f"(no runs recorded under {ledger.path})")
+            return 0
+        print(f"{'RUN-ID':16s} {'KIND':9s} {'BACKEND':9s} {'SEED':>5s}"
+              f" {'OUTCOME':12s} {'WALL':>8s}  SPEC")
+        for r in records:
+            print(
+                f"{r.run_id:16s} {r.kind:9s} {r.backend:9s} {r.seed:5d}"
+                f" {r.outcome:12s} {r.wall_s:7.2f}s  {r.spec}"
+            )
+        return 0
+
+    if args.action == "show":
+        import json
+
+        matches = ledger.find(args.run_id)
+        if not matches:
+            raise SystemExit(
+                f"no run matches id prefix {args.run_id!r} in {ledger.path}"
+            )
+        for r in matches:
+            print(json.dumps(r.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    # diff: identity groups whose outcome digest changed across records.
+    rows = ledger.drift()
+    if not rows:
+        print(f"no drift across {len(records)} run(s): every repeated"
+              " identity reproduced the same outcome digest")
+        return 0
+    for row in rows:
+        print(
+            f"DRIFT {row['kind']} spec={row['spec']}"
+            f" backend={row['backend']} seed={row['seed']}:"
+        )
+        for v in row["variants"]:
+            versions = ",".join(f"{k}={v2}" for k, v2 in sorted(v["versions"].items()))
+            print(
+                f"  {v['run_id']}  digest={v['digest']}"
+                f" outcome={v['outcome']}  [{versions}]"
+            )
+    print(f"{len(rows)} drifting identit(y/ies)", file=sys.stderr)
+    return 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import render_top
+
+    directory = args.dir or None
+    if not args.watch:
+        print(render_top(directory=directory))
+        return 0
+    try:
+        while True:
+            print("\033[2J\033[H", end="")
+            print(render_top(directory=directory))
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", choices=("reference", "vector"), default="reference",
         help="simulation engine: reference (full feature set) or vector"
         " (numpy kernel, cycle-exact, much faster; see `repro backends`)",
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spans-out", default="", metavar="FILE",
+        help="trace the command's pipeline spans and write them as JSONL",
+    )
+    parser.add_argument(
+        "--ledger", default="", metavar="DIR",
+        help="append this run to the ledger in DIR (query with `repro runs`;"
+        " $REPRO_EBDA_LEDGER_DIR arms it globally)",
     )
 
 
@@ -676,6 +862,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run experiments by id (or 'all')")
     p_run.add_argument("experiments", nargs="+")
     _add_engine_flags(p_run)
+    _add_obs_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_verify = sub.add_parser("verify", help="verify a design on a mesh")
@@ -736,6 +923,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(p_sim)
     _add_engine_flags(p_sim)
+    _add_obs_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_sweep = sub.add_parser(
@@ -777,6 +965,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(p_sweep)
     _add_engine_flags(p_sweep)
+    _add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     sub.add_parser(
@@ -868,6 +1057,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="show per-design rule lists and timings (text format)",
     )
+    _add_obs_flags(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
     p_chaos = sub.add_parser(
@@ -917,7 +1107,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", default="", metavar="FILE",
         help="render an existing campaign JSONL and exit (no simulation)",
     )
+    p_chaos.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-batch progress lines and heartbeat files",
+    )
     _add_engine_flags(p_chaos)
+    _add_obs_flags(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_fuzz = sub.add_parser(
@@ -955,15 +1150,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="shorter simulation budgets (smoke runs, property tests)",
     )
+    p_fuzz.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-batch progress lines and heartbeat files",
+    )
     _add_engine_flags(p_fuzz)
+    _add_obs_flags(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_runs = sub.add_parser(
+        "runs", help="query the run ledger (provenance and drift)"
+    )
+    p_runs.add_argument(
+        "action", choices=("list", "show", "diff"),
+        help="list all runs, show one by id prefix, or report outcome drift",
+    )
+    p_runs.add_argument(
+        "run_id", nargs="?", default="",
+        help="run-id prefix (for `runs show`)",
+    )
+    p_runs.add_argument(
+        "--ledger", default="", metavar="DIR",
+        help="ledger directory (default $REPRO_EBDA_LEDGER_DIR or"
+        " <cache-dir>/ledger)",
+    )
+    p_runs.set_defaults(func=cmd_runs)
+
+    p_top = sub.add_parser(
+        "top", help="live progress of running campaigns (heartbeat files)"
+    )
+    p_top.add_argument(
+        "--dir", default="", metavar="DIR",
+        help="heartbeat directory (default $REPRO_EBDA_HEARTBEAT_DIR or"
+        " <cache-dir>/heartbeats)",
+    )
+    p_top.add_argument(
+        "--watch", type=float, default=0.0, metavar="SECONDS",
+        help="redraw every SECONDS until interrupted (default: one shot)",
+    )
+    p_top.set_defaults(func=cmd_top)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        with _obs_scope(args):
+            return args.func(args)
     except BrokenPipeError:  # e.g. `repro list | head`
         return 0
 

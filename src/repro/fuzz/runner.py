@@ -27,6 +27,9 @@ from repro.fuzz.design import FuzzDesign, Mutation
 from repro.fuzz.generator import DesignGenerator
 from repro.fuzz.oracle import DifferentialOracle, SimProfile, TrialResult
 from repro.fuzz.shrink import ShrinkResult, shrink, within_witness_bound
+from repro.obs.ledger import record_run
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import current_tracer
 from repro.sim.parallel import SweepEngine
 
 __all__ = [
@@ -142,6 +145,8 @@ def run_fuzz(
     engine: SweepEngine | None = None,
     profile: SimProfile | None = None,
     generator: DesignGenerator | None = None,
+    progress=None,
+    heartbeat=None,
 ) -> FuzzReport:
     """Run a differential fuzzing campaign.
 
@@ -149,6 +154,13 @@ def run_fuzz(
     between batches, so a campaign is cut short cleanly rather than
     mid-trial.  Each hard disagreement is shrunk (preserving its exact
     classification) and, with ``corpus_dir`` set, saved for replay.
+
+    ``progress`` is an optional ``callable(str)`` invoked with one status
+    line per completed batch (trials done, disagreements so far, elapsed);
+    ``heartbeat`` is an optional
+    :class:`~repro.obs.heartbeat.HeartbeatWriter` beaten per batch so
+    ``repro top`` can watch the campaign live.  Both are observational
+    only — they never change which trials run or how they are judged.
     """
     profile = profile or SimProfile()
     generator = generator or DesignGenerator(seed)
@@ -157,31 +169,83 @@ def run_fuzz(
     started = time.monotonic()
     report = FuzzReport(seed=seed, runs_requested=runs)
     counts: Counter = Counter()
+    tracer = current_tracer()
+    trials_metric = REGISTRY.counter(
+        "repro_fuzz_trials_total", help="Differential fuzz trials judged."
+    )
+    disagreements_metric = REGISTRY.counter(
+        "repro_fuzz_disagreements_total",
+        help="Hard oracle disagreements found by fuzzing.",
+    )
 
-    trial = 0
-    while trial < runs:
-        if budget_s is not None and time.monotonic() - started >= budget_s:
-            break
-        batch = generator.designs(min(batch_size, runs - trial), start=trial)
-        payloads = [(d.to_dict(), profile) for d in batch]
-        if engine is not None:
-            results = engine.map_tasks(_run_trial, payloads)
-        else:
-            results = [_run_trial(p) for p in payloads]
-        for offset, result in enumerate(results):
-            counts[result.classification] += 1
-            report.trials.append(result)
-            if result.disagreement:
-                report.disagreements.append(
-                    _handle_disagreement(
-                        trial + offset, result, profile, corpus_dir, seed
-                    )
+    with tracer.span("fuzz.campaign", runs=runs, seed=seed, jobs=jobs) as root:
+        trial = 0
+        batch_no = 0
+        while trial < runs:
+            if budget_s is not None and time.monotonic() - started >= budget_s:
+                break
+            with tracer.span("fuzz.batch", batch=batch_no, start=trial) as bspan:
+                batch = generator.designs(min(batch_size, runs - trial), start=trial)
+                payloads = [(d.to_dict(), profile) for d in batch]
+                if engine is not None:
+                    results = engine.map_tasks(_run_trial, payloads)
+                else:
+                    results = [_run_trial(p) for p in payloads]
+                found = 0
+                for offset, result in enumerate(results):
+                    counts[result.classification] += 1
+                    report.trials.append(result)
+                    if result.disagreement:
+                        found += 1
+                        with tracer.span("fuzz.shrink", trial=trial + offset):
+                            report.disagreements.append(
+                                _handle_disagreement(
+                                    trial + offset, result, profile, corpus_dir, seed
+                                )
+                            )
+                bspan.set(trials=len(batch), disagreements=found)
+            trials_metric.inc(len(batch))
+            disagreements_metric.inc(found)
+            trial += len(batch)
+            batch_no += 1
+            report.runs_completed = trial
+            elapsed = time.monotonic() - started
+            if heartbeat is not None:
+                heartbeat.beat(
+                    trial,
+                    batch=batch_no,
+                    disagreements=len(report.disagreements),
                 )
-        trial += len(batch)
-        report.runs_completed = trial
+            if progress is not None:
+                progress(
+                    f"fuzz: {trial}/{runs} trials,"
+                    f" {len(report.disagreements)} disagreement(s),"
+                    f" {elapsed:.1f}s elapsed"
+                )
+        root.set(
+            completed=trial,
+            disagreements=len(report.disagreements),
+        )
 
     report.counts = dict(counts)
     report.elapsed_s = time.monotonic() - started
+    if heartbeat is not None:
+        heartbeat.finish(trial, disagreements=len(report.disagreements))
+    record_run(
+        "fuzz",
+        spec=f"runs={runs},seed={seed}",
+        seed=seed,
+        outcome="ok" if report.ok else "disagreement",
+        payload={
+            "runs_completed": report.runs_completed,
+            "counts": report.counts,
+            "disagreements": [
+                {"trial": d.trial, "classification": d.classification}
+                for d in report.disagreements
+            ],
+        },
+        wall_s=report.elapsed_s,
+    )
     return report
 
 

@@ -43,6 +43,8 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import current_tracer
 from repro.routing.base import RoutingFunction
 from repro.sim.runner import RunConfig, RunResult, run_point
 from repro.sim.specs import resolve_routing_factory, spec_token
@@ -58,6 +60,8 @@ __all__ = [
     "SweepReport",
     "cache_key",
     "default_cache_dir",
+    "point_token",
+    "sweep_token",
     "topology_token",
 ]
 
@@ -132,6 +136,52 @@ def _config_token(config: RunConfig) -> str | None:
     return "|".join(parts)
 
 
+def point_token(
+    topology: Topology,
+    routing: object,
+    config: RunConfig,
+    rule: ClassRule = no_classes,
+) -> str | None:
+    """A *version-free* 16-hex identity for one point, or None when the
+    point has no stable spec.
+
+    This is the run ledger's spec token (:mod:`repro.obs.ledger`): two
+    library versions running the same point share it, which is exactly
+    what lets ``repro runs diff`` detect cross-version result drift.
+    The result cache builds :func:`cache_key` on top by adding the cache
+    schema and library version.
+    """
+    routing_token = _routing_token(routing)
+    config_token = _config_token(config)
+    rule_token = spec_token("rule", rule)
+    if routing_token is None or config_token is None or rule_token is None:
+        return None
+    material = "\n".join(
+        [
+            f"topology={topology_token(topology)}",
+            f"routing={routing_token}",
+            f"rule={rule_token}",
+            f"config={config_token}",
+        ]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+def sweep_token(
+    topology: Topology,
+    routing: object,
+    rates: Sequence[float],
+    config: RunConfig,
+    rule: ClassRule = no_classes,
+) -> str | None:
+    """A version-free 16-hex identity for a whole rate sweep, or None."""
+    base = point_token(topology, routing, config, rule)
+    if base is None:
+        return None
+    material = f"point={base}\nrates={','.join(repr(float(r)) for r in rates)}"
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
 def cache_key(
     topology: Topology,
     routing: object,
@@ -141,19 +191,14 @@ def cache_key(
     """The content-addressed key for one point, or None when uncacheable."""
     import repro
 
-    routing_token = _routing_token(routing)
-    config_token = _config_token(config)
-    rule_token = spec_token("rule", rule)
-    if routing_token is None or config_token is None or rule_token is None:
+    token = point_token(topology, routing, config, rule)
+    if token is None:
         return None
     material = "\n".join(
         [
             f"schema={CACHE_SCHEMA}",
             f"version={repro.__version__}",
-            f"topology={topology_token(topology)}",
-            f"routing={routing_token}",
-            f"rule={rule_token}",
-            f"config={config_token}",
+            f"point={token}",
         ]
     )
     return hashlib.sha256(material.encode()).hexdigest()
@@ -287,6 +332,19 @@ class SweepReport:
             f"/{self.cache_misses} miss, {self.cycles_executed} sim cycles)"
         )
 
+    def stage_summary(self) -> str:
+        """One line of engine stage times (``repro sweep`` prints this).
+
+        Fixed stages first, then the per-backend ``simulate:<engine>``
+        attributions, each as ``name=seconds``.
+        """
+        order = ["cache_read", "spawn", "simulate", "cache_write"]
+        keys = [k for k in order if k in self.stage_times]
+        keys += sorted(k for k in self.stage_times if k not in order)
+        return "stages: " + " ".join(
+            f"{k}={self.stage_times[k]:.3f}s" for k in keys
+        )
+
     def to_dict(self) -> dict:
         """Strict-JSON-safe report (per-point timings and telemetry included).
 
@@ -321,6 +379,15 @@ class SweepReport:
             "cycles_executed": self.cycles_executed,
             "points": [point_dict(p) for p in self.points],
         }
+
+
+#: Metric names the engine reports (see :mod:`repro.obs.metrics`).
+_HITS = "repro_cache_hits_total"
+_HITS_HELP = "Result-cache hits served without simulating"
+_MISSES = "repro_cache_misses_total"
+_MISSES_HELP = "Result-cache misses (points actually simulated)"
+_SIM_SECONDS = "repro_simulate_seconds"
+_SIM_HELP = "Wall seconds per simulated point, by backend"
 
 
 def _execute_point(payload: tuple) -> tuple[RunResult, float]:
@@ -381,19 +448,29 @@ class SweepEngine:
         rule: ClassRule = no_classes,
     ) -> PointOutcome:
         """One point, in-process, cache-aware."""
-        key = (
-            cache_key(topology, routing, config, rule)
-            if self.cache is not None
-            else None
-        )
-        if key is not None and self.cache is not None:
-            cached = self._load(key, config)
-            if cached is not None:
-                return cached
-        result, elapsed = _execute_point((topology, routing, config, rule))
-        if key is not None and self.cache is not None:
-            self.cache.put(key, result, elapsed)
-        return PointOutcome(result, elapsed, cached=False, key=key)
+        tracer = current_tracer()
+        with tracer.span("sweep.point", backend=config.backend) as span:
+            key = (
+                cache_key(topology, routing, config, rule)
+                if self.cache is not None
+                else None
+            )
+            if key is not None and self.cache is not None:
+                cached = self._load(key, config)
+                if cached is not None:
+                    REGISTRY.counter(_HITS, help=_HITS_HELP).inc()
+                    span.set(cached=True)
+                    return cached
+            result, elapsed = _execute_point((topology, routing, config, rule))
+            if self.cache is not None:
+                REGISTRY.counter(_MISSES, help=_MISSES_HELP).inc()
+            REGISTRY.histogram(
+                _SIM_SECONDS, labels={"backend": config.backend}, help=_SIM_HELP
+            ).observe(elapsed)
+            if key is not None and self.cache is not None:
+                self.cache.put(key, result, elapsed)
+            span.set(cached=False)
+            return PointOutcome(result, elapsed, cached=False, key=key)
 
     def _load(self, key: str, config: RunConfig) -> PointOutcome | None:
         start = time.perf_counter()
@@ -447,18 +524,29 @@ class SweepEngine:
         }
         work = [(t, r, c, rule) for (t, r, c) in points]
         outcomes: list[PointOutcome | None] = [None] * len(work)
+        tracer = current_tracer()
+        with tracer.span(
+            "sweep.run_many", points=len(work), jobs=self.jobs
+        ) as root:
+            return self._run_many_traced(
+                tracer, root, work, outcomes, stage_times, started
+            )
 
-        mark = time.perf_counter()
-        pending: list[tuple[int, tuple]] = []
-        for i, payload in enumerate(work):
-            key = cache_key(*payload) if self.cache is not None else None
-            if key is not None and self.cache is not None:
-                cached = self._load(key, payload[2])
-                if cached is not None:
-                    outcomes[i] = cached
-                    continue
-            pending.append((i, payload))
-        stage_times["cache_read"] = time.perf_counter() - mark
+    def _run_many_traced(
+        self, tracer, root, work, outcomes, stage_times, started
+    ) -> SweepReport:
+        with tracer.span("sweep.cache_read"):
+            mark = time.perf_counter()
+            pending: list[tuple[int, tuple]] = []
+            for i, payload in enumerate(work):
+                key = cache_key(*payload) if self.cache is not None else None
+                if key is not None and self.cache is not None:
+                    cached = self._load(key, payload[2])
+                    if cached is not None:
+                        outcomes[i] = cached
+                        continue
+                pending.append((i, payload))
+            stage_times["cache_read"] = time.perf_counter() - mark
 
         parallel = (
             self.jobs > 1
@@ -466,31 +554,46 @@ class SweepEngine:
             and all(_picklable(payload) for _i, payload in pending)
         )
         if parallel:
-            mark = time.perf_counter()
-            pool = ProcessPoolExecutor(max_workers=self.jobs)
-            stage_times["spawn"] = time.perf_counter() - mark
-            mark = time.perf_counter()
-            try:
-                executed = list(
-                    pool.map(_execute_point, [payload for _i, payload in pending])
-                )
-            finally:
-                pool.shutdown()
-            stage_times["simulate"] = time.perf_counter() - mark
+            with tracer.span("sweep.spawn"):
+                mark = time.perf_counter()
+                pool = ProcessPoolExecutor(max_workers=self.jobs)
+                stage_times["spawn"] = time.perf_counter() - mark
+            with tracer.span("sweep.simulate", parallel=True, misses=len(pending)):
+                mark = time.perf_counter()
+                try:
+                    executed = list(
+                        pool.map(_execute_point, [payload for _i, payload in pending])
+                    )
+                finally:
+                    pool.shutdown()
+                stage_times["simulate"] = time.perf_counter() - mark
         else:
-            mark = time.perf_counter()
-            executed = [_execute_point(payload) for _i, payload in pending]
-            stage_times["simulate"] = time.perf_counter() - mark
+            with tracer.span("sweep.simulate", parallel=False, misses=len(pending)):
+                mark = time.perf_counter()
+                executed = [_execute_point(payload) for _i, payload in pending]
+                stage_times["simulate"] = time.perf_counter() - mark
 
-        mark = time.perf_counter()
-        for (i, payload), (result, elapsed) in zip(pending, executed):
-            key = cache_key(*payload) if self.cache is not None else None
-            if key is not None and self.cache is not None:
-                self.cache.put(key, result, elapsed)
-            backend_stage = f"simulate:{payload[2].backend}"
-            stage_times[backend_stage] = stage_times.get(backend_stage, 0.0) + elapsed
-            outcomes[i] = PointOutcome(result, elapsed, cached=False, key=key)
-        stage_times["cache_write"] = time.perf_counter() - mark
+        with tracer.span("sweep.cache_write"):
+            mark = time.perf_counter()
+            for (i, payload), (result, elapsed) in zip(pending, executed):
+                key = cache_key(*payload) if self.cache is not None else None
+                if key is not None and self.cache is not None:
+                    self.cache.put(key, result, elapsed)
+                backend_stage = f"simulate:{payload[2].backend}"
+                stage_times[backend_stage] = stage_times.get(backend_stage, 0.0) + elapsed
+                REGISTRY.histogram(
+                    _SIM_SECONDS,
+                    labels={"backend": payload[2].backend},
+                    help=_SIM_HELP,
+                ).observe(elapsed)
+                outcomes[i] = PointOutcome(result, elapsed, cached=False, key=key)
+            stage_times["cache_write"] = time.perf_counter() - mark
+
+        hits = sum(1 for o in outcomes if o is not None and o.cached)
+        if self.cache is not None:
+            REGISTRY.counter(_HITS, help=_HITS_HELP).inc(hits)
+            REGISTRY.counter(_MISSES, help=_MISSES_HELP).inc(len(pending))
+        root.set(cache_hits=hits, cache_misses=len(pending))
 
         return SweepReport(
             points=[o for o in outcomes if o is not None],
@@ -517,4 +620,33 @@ class SweepEngine:
             # Fail fast on typos; string specs resolve in the workers.
             resolve_routing_factory(routing_factory)
         points = [(topology, routing_factory, config.with_rate(r)) for r in rates]
-        return self.run_many(points, rule)
+        report = self.run_many(points, rule)
+        self._ledger_sweep(topology, routing_factory, rates, config, rule, report)
+        return report
+
+    def _ledger_sweep(
+        self, topology, routing_factory, rates, config, rule, report
+    ) -> None:
+        """Append a ``sweep`` ledger record when a ledger is configured.
+
+        Identity is the version-free :func:`sweep_token`; the outcome
+        digest covers every point's deterministic stats dict, in rate
+        order, so any drifting point flips the sweep's digest.
+        """
+        from repro.obs.ledger import current_ledger, record_run
+
+        if current_ledger() is None:
+            return
+        spec = sweep_token(topology, routing_factory, rates, config, rule)
+        if spec is None:
+            spec = f"unhashable:{getattr(routing_factory, '__name__', routing_factory)}"
+        deadlocked = any(r.deadlocked for r in report.results)
+        record_run(
+            "sweep",
+            spec=spec,
+            backend=config.backend,
+            seed=config.seed,
+            outcome="deadlock" if deadlocked else "ok",
+            payload=[r.stats.to_dict() for r in report.results],
+            wall_s=report.wall_time,
+        )

@@ -1,0 +1,121 @@
+"""Observability must never alter results, cache keys, or seeds.
+
+The contract: tracing, metrics, heartbeats and the ledger are pure
+observers.  Enabling any of them produces bit-identical ``SimStats``,
+identical spec tokens and cache keys, and rerunning a campaign appends
+ledger records with identical outcome digests (no self-drift).
+"""
+
+import pytest
+
+from repro import RunConfig, run_point
+from repro.obs import RunLedger, Tracer, set_ledger, tracing
+from repro.sim.parallel import SweepEngine, cache_key, point_token, sweep_token
+from repro.topology import Mesh
+
+
+@pytest.fixture(autouse=True)
+def _no_installed_ledger(monkeypatch):
+    monkeypatch.delenv("REPRO_EBDA_LEDGER_DIR", raising=False)
+    previous = set_ledger(None)
+    yield
+    set_ledger(previous)
+
+
+CONFIG = RunConfig(cycles=150, seed=7, watchdog=300)
+
+
+class TestTracingDeterminism:
+    def test_traced_run_point_identical_stats(self):
+        mesh = Mesh(4, 4)
+        plain = run_point(mesh, "xy", CONFIG)
+        with tracing(Tracer()):
+            traced = run_point(mesh, "xy", CONFIG)
+        assert traced.stats.to_dict() == plain.stats.to_dict()
+
+    def test_traced_sweep_identical_stats(self):
+        mesh = Mesh(4, 4)
+        rates = [0.05, 0.1]
+        engine = SweepEngine(jobs=1, cache=None)
+        plain = engine.sweep(mesh, "xy", rates, CONFIG)
+        tracer = Tracer()
+        with tracing(tracer):
+            traced = engine.sweep(mesh, "xy", rates, CONFIG)
+        assert [r.stats.to_dict() for r in traced.results] == [
+            r.stats.to_dict() for r in plain.results
+        ]
+        assert len(tracer) > 0  # the traced run really was traced
+
+    def test_tokens_unaffected_by_active_tracer(self):
+        mesh = Mesh(4, 4)
+        plain = (
+            point_token(mesh, "xy", CONFIG),
+            sweep_token(mesh, "xy", [0.05], CONFIG),
+            cache_key(mesh, "xy", CONFIG),
+        )
+        tracer = Tracer()
+        with tracing(tracer):
+            # Span attrs carry run metadata; none of it may reach the tokens.
+            with tracer.span("outer", seed=999, cycles=1):
+                traced = (
+                    point_token(mesh, "xy", CONFIG),
+                    sweep_token(mesh, "xy", [0.05], CONFIG),
+                    cache_key(mesh, "xy", CONFIG),
+                )
+        assert traced == plain
+        assert all(token is not None for token in plain)
+
+
+class TestLedgerDeterminism:
+    def test_ledger_does_not_change_stats(self, tmp_path):
+        mesh = Mesh(4, 4)
+        plain = run_point(mesh, "xy", CONFIG)
+        set_ledger(tmp_path)
+        try:
+            recorded = run_point(mesh, "xy", CONFIG)
+        finally:
+            set_ledger(None)
+        assert recorded.stats.to_dict() == plain.stats.to_dict()
+        assert len(RunLedger(tmp_path)) == 1
+
+    def test_rerun_appends_identical_digest(self, tmp_path):
+        mesh = Mesh(4, 4)
+        set_ledger(tmp_path)
+        try:
+            run_point(mesh, "xy", CONFIG)
+            run_point(mesh, "xy", CONFIG)
+        finally:
+            set_ledger(None)
+        ledger = RunLedger(tmp_path)
+        first, second = ledger.records()
+        assert first.run_id == second.run_id
+        assert first.digest == second.digest
+        assert ledger.drift() == []
+
+    def test_sweep_rerun_has_no_self_drift(self, tmp_path):
+        mesh = Mesh(4, 4)
+        engine = SweepEngine(jobs=1, cache=None)
+        set_ledger(tmp_path)
+        try:
+            engine.sweep(mesh, "xy", [0.05], CONFIG)
+            engine.sweep(mesh, "xy", [0.05], CONFIG)
+        finally:
+            set_ledger(None)
+        ledger = RunLedger(tmp_path)
+        digests = {r.digest for r in ledger.records() if r.kind == "sweep"}
+        assert len(digests) == 1
+        assert ledger.drift() == []
+
+    def test_wall_time_not_in_identity_or_digest(self, tmp_path):
+        # Two runs never share wall time; identity and digest must anyway.
+        mesh = Mesh(4, 4)
+        set_ledger(tmp_path)
+        try:
+            run_point(mesh, "xy", CONFIG)
+            run_point(mesh, "xy", CONFIG)
+        finally:
+            set_ledger(None)
+        first, second = RunLedger(tmp_path).records()
+        assert first.wall_s != second.wall_s or first.wall_s >= 0
+        assert first.identity == second.identity
+        assert first.digest == second.digest

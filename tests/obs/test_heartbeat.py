@@ -1,0 +1,140 @@
+"""Unit tests for heartbeat files and the ``repro top`` renderer."""
+
+import json
+
+import pytest
+
+from repro.errors import EbdaError
+from repro.obs import (
+    HeartbeatWriter,
+    load_heartbeat,
+    read_heartbeats,
+    render_top,
+)
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestHeartbeatWriter:
+    def test_beat_writes_valid_record(self, tmp_path):
+        clock = FakeClock()
+        writer = HeartbeatWriter("chaos-abc", "chaos", 50, tmp_path, clock=clock)
+        clock.t = 110.0
+        record = writer.beat(10, batch=2, disagreements=0)
+        assert record["done"] == 10
+        assert record["total"] == 50
+        assert record["elapsed_s"] == pytest.approx(10.0)
+        assert record["eta_s"] == pytest.approx(40.0)  # 10 trials in 10s, 40 left
+        assert record["disagreements"] == 0
+        assert load_heartbeat(writer.path) == record
+
+    def test_atomic_replace_leaves_no_tmp(self, tmp_path):
+        writer = HeartbeatWriter("x", "fuzz", 10, tmp_path)
+        writer.beat(1)
+        writer.beat(2)
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+
+    def test_id_sanitised_for_filename(self, tmp_path):
+        writer = HeartbeatWriter("mesh 4x4/adaptive", "chaos", 1, tmp_path)
+        assert "/" not in writer.id and " " not in writer.id
+        writer.beat(0)
+        assert writer.path.exists()
+
+    def test_unsafe_id_rejected(self, tmp_path):
+        with pytest.raises(EbdaError, match="filename-safe"):
+            HeartbeatWriter("", "chaos", 1, tmp_path)
+
+    def test_finish_marks_done_with_zero_eta(self, tmp_path):
+        clock = FakeClock()
+        writer = HeartbeatWriter("x", "fuzz", 5, tmp_path, clock=clock)
+        clock.t = 101.0
+        record = writer.finish(5)
+        assert record["state"] == "done"
+        assert record["eta_s"] == 0.0
+        assert writer.beats == 1
+
+    def test_zero_done_has_no_eta(self, tmp_path):
+        writer = HeartbeatWriter("x", "fuzz", 5, tmp_path, clock=FakeClock())
+        assert writer.beat(0)["eta_s"] is None
+
+    def test_non_json_extra_rejected(self, tmp_path):
+        writer = HeartbeatWriter("x", "fuzz", 5, tmp_path)
+        with pytest.raises(EbdaError, match="strict-JSON"):
+            writer.beat(1, payload=object())
+
+
+class TestLoadHeartbeat:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EbdaError, match="cannot read"):
+            load_heartbeat(tmp_path / "nope.json")
+
+    def test_not_a_heartbeat(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"record": "bench"}))
+        with pytest.raises(EbdaError, match="not a heartbeat"):
+            load_heartbeat(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"record": "heartbeat", "schema": 99}))
+        with pytest.raises(EbdaError, match="schema"):
+            load_heartbeat(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"record": "heartbeat", "schema": 1, "id": "x"}))
+        with pytest.raises(EbdaError, match="missing field"):
+            load_heartbeat(path)
+
+
+class TestReadHeartbeats:
+    def test_most_recent_first_and_torn_skipped(self, tmp_path):
+        old = FakeClock(100.0)
+        new = FakeClock(200.0)
+        HeartbeatWriter("old", "fuzz", 5, tmp_path, clock=old).beat(1)
+        HeartbeatWriter("new", "chaos", 5, tmp_path, clock=new).beat(1)
+        (tmp_path / "torn.json").write_text('{"half a rec')
+        ids = [r["id"] for r in read_heartbeats(tmp_path)]
+        assert ids == ["new", "old"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert list(read_heartbeats(tmp_path / "absent")) == []
+
+
+class TestRenderTop:
+    def test_empty(self, tmp_path):
+        assert render_top(directory=tmp_path) == "(no campaign heartbeats)"
+
+    def test_renders_progress_row(self, tmp_path):
+        clock = FakeClock()
+        writer = HeartbeatWriter("camp", "chaos", 100, tmp_path, clock=clock)
+        clock.t = 110.0
+        writer.beat(25, n_clean=20, n_deadlock=5)
+        out = render_top(directory=tmp_path, now=110.0)
+        row = out.splitlines()[1]
+        assert "camp" in row
+        assert "25/100" in row
+        assert "2.5/s" in row
+        assert "30s" in row  # eta: 75 left at 2.5/s
+        assert "running" in row
+        assert "n_clean=20" in row and "n_deadlock=5" in row
+
+    def test_stale_campaign_flagged(self, tmp_path):
+        clock = FakeClock(100.0)
+        writer = HeartbeatWriter("camp", "fuzz", 10, tmp_path, clock=clock)
+        writer.beat(1)
+        out = render_top(directory=tmp_path, now=100.0 + 120.0)
+        assert "stale 120s" in out
+
+    def test_done_campaign_not_stale(self, tmp_path):
+        clock = FakeClock(100.0)
+        HeartbeatWriter("camp", "fuzz", 10, tmp_path, clock=clock).finish(10)
+        out = render_top(directory=tmp_path, now=100.0 + 120.0)
+        assert "stale" not in out
+        assert "done" in out

@@ -1,0 +1,138 @@
+"""Unit tests for the metrics registry and its two exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import EbdaError
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_get_or_create_accumulates(self, registry):
+        registry.counter("repro_hits_total").inc()
+        registry.counter("repro_hits_total").inc(2)
+        assert registry.counter("repro_hits_total").value == 3.0
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(EbdaError, match="cannot decrease"):
+            registry.counter("c_total").inc(-1)
+
+    def test_labels_separate_series(self, registry):
+        registry.counter("c_total", labels={"backend": "vector"}).inc()
+        registry.counter("c_total", labels={"backend": "reference"}).inc(5)
+        assert registry.counter("c_total", labels={"backend": "vector"}).value == 1.0
+        assert len(registry) == 2
+
+    def test_label_order_irrelevant(self, registry):
+        a = registry.counter("c_total", labels={"x": "1", "y": "2"})
+        b = registry.counter("c_total", labels={"y": "2", "x": "1"})
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, registry):
+        hist = registry.histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.cumulative() == [(0.1, 1), (1.0, 3), (10.0, 4)]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(EbdaError, match="at least one bucket"):
+            registry.histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_kind_clash_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(EbdaError, match="already registered"):
+            registry.gauge("x")
+
+    def test_bad_name_rejected(self, registry):
+        with pytest.raises(EbdaError, match="bad metric name"):
+            registry.counter("no spaces allowed")
+        with pytest.raises(EbdaError, match="bad metric name"):
+            registry.counter("9starts_with_digit")
+
+    def test_reset_clears(self, registry):
+        registry.counter("c_total").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("c_total").value == 0.0
+
+    def test_iteration_sorted(self, registry):
+        registry.counter("b_total")
+        registry.counter("a_total")
+        assert [i.name for i in registry] == ["a_total", "b_total"]
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("repro_hits_total", help="Cache hits.").inc(3)
+        registry.gauge("repro_level").set(1.5)
+        text = registry.to_prometheus()
+        assert "# HELP repro_hits_total Cache hits.\n" in text
+        assert "# TYPE repro_hits_total counter\n" in text
+        assert "repro_hits_total 3\n" in text
+        assert "# TYPE repro_level gauge\n" in text
+        assert "repro_level 1.5\n" in text
+
+    def test_label_rendering(self, registry):
+        registry.counter("c_total", labels={"backend": "vector"}).inc()
+        assert 'c_total{backend="vector"} 1\n' in registry.to_prometheus()
+
+    def test_histogram_series(self, registry):
+        hist = registry.histogram("h_seconds", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(100.0)
+        text = registry.to_prometheus()
+        assert 'h_seconds_bucket{le="1"} 1\n' in text
+        assert 'h_seconds_bucket{le="10"} 1\n' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2\n' in text
+        assert "h_seconds_sum 100.5\n" in text
+        assert "h_seconds_count 2\n" in text
+
+    def test_type_header_emitted_once_per_name(self, registry):
+        registry.counter("c_total", labels={"k": "a"}).inc()
+        registry.counter("c_total", labels={"k": "b"}).inc()
+        assert registry.to_prometheus().count("# TYPE c_total counter") == 1
+
+    def test_empty_registry_empty_exposition(self, registry):
+        assert registry.to_prometheus() == ""
+
+
+class TestSnapshot:
+    def test_records_are_strict_json(self, registry):
+        registry.counter("c_total").inc()
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        for record in registry.snapshot():
+            json.dumps(record, allow_nan=False)
+            assert record["record"] == "metric"
+            assert record["schema"] == 1
+
+    def test_jsonl_export(self, registry, tmp_path):
+        registry.counter("c_total").inc(2)
+        path = tmp_path / "metrics.jsonl"
+        assert registry.to_jsonl(path) == 2  # meta line + one instrument
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["record"] == "metrics-meta"
+        assert lines[1] == {
+            "schema": 1, "record": "metric", "name": "c_total",
+            "kind": "counter", "labels": {}, "value": 2.0,
+        }

@@ -1,0 +1,112 @@
+"""Property tests for observability schemas: arbitrary JSON-safe data
+must round-trip losslessly through span JSONL, ledger records, and
+heartbeat files, and traces must stay balanced under any nesting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    HeartbeatWriter,
+    RunLedger,
+    RunRecord,
+    Tracer,
+    check_balance,
+    load_heartbeat,
+    load_trace,
+    outcome_digest,
+)
+
+# Strict-JSON-safe attribute values (no NaN/Inf — the writers reject them).
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+attr_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+).filter(lambda s: not s.startswith("__"))
+attrs = st.dictionaries(attr_names, json_scalars, max_size=4)
+payloads = st.recursive(
+    json_scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=10), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(shape=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=24),
+       span_attrs=attrs)
+@settings(max_examples=40, deadline=None)
+def test_random_nesting_round_trips_balanced(tmp_path_factory, shape, span_attrs):
+    """Any open/close/leaf sequence yields a balanced, lossless trace."""
+    tmp_path = tmp_path_factory.mktemp("trace")
+    tracer = Tracer()
+    stack = []
+    for op in shape:
+        if op == 0:
+            stack.append(tracer.span(f"s{len(stack)}", **span_attrs).__enter__())
+        elif op == 1 and stack:
+            stack.pop().__exit__(None, None, None)
+        else:
+            with tracer.span("leaf"):
+                pass
+    while stack:
+        stack.pop().__exit__(None, None, None)
+    path = tmp_path / "spans.jsonl"
+    tracer.to_jsonl(path)
+    events = load_trace(path)
+    assert events == tracer.events
+    check_balance(events)
+
+
+@given(
+    kind=st.sampled_from(("run_point", "sweep", "fuzz", "chaos", "lint")),
+    spec=st.text(min_size=1, max_size=30),
+    backend=st.sampled_from(("reference", "vector", "-")),
+    seed=st.integers(min_value=0, max_value=2**31),
+    outcome=st.sampled_from(("ok", "deadlock", "disagreement", "error")),
+    payload=payloads,
+    wall_s=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_run_record_round_trips_through_ledger(
+    tmp_path_factory, kind, spec, backend, seed, outcome, payload, wall_s
+):
+    tmp_path = tmp_path_factory.mktemp("ledger")
+    record = RunRecord(
+        kind=kind, spec=spec, backend=backend, seed=seed, outcome=outcome,
+        digest=outcome_digest(payload), wall_s=wall_s, created_at=1.0,
+    )
+    ledger = RunLedger(tmp_path)
+    ledger.append(record)
+    loaded = ledger.records()[-1]
+    assert loaded == record
+    assert loaded.run_id == record.run_id
+    assert loaded.identity == record.identity
+
+
+@given(
+    done=st.integers(min_value=0, max_value=10**6),
+    total=st.integers(min_value=1, max_value=10**6),
+    extra=st.dictionaries(attr_names, json_scalars, max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_heartbeat_round_trips(tmp_path_factory, done, total, extra):
+    tmp_path = tmp_path_factory.mktemp("hb")
+    reserved = (
+        "schema", "record", "id", "kind", "state", "pid", "done", "total",
+        "batch", "elapsed_s", "eta_s", "started_at", "updated_at",
+    )
+    extra = {k: v for k, v in extra.items() if k not in reserved}
+    writer = HeartbeatWriter("prop", "fuzz", total, tmp_path)
+    record = writer.beat(done, **extra)
+    loaded = load_heartbeat(writer.path)
+    assert loaded == record
+    assert loaded["done"] == done
+    assert loaded["total"] == total
+    for key, value in extra.items():
+        assert loaded[key] == value
