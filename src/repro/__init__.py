@@ -5,11 +5,13 @@ Deadlock-free Interconnection Networks"* (Ebrahimi & Daneshtalab, ISCA
 2017), comprising:
 
 * :mod:`repro.core` — the EbDa theory: channels, partitions, the three
-  theorems, turn extraction, Algorithm 1/2, minimal-channel constructions;
+  theorems, turn extraction, Algorithm 1/2, minimal-channel constructions,
+  and the arbitrary-network deadlock-free-routing existence condition;
 * :mod:`repro.cdg` — channel dependency graphs (Dally verification), the
   Glass-Ni turn-model enumeration, combinatorial complexity accounting;
 * :mod:`repro.topology` — n-D mesh, k-ary n-cube, vertically partially
-  connected 3D, and irregular topologies;
+  connected 3D, dragonfly, fat-tree, irregular and arbitrary-graph
+  topologies;
 * :mod:`repro.routing` — EbDa table-driven routing plus the baseline
   algorithms the paper discusses (XY, west-first, north-last,
   negative-first, Odd-Even, DyXY, Elevator-First, Up*/Down*);
@@ -17,8 +19,9 @@ Deadlock-free Interconnection Networks"* (Ebrahimi & Daneshtalab, ISCA
   with virtual channels, credit flow control and deadlock detection;
 * :mod:`repro.analysis` — adaptiveness metrics and turn accounting;
 * :mod:`repro.fuzz` — differential verification fuzzing cross-checking
-  theorems, static analyzer, CDG and simulator, with minimised replayable
-  counterexamples;
+  theorems, static analyzer, CDG, simulator and the arbitrary-network
+  existence condition over five topology families, with minimised
+  replayable counterexamples;
 * :mod:`repro.analyze` — the static design linter: paper-grounded rules
   (``EBDA001``...) over partitions/turns/classes with text, JSON and
   SARIF reporters (``repro lint``), no CDG build or simulation;
@@ -63,7 +66,7 @@ from repro.errors import (
     UnroutableError,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: The stable facade (PEP 562 lazy exports): resolving any of these pulls
 #: in the simulator/verification stack on first use, keeping plain

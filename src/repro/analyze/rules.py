@@ -349,10 +349,20 @@ def ebda008(unit: DesignUnit) -> Iterator[Diagnostic]:
     every per-dimension direction requirement admits some serving order.
     Only minimal failing requirements are reported (a superset of a
     failing requirement always fails too).
+
+    With a concrete topology bound, requirements are restricted to the
+    directions its links actually realise: a dragonfly has no negative
+    links at all, so demanding ``X-`` coverage there would be a false
+    positive, not a connectivity gap.
     """
+    topo_dirs: set[Direction] | None = None
+    if unit.topology is not None:
+        topo_dirs = {(l.dim, l.sign) for l in unit.topology.links}
     missing = False
     for d in unit.dims:
         for sign in (POS, NEG):
+            if topo_dirs is not None and (d, sign) not in topo_dirs:
+                continue
             if (d, sign) not in unit.directions:
                 missing = True
                 yield Diagnostic(
@@ -369,6 +379,8 @@ def ebda008(unit: DesignUnit) -> Iterator[Diagnostic]:
         return
     failed: list[frozenset[Direction]] = []
     for need in sorted(_requirement_sets(unit.dims), key=lambda s: (len(s), _dir_names(s))):
+        if topo_dirs is not None and not need <= topo_dirs:
+            continue
         if any(f <= need for f in failed):
             continue
         if not _route_satisfiable(unit, need, None):

@@ -472,6 +472,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import (
+        FAMILIES,
         DifferentialOracle,
         fast_profile,
         replay_corpus,
@@ -480,6 +481,17 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     )
     from repro.fuzz.oracle import SimProfile
     from repro.sim.parallel import SweepEngine
+
+    families = None
+    if args.families:
+        families = tuple(
+            name.strip() for name in args.families.split(",") if name.strip()
+        )
+        unknown = [name for name in families if name not in FAMILIES]
+        if unknown or not families:
+            raise SystemExit(
+                f"unknown families {unknown!r}; choose from {', '.join(FAMILIES)}"
+            )
 
     profile = fast_profile() if args.fast else SimProfile()
     failures = 0
@@ -524,6 +536,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             corpus_dir=args.corpus_dir or None,
             engine=engine,
             profile=profile,
+            families=families,
             progress=progress,
             heartbeat=heartbeat,
         )
@@ -607,7 +620,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
         write_baseline,
     )
     from repro.analyze.reporters import render_json, render_sarif, render_text
-    from repro.topology import Torus
+    from repro.topology import Dragonfly, FatTree, Torus
+
+    # Beyond-mesh catalog designs lint on their native topologies; the
+    # dragonfly pair drops EBDA005, whose torus wrap-ring premise misreads
+    # dragonfly global 2-rings.
+    native_lint = {
+        "dragonfly-minimal": (lambda: Dragonfly(4), ("EBDA005",)),
+        "dragonfly-valiant": (lambda: Dragonfly(4), ("EBDA005",)),
+        "fattree-updown": (lambda: FatTree(4, 2, 2), ()),
+    }
 
     if args.list_rules:
         for rid, info in sorted(RULES.items()):
@@ -668,14 +690,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
     reports = []
     for name in names:
         design, suggested = resolve_unvalidated(name)
+        design_analyzer = analyzer
+        if name in native_lint and not (args.torus or args.mesh or args.no_topology):
+            make_topology, extra_ignore = native_lint[name]
+            topology = make_topology()
+            if extra_ignore:
+                design_analyzer = Analyzer(
+                    select=select, ignore=ignore + extra_ignore
+                )
+        else:
+            topology = topology_for(design)
         unit = DesignUnit.from_sequence(
             design,
             name=name if name in catalog.NAMED_DESIGNS else design.arrow_notation(),
-            topology=topology_for(design),
+            topology=topology,
             rule=rule if rule is not None else rule_for_design(suggested),
             claims_fully_adaptive=args.full_adaptive,
         )
-        reports.append(analyzer.run(unit))
+        reports.append(design_analyzer.run(unit))
 
     _ledger_lint(names, reports)
 
@@ -1125,6 +1157,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument(
         "--seed", type=int, default=0, help="generator root seed (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--families", default="", metavar="CSV",
+        help="topology families to draw designs from, comma-separated"
+        " (mesh,torus,dragonfly,fattree,irregular; default mesh,torus)",
     )
     p_fuzz.add_argument(
         "--budget-s", type=float, default=None, metavar="SECONDS",

@@ -81,6 +81,14 @@ from repro.core.regions import (
     uncovered_regions,
 )
 from repro.core.planar import planar_adaptive_design, planar_channel_count
+from repro.core.arbitrary import (
+    ArbitraryVerdict,
+    dependency_relation_from_routing,
+    dependency_relation_from_turns,
+    existence_verdict,
+    verdict_from_routing,
+    verdict_from_turns,
+)
 from repro.core import catalog
 
 __all__ = [
@@ -144,5 +152,11 @@ __all__ = [
     "uncovered_regions",
     "planar_adaptive_design",
     "planar_channel_count",
+    "ArbitraryVerdict",
+    "dependency_relation_from_routing",
+    "dependency_relation_from_turns",
+    "existence_verdict",
+    "verdict_from_routing",
+    "verdict_from_turns",
     "catalog",
 ]

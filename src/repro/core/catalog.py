@@ -176,6 +176,39 @@ def fig9c_partitions() -> PartitionSequence:
     ).validate()
 
 
+# ---------------------------------------------------------------------------
+# Beyond-mesh designs used by the arbitrary-network fuzzing families
+# ---------------------------------------------------------------------------
+
+def dragonfly_minimal() -> PartitionSequence:
+    """Minimal dragonfly routing: local, global, then a second local VC.
+
+    Channels are classed ``l`` (intra-group) and ``g`` (inter-group) by the
+    topology layer; the ascending VC on the second local hop breaks the
+    l -> g -> l dependency cycle exactly as the classic minimal scheme does.
+    """
+    return _seq("X+@l -> Y+@g -> X2+@l")
+
+
+def dragonfly_valiant() -> PartitionSequence:
+    """Valiant-style dragonfly routing via an intermediate group.
+
+    Two global hops (to the random intermediate group, then to the
+    destination group) each followed by a fresh local VC; VC numbers
+    ascend along any l-g-l-g-l path so the design is deadlock-free.
+    """
+    return _seq("X+@l -> Y+@g -> X2+@l -> Y2+@g -> X3+@l")
+
+
+def fattree_updown() -> PartitionSequence:
+    """Up*/down* routing on a fat-tree: all up hops, then all down hops.
+
+    Channels are classed ``u``/``d`` by link direction; forbidding
+    up-after-down makes every route a single up-phase/down-phase pair.
+    """
+    return _seq("X+@u -> X-@d")
+
+
 #: Name -> constructor map for tooling (examples, CLI-style sweeps).
 NAMED_DESIGNS = {
     "xy": p1_xy,
@@ -191,6 +224,9 @@ NAMED_DESIGNS = {
     "fig7c": fig7c_partitions,
     "fig9b": fig9b_partitions,
     "fig9c": fig9c_partitions,
+    "dragonfly-minimal": dragonfly_minimal,
+    "dragonfly-valiant": dragonfly_valiant,
+    "fattree-updown": fattree_updown,
 }
 
 

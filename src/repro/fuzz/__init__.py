@@ -1,10 +1,13 @@
 """Differential verification fuzzing for EbDa designs.
 
-Cross-checks the three independent safety oracles this repository
-implements — the EbDa theorems (class-level), Dally CDG acyclicity
-(concrete), and wormhole simulation with a deadlock watchdog (dynamic) —
-over seeded random designs and deliberate mutants, shrinking any
-disagreement to a minimal replayable witness.  See ``docs/FUZZING.md``.
+Cross-checks the five independent safety oracles this repository
+implements — the EbDa theorems (class-level), the static analyzer's
+mirror rules, Dally CDG acyclicity (concrete), wormhole simulation with
+a deadlock watchdog (dynamic), and the arbitrary-network existence
+condition (:mod:`repro.core.arbitrary`) — over seeded random designs and
+deliberate mutants across five topology families (mesh, torus,
+dragonfly, fat-tree, irregular), shrinking any disagreement to a minimal
+replayable witness.  See ``docs/FUZZING.md``.
 """
 
 from repro.fuzz.corpus import (
@@ -15,8 +18,14 @@ from repro.fuzz.corpus import (
     replay_entry,
     save_entry,
 )
-from repro.fuzz.design import MUTATION_KINDS, FuzzDesign, Mutation
-from repro.fuzz.generator import DesignGenerator
+from repro.fuzz.design import (
+    ENGINES,
+    FAMILIES,
+    MUTATION_KINDS,
+    FuzzDesign,
+    Mutation,
+)
+from repro.fuzz.generator import DEFAULT_FAMILIES, DesignGenerator
 from repro.fuzz.oracle import (
     HARD_DISAGREEMENTS,
     DifferentialOracle,
@@ -34,6 +43,9 @@ from repro.fuzz.runner import (
 from repro.fuzz.shrink import ShrinkResult, shrink, within_witness_bound
 
 __all__ = [
+    "DEFAULT_FAMILIES",
+    "ENGINES",
+    "FAMILIES",
     "MUTATION_KINDS",
     "HARD_DISAGREEMENTS",
     "CorpusEntry",

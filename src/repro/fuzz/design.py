@@ -1,10 +1,19 @@
 """The fuzzer's design space: serialisable EbDa designs plus invalid mutants.
 
-A :class:`FuzzDesign` is a *recipe*, not a live object: topology kind and
-shape, the base partition sequence in arrow notation, a named class rule
-and a tuple of :class:`Mutation` edits.  Keeping the recipe plain data
-makes every trial picklable (for the worker fan-out), JSON-serialisable
-(for the regression corpus) and exactly replayable from a generator seed.
+A :class:`FuzzDesign` is a *recipe*, not a live object: a topology family
+and shape, the base partition sequence in arrow notation, a named class
+rule, the routing engine that realises the design, optional failed links
+(irregular trials) and a tuple of :class:`Mutation` edits.  Keeping the
+recipe plain data makes every trial picklable (for the worker fan-out),
+JSON-serialisable (for the regression corpus) and exactly replayable from
+a generator seed.
+
+Five topology families are supported (:data:`FAMILIES`): the original
+``mesh``/``torus`` designs routed by the EbDa turn table, ``dragonfly``
+groups under the minimal L1 -> G -> L2 engine (or its broken single-VC
+variant), two-level ``fattree`` instances under Up*/Down* (or the broken
+greedy variant), and ``irregular`` meshes with failed links routed by the
+turn table with progressive directions and an escape fallback.
 
 Mutations model the known ways a design can be *wrong*:
 
@@ -18,6 +27,10 @@ Mutations model the known ways a design can be *wrong*:
   dropped-escape probes; on a dateline torus this can leave wrap links
   bare or rings unbroken).
 
+Broken *engines* (``dragonfly-single-vc``, ``greedy-up-down``) play the
+same role at the routing level: the recipe stays well-formed, the
+realised dependency relation does not.
+
 Compilation deliberately bypasses theorem validation
 (:func:`~repro.core.extraction.extract_turns` with ``validate=False``) —
 judging the result is the oracles' job, not the constructor's.
@@ -25,7 +38,7 @@ judging the result is the oracles' job, not the constructor's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.channel import Channel
 from repro.core.extraction import extract_turns
@@ -35,10 +48,19 @@ from repro.core.turns import Turn, TurnSet
 from repro.errors import EbdaError
 from repro.topology.base import Topology
 from repro.topology.classes import NAMED_RULES, ClassRule
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.fattree import FatTree
+from repro.topology.irregular import FaultyMesh
 from repro.topology.mesh import Mesh
 from repro.topology.torus import Torus
 
-__all__ = ["MUTATION_KINDS", "FuzzDesign", "Mutation"]
+__all__ = [
+    "ENGINES",
+    "FAMILIES",
+    "MUTATION_KINDS",
+    "FuzzDesign",
+    "Mutation",
+]
 
 #: Supported mutation kinds, in generator rotation order.
 MUTATION_KINDS = (
@@ -46,6 +68,44 @@ MUTATION_KINDS = (
     "backward-transition",
     "add-turn",
     "drop-channel",
+)
+
+#: Supported topology families, in CLI order.
+FAMILIES = ("mesh", "torus", "dragonfly", "fattree", "irregular")
+
+#: Supported routing engines.  ``table`` is the EbDa turn table; the rest
+#: are native engines from :mod:`repro.routing`.
+ENGINES = (
+    "table",
+    "dragonfly",
+    "dragonfly-single-vc",
+    "up-down",
+    "greedy-up-down",
+)
+
+#: Engines each family may use (the first entry is the family default).
+_FAMILY_ENGINES: dict[str, tuple[str, ...]] = {
+    "mesh": ("table",),
+    "torus": ("table",),
+    "dragonfly": ("dragonfly", "dragonfly-single-vc", "up-down"),
+    "fattree": ("up-down", "greedy-up-down"),
+    "irregular": ("table",),
+}
+
+#: Schema keys :meth:`FuzzDesign.from_dict` accepts (``topology`` is the
+#: pre-family legacy spelling of ``family``).
+_SCHEMA_KEYS = frozenset(
+    {
+        "family",
+        "topology",
+        "shape",
+        "sequence",
+        "rule",
+        "mutations",
+        "label",
+        "engine",
+        "failed_links",
+    }
 )
 
 
@@ -110,16 +170,65 @@ class Mutation:
 class FuzzDesign:
     """A fully replayable design recipe for one differential trial."""
 
+    #: Topology family (a :data:`FAMILIES` member).
     topology_kind: str
     shape: tuple[int, ...]
     #: Base partition sequence in arrow notation.
     sequence: str
-    #: Named class rule (a :data:`repro.topology.classes.NAMED_RULES` key).
+    #: Named class rule (a :data:`repro.topology.classes.NAMED_RULES` key,
+    #: or ``"updown-bfs"`` for levels derived by BFS on the realised
+    #: topology).
     rule: str = "none"
     mutations: tuple[Mutation, ...] = ()
     #: Provenance tag: ``"valid:..."`` for generator-certified designs,
     #: ``"mutant:<kind>"`` for deliberate violations.
     label: str = "valid"
+    #: Routing engine realising the design (an :data:`ENGINES` member
+    #: compatible with the family).
+    engine: str = "table"
+    #: Failed bidirectional links, as sorted node pairs (irregular family
+    #: and degraded dragonflies only).
+    failed_links: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...] = field(
+        default=()
+    )
+
+    def __post_init__(self) -> None:
+        if self.topology_kind not in FAMILIES:
+            raise EbdaError(
+                f"unknown topology family {self.topology_kind!r}; known: {FAMILIES}"
+            )
+        allowed = _FAMILY_ENGINES[self.topology_kind]
+        if self.engine not in allowed:
+            raise EbdaError(
+                f"engine {self.engine!r} not usable on family "
+                f"{self.topology_kind!r}; allowed: {allowed}"
+            )
+        normalized = tuple(
+            sorted(
+                {
+                    tuple(sorted((tuple(int(c) for c in u), tuple(int(c) for c in v))))
+                    for u, v in self.failed_links
+                }
+            )
+        )
+        object.__setattr__(self, "failed_links", normalized)
+        if normalized:
+            if self.topology_kind not in ("dragonfly", "irregular"):
+                raise EbdaError(
+                    f"failed links are only meaningful on dragonfly/irregular "
+                    f"families, not {self.topology_kind!r}"
+                )
+            if self.engine in ("dragonfly", "dragonfly-single-vc"):
+                raise EbdaError(
+                    "the minimal dragonfly engines need the intact group "
+                    "structure; route degraded dragonflies with 'up-down'"
+                )
+        if self.topology_kind == "dragonfly" and len(self.shape) != 1:
+            raise EbdaError(f"dragonfly shape is (groups,), got {self.shape}")
+        if self.topology_kind == "fattree" and len(self.shape) != 3:
+            raise EbdaError(
+                f"fattree shape is (leaves, spines, hosts_per_leaf), got {self.shape}"
+            )
 
     # -- realisation -------------------------------------------------------
 
@@ -128,15 +237,53 @@ class FuzzDesign:
             return Mesh(*self.shape)
         if self.topology_kind == "torus":
             return Torus(*self.shape)
-        raise EbdaError(f"unknown topology kind {self.topology_kind!r}")
+        if self.topology_kind == "dragonfly":
+            base: Topology = Dragonfly(self.shape[0])
+            if self.failed_links:
+                return FaultyMesh(base, self.failed_links)
+            return base
+        if self.topology_kind == "fattree":
+            return FatTree(*self.shape)
+        # irregular: a mesh minus its failed links.
+        return FaultyMesh(Mesh(*self.shape), self.failed_links)
 
     def class_rule(self) -> ClassRule:
+        if self.rule == "updown-bfs":
+            from repro.routing.updown import UpDownRouting
+
+            return UpDownRouting(self.topology()).class_rule
         try:
             return NAMED_RULES[self.rule]
         except KeyError:
             raise EbdaError(
-                f"unknown class rule {self.rule!r}; known: {sorted(NAMED_RULES)}"
+                f"unknown class rule {self.rule!r}; known: "
+                f"{sorted(NAMED_RULES) + ['updown-bfs']}"
             )
+
+    def engine_routing(self, topology: Topology | None = None):
+        """The native routing engine, or ``None`` for table-routed designs.
+
+        Built fresh per call (engines cache per-destination reachability,
+        so callers should reuse the instance within a trial).
+        """
+        if self.engine == "table":
+            return None
+        from repro.routing.dragonfly import DragonflyRouting, DragonflySingleVC
+        from repro.routing.updown import GreedyUpDownRouting, UpDownRouting
+
+        topo = topology if topology is not None else self.topology()
+        if self.engine == "dragonfly":
+            return DragonflyRouting(topo)
+        if self.engine == "dragonfly-single-vc":
+            return DragonflySingleVC(topo)
+        levels = (
+            {n: 2 - n[0] for n in topo.nodes}
+            if self.topology_kind == "fattree"
+            else None
+        )
+        if self.engine == "up-down":
+            return UpDownRouting(topo, levels=levels)
+        return GreedyUpDownRouting(topo, levels=levels)
 
     def base_sequence(self) -> PartitionSequence:
         return PartitionSequence.parse(self.sequence)
@@ -203,38 +350,67 @@ class FuzzDesign:
     def size(self) -> tuple[int, int, int]:
         """Strictly-ordered size metric the shrinker minimises.
 
-        Lexicographic: (channels + mutations, radix mass with a torus
-        surcharge, partition count) — every shrink move must decrease it.
+        Lexicographic: (channels + mutations + failed links, radix mass
+        with a torus/irregular surcharge, partition count) — every shrink
+        move must decrease it.  The irregular surcharge lets the shrinker
+        heal a fully-restored irregular mesh into a plain mesh.
         """
         base = self.base_sequence()
-        torus_weight = 2 if self.topology_kind == "torus" else 0
+        weight = {"torus": 2, "irregular": 1}.get(self.topology_kind, 0)
         return (
-            base.channel_count + len(self.mutations),
-            sum(self.shape) + torus_weight,
+            base.channel_count + len(self.mutations) + len(self.failed_links),
+            sum(self.shape) + weight,
             len(base),
         )
 
     def describe(self) -> str:
         muts = ", ".join(m.describe() for m in self.mutations) or "none"
+        engine = "" if self.engine == "table" else f" engine={self.engine}"
+        failed = (
+            f" failed={len(self.failed_links)}" if self.failed_links else ""
+        )
         return (
             f"{self.topology_kind}{'x'.join(map(str, self.shape))}"
-            f" [{self.sequence}] rule={self.rule} mutations: {muts}"
+            f" [{self.sequence}] rule={self.rule}{engine}{failed} mutations: {muts}"
         )
 
     def to_dict(self) -> dict:
         return {
-            "topology": self.topology_kind,
+            "family": self.topology_kind,
             "shape": list(self.shape),
             "sequence": self.sequence,
             "rule": self.rule,
             "mutations": [m.to_dict() for m in self.mutations],
             "label": self.label,
+            "engine": self.engine,
+            "failed_links": [
+                [list(u), list(v)] for u, v in self.failed_links
+            ],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "FuzzDesign":
+        unknown = set(data) - _SCHEMA_KEYS
+        if unknown:
+            raise EbdaError(
+                f"unknown FuzzDesign keys {sorted(unknown)}; "
+                f"known: {sorted(_SCHEMA_KEYS)}"
+            )
+        if "family" in data:
+            family = data["family"]
+        elif "topology" in data:
+            family = data["topology"]  # legacy spelling
+        else:
+            raise EbdaError("FuzzDesign dict needs a 'family' key")
+        if family not in FAMILIES:
+            raise EbdaError(
+                f"unknown topology family {family!r}; known: {FAMILIES}"
+            )
+        engine = data.get("engine", _FAMILY_ENGINES[family][0] if family in ("dragonfly", "fattree") else "table")
+        if engine not in ENGINES:
+            raise EbdaError(f"unknown engine {engine!r}; known: {ENGINES}")
         return cls(
-            topology_kind=data["topology"],
+            topology_kind=family,
             shape=tuple(int(k) for k in data["shape"]),
             sequence=data["sequence"],
             rule=data.get("rule", "none"),
@@ -242,4 +418,8 @@ class FuzzDesign:
                 Mutation.from_dict(m) for m in data.get("mutations", ())
             ),
             label=data.get("label", "valid"),
+            engine=engine,
+            failed_links=tuple(
+                (tuple(u), tuple(v)) for u, v in data.get("failed_links", ())
+            ),
         )

@@ -12,23 +12,46 @@ fuzzer cross-checks it, so generation must not hand-roll designs):
   (:func:`~repro.core.partitioning.partition_vc_budget`);
 * tori — the dateline scheme
   (:func:`~repro.core.torus_designs.dateline_design`) with the ``dateline``
-  class rule.
+  class rule;
+* dragonflies — the minimal L1 -> G -> L2 engine over the two-class
+  sequence, or Up*/Down* over a dragonfly with one global link dropped
+  (the group-link-drop topology mutation, still deadlock-free);
+* fat-trees — Up*/Down* with sign-derived levels;
+* irregular meshes — Algorithm 1 over a mesh minus 1-2 random links that
+  keep it connected, routed with progressive directions and an escape
+  fallback; when the failures leave some pair unroutable under the
+  design's turns, the trial is demoted to ``mutant:link-failures`` so the
+  unroutable verdict stays soft.
 
-Mutants start from a valid design and apply one :class:`Mutation`; see
-:mod:`repro.fuzz.design` for the catalogue.
+Mutants start from a valid design and apply one :class:`Mutation` (see
+:mod:`repro.fuzz.design` for the catalogue) or swap in a deliberately
+broken engine: ``dragonfly-single-vc`` (no VC escape across groups, the
+classic credit-loop deadlock) and ``greedy-up-down`` (Up*/Down* tags
+without the down-then-up prohibition).
+
+The default ``families=("mesh", "torus")`` reproduces the pre-family
+trial stream byte-for-byte; any other selection draws the family first
+from its own stream.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 
 from repro.core.channel import NEG, POS, Channel
 from repro.core.partitioning import partition_vc_budget
 from repro.core.sequence import PartitionSequence
 from repro.core.torus_designs import dateline_design
-from repro.fuzz.design import FuzzDesign, Mutation
+from repro.errors import TopologyError
+from repro.fuzz.design import FAMILIES, FuzzDesign, Mutation
+from repro.topology.dragonfly import GLOBAL_DIM, Dragonfly
+from repro.topology.mesh import Mesh
 
-__all__ = ["DesignGenerator"]
+__all__ = ["DEFAULT_FAMILIES", "DesignGenerator"]
+
+#: The pre-family default: preserves the original trial stream exactly.
+DEFAULT_FAMILIES = ("mesh", "torus")
 
 
 class DesignGenerator:
@@ -43,7 +66,11 @@ class DesignGenerator:
         of a generator-certified valid design.
     torus_fraction:
         Probability a base design targets a torus (dateline scheme)
-        instead of a mesh (Algorithm 1).
+        instead of a mesh (Algorithm 1) — only consulted for the default
+        family selection.
+    families:
+        Topology families to draw from (:data:`repro.fuzz.design.FAMILIES`
+        members).  The default keeps the legacy mesh/torus stream.
     """
 
     def __init__(
@@ -52,17 +79,41 @@ class DesignGenerator:
         *,
         mutant_fraction: float = 0.4,
         torus_fraction: float = 0.3,
+        families: tuple[str, ...] = DEFAULT_FAMILIES,
     ) -> None:
         self.seed = seed
         self.mutant_fraction = mutant_fraction
         self.torus_fraction = torus_fraction
+        families = tuple(families)
+        if not families:
+            raise ValueError("at least one topology family is required")
+        unknown = [f for f in families if f not in FAMILIES]
+        if unknown:
+            raise ValueError(
+                f"unknown topology families {unknown}; known: {list(FAMILIES)}"
+            )
+        self.families = families
 
     # -- public API --------------------------------------------------------
 
     def design_for(self, trial: int) -> FuzzDesign:
         """The design of one trial (independent of all other trials)."""
         rng = random.Random(f"{self.seed}:{trial}")
-        base = self._valid(rng)
+        if self.families == DEFAULT_FAMILIES:
+            # Legacy stream: torus-vs-mesh decided by torus_fraction inside
+            # _valid, byte-identical to the pre-family generator.
+            base = self._valid(rng)
+            if rng.random() < self.mutant_fraction:
+                return self._mutate(base, rng)
+            return base
+        family = self.families[rng.randrange(len(self.families))]
+        if family == "dragonfly":
+            return self._dragonfly_trial(rng)
+        if family == "fattree":
+            return self._fattree_trial(rng)
+        if family == "irregular":
+            return self._irregular_trial(rng)
+        base = self._valid_torus(rng) if family == "torus" else self._valid_mesh(rng)
         if rng.random() < self.mutant_fraction:
             return self._mutate(base, rng)
         return base
@@ -75,15 +126,21 @@ class DesignGenerator:
 
     def _valid(self, rng: random.Random) -> FuzzDesign:
         if rng.random() < self.torus_fraction:
-            n_dims = rng.choice((1, 2))
-            shape = tuple(rng.randint(3, 4) for _ in range(n_dims))
-            return FuzzDesign(
-                topology_kind="torus",
-                shape=shape,
-                sequence=dateline_design(n_dims).arrow_notation(),
-                rule="dateline",
-                label="valid:torus-dateline",
-            )
+            return self._valid_torus(rng)
+        return self._valid_mesh(rng)
+
+    def _valid_torus(self, rng: random.Random) -> FuzzDesign:
+        n_dims = rng.choice((1, 2))
+        shape = tuple(rng.randint(3, 4) for _ in range(n_dims))
+        return FuzzDesign(
+            topology_kind="torus",
+            shape=shape,
+            sequence=dateline_design(n_dims).arrow_notation(),
+            rule="dateline",
+            label="valid:torus-dateline",
+        )
+
+    def _valid_mesh(self, rng: random.Random) -> FuzzDesign:
         n_dims = rng.choice((2, 2, 3))
         max_radix = 4 if n_dims == 2 else 3
         shape = tuple(rng.randint(2, max_radix) for _ in range(n_dims))
@@ -95,6 +152,148 @@ class DesignGenerator:
             rule="none",
             label="valid:mesh-alg1",
         )
+
+    # -- family trials -----------------------------------------------------
+
+    def _dragonfly_trial(self, rng: random.Random) -> FuzzDesign:
+        groups = rng.randint(3, 4)
+        if rng.random() >= self.mutant_fraction:
+            if rng.random() < 0.3:
+                # Group-link drop: still valid — Up*/Down* over the
+                # degraded dragonfly is deadlock-free by construction.
+                return self._dragonfly_link_drop(groups, rng)
+            return FuzzDesign(
+                topology_kind="dragonfly",
+                shape=(groups,),
+                sequence="X+@l -> Y+@g -> X2+@l",
+                rule="dragonfly",
+                engine="dragonfly",
+                label="valid:dragonfly-minimal",
+            )
+        # The classic dragonfly deadlock: one local VC, so cross-group
+        # l -> g -> l chains close credit loops.
+        return FuzzDesign(
+            topology_kind="dragonfly",
+            shape=(groups,),
+            sequence="X+@l -> Y+@g",
+            rule="dragonfly",
+            engine="dragonfly-single-vc",
+            mutations=(Mutation("backward-transition", src=1, dst=0),),
+            label="mutant:single-vc",
+        )
+
+    def _dragonfly_link_drop(self, groups: int, rng: random.Random) -> FuzzDesign:
+        topo = Dragonfly(groups)
+        pairs = sorted(
+            {
+                tuple(sorted((l.src, l.dst)))
+                for l in topo.links
+                if l.dim == GLOBAL_DIM
+            }
+        )
+        for _ in range(8):
+            pair = pairs[rng.randrange(len(pairs))]
+            design = FuzzDesign(
+                topology_kind="dragonfly",
+                shape=(groups,),
+                sequence="X+@u Y+@u -> X+@d Y+@d",
+                rule="updown-bfs",
+                engine="up-down",
+                failed_links=(pair,),
+                label="valid:dragonfly-link-drop",
+            )
+            try:
+                design.topology()  # rejects a disconnecting drop
+            except TopologyError:
+                continue
+            return design
+        return FuzzDesign(
+            topology_kind="dragonfly",
+            shape=(groups,),
+            sequence="X+@l -> Y+@g -> X2+@l",
+            rule="dragonfly",
+            engine="dragonfly",
+            label="valid:dragonfly-minimal",
+        )
+
+    def _fattree_trial(self, rng: random.Random) -> FuzzDesign:
+        leaves = rng.randint(2, 3)
+        spines = rng.randint(1, 2)
+        hosts = rng.randint(1, 2)
+        if rng.random() >= self.mutant_fraction:
+            return FuzzDesign(
+                topology_kind="fattree",
+                shape=(leaves, spines, hosts),
+                sequence="X+@u -> X-@d",
+                rule="updown-signs",
+                engine="up-down",
+                label="valid:fattree-updown",
+            )
+        # Up/down violation: the greedy engine takes up-links after
+        # down-links.  Two spines guarantee a node-simple leaf/spine cycle.
+        return FuzzDesign(
+            topology_kind="fattree",
+            shape=(leaves, max(2, spines), hosts),
+            sequence="X+@u -> X-@d",
+            rule="updown-signs",
+            engine="greedy-up-down",
+            mutations=(Mutation("backward-transition", src=1, dst=0),),
+            label="mutant:greedy-up-down",
+        )
+
+    def _irregular_trial(self, rng: random.Random) -> FuzzDesign:
+        shape = (rng.randint(3, 4), rng.randint(3, 4))
+        budget = [rng.choice((1, 1, 2)) for _ in range(2)]
+        sequence = partition_vc_budget(budget).arrow_notation()
+        mesh = Mesh(*shape)
+        pairs = sorted({tuple(sorted((l.src, l.dst))) for l in mesh.links})
+        n_fail = rng.choice((1, 1, 2))
+        design = None
+        for _ in range(8):
+            chosen = tuple(rng.sample(pairs, n_fail))
+            candidate = FuzzDesign(
+                topology_kind="irregular",
+                shape=shape,
+                sequence=sequence,
+                failed_links=chosen,
+                label="valid:irregular-alg1",
+            )
+            try:
+                candidate.topology()  # rejects disconnecting failures
+            except TopologyError:
+                continue
+            design = candidate
+            break
+        if design is None:  # every draw disconnected; keep the mesh intact
+            design = FuzzDesign(
+                topology_kind="irregular",
+                shape=shape,
+                sequence=sequence,
+                label="valid:irregular-alg1",
+            )
+        if rng.random() < self.mutant_fraction:
+            return self._mutate(design, rng)
+        if self._irregular_dead_pairs(design):
+            # The failures strand some pair under the design's turns: a
+            # genuine topology mutation, so the unroutable verdict is soft.
+            return replace(design, label="mutant:link-failures")
+        return design
+
+    @staticmethod
+    def _irregular_dead_pairs(design: FuzzDesign) -> bool:
+        from repro.routing.table import TurnTableRouting
+
+        seq, turnset = design.compile()
+        routing = TurnTableRouting(
+            design.topology(),
+            seq,
+            design.class_rule(),
+            turnset=turnset,
+            validate=False,
+            directions="progressive",
+            fallback="escape",
+        )
+        return bool(routing.dead_pairs())
 
     # -- mutants -----------------------------------------------------------
 
@@ -117,6 +316,8 @@ class DesignGenerator:
                     rule=base.rule,
                     mutations=(mutation,),
                     label=f"mutant:{kind}",
+                    engine=base.engine,
+                    failed_links=base.failed_links,
                 )
         # Unreachable for the bases above, but keep the generator total.
         return base

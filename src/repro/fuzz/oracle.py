@@ -1,4 +1,4 @@
-"""The differential oracle: four independent verdicts on one design.
+"""The differential oracle: five independent verdicts on one design.
 
 For every :class:`~repro.fuzz.design.FuzzDesign` the oracle computes:
 
@@ -12,12 +12,27 @@ For every :class:`~repro.fuzz.design.FuzzDesign` the oracle computes:
    entirely different wiring (DesignUnit construction, rule registry,
    diagnostic engine), so the two must agree on every trial — any split
    is a bug in the analyzer plumbing;
-3. **CDG verdict** — Dally acyclicity of the conservative turn CDG
-   (:func:`repro.cdg.verify.verdict_for`);
+3. **CDG verdict** — Dally acyclicity of the concrete CDG
+   (:func:`repro.cdg.verify.verdict_for`): the conservative turn CDG for
+   table-routed designs, the routed CDG for native engines;
 4. **simulation verdict** — short wormhole runs with the deadlock
    watchdog: a *crafted ring* run that parks worms along a concrete CDG
    cycle (deterministic deadlock if the cycle is real), then adversarial
-   runs (tornado/rotate90 + hotspot traffic).
+   runs (tornado/rotate90/uniform + hotspot traffic);
+5. **arbitrary-network verdict** — the Mendlovic-Matias existence
+   condition (:mod:`repro.core.arbitrary`): sink-peeling of a wait-for
+   relation rebuilt from scratch (no networkx, no shared CDG code).
+   Theory says it must coincide with verdict 3 on finite graphs, so
+   either split direction is a hard disagreement.
+
+Designs carry a topology family (mesh, torus, dragonfly, fattree,
+irregular) and a routing engine.  Table-routed families are judged
+through the conservative turn relation; native engines (minimal
+dragonfly, Up*/Down*) are judged through their routed relation — the
+conservative relation would flag every valid dragonfly (local straight
+continuations close global rings a minimal router never takes), and
+class-level ring checks do not model engine legality, so the wrap-ring
+closure check and topology-aware lint rules apply to table designs only.
 
 Every simulation run is additionally mirrored on the vector backend
 (:class:`~repro.sim.vector.VectorSimulator`, same traffic, same seeds)
@@ -41,10 +56,14 @@ any edge violated in that chain is a **hard disagreement**:
 * ``valid-design-unroutable`` — a certified design cannot route a pair;
 * ``backend-divergence`` — the vector backend produced different stats
   (or a different unroutable verdict) than the reference simulator;
+* ``arbitrary-safe-cdg-cyclic`` — the existence condition certified a
+  design whose concrete CDG is cyclic;
+* ``arbitrary-unsafe-cdg-acyclic`` — the existence condition rejected a
+  design whose concrete CDG is acyclic;
 * ``oracle-error`` — an oracle crashed (never acceptable).
 
 Everything else is agreement: ``safe-confirmed``, ``unsafe-flagged`` (all
-three fire), ``unsafe-conservative`` (theorems reject, concrete CDG is
+five fire), ``unsafe-conservative`` (theorems reject, concrete CDG is
 still acyclic — the theorems are sufficient, not necessary),
 ``cyclic-not-triggered`` (cycle exists but minimal routing cannot express
 it, e.g. a descending U-turn mutant), ``unroutable``.
@@ -65,8 +84,14 @@ import networkx as nx
 from repro.analyze.engine import static_errors as _static_errors
 from repro.analyze.rings import unbroken_wrap_rings
 from repro.analyze.unit import DesignUnit
-from repro.cdg.graph import build_turn_cdg
+from repro.cdg.graph import build_routing_cdg, build_turn_cdg
 from repro.cdg.verify import Verdict, cyclic_core, verdict_for
+from repro.core.arbitrary import (
+    ArbitraryVerdict,
+    dependency_relation_from_routing,
+    dependency_relation_from_turns,
+    existence_verdict,
+)
 from repro.core.channel import Channel
 from repro.core.sequence import PartitionSequence
 from repro.core.theorems import audit_turns
@@ -101,6 +126,8 @@ HARD_DISAGREEMENTS = (
     "valid-design-rejected",
     "valid-design-unroutable",
     "backend-divergence",
+    "arbitrary-safe-cdg-cyclic",
+    "arbitrary-unsafe-cdg-acyclic",
     "oracle-error",
 )
 
@@ -147,6 +174,10 @@ class TrialResult:
     cdg_wires: int = 0
     cdg_dependencies: int = 0
     cdg_cycle: tuple[str, ...] = ()
+    #: Verdict of the arbitrary-network existence condition (fifth oracle).
+    arbitrary_safe: bool = False
+    arbitrary_core: int = 0
+    arbitrary_cycle: tuple[str, ...] = ()
     sim_deadlock: bool = False
     sim_unroutable: bool = False
     sim_runs: tuple[dict, ...] = ()
@@ -163,11 +194,12 @@ class TrialResult:
 
     @property
     def all_flagged(self) -> bool:
-        """Did all four oracles independently flag the design unsafe?"""
+        """Did all five oracles independently flag the design unsafe?"""
         return (
             not self.theorem_safe
             and not self.static_safe
             and not self.cdg_acyclic
+            and not self.arbitrary_safe
             and self.sim_deadlock
         )
 
@@ -182,6 +214,9 @@ class TrialResult:
             "cdg_wires": self.cdg_wires,
             "cdg_dependencies": self.cdg_dependencies,
             "cdg_cycle": list(self.cdg_cycle),
+            "arbitrary_safe": self.arbitrary_safe,
+            "arbitrary_core": self.arbitrary_core,
+            "arbitrary_cycle": list(self.arbitrary_cycle),
             "sim_deadlock": self.sim_deadlock,
             "sim_unroutable": self.sim_unroutable,
             "sim_runs": list(self.sim_runs),
@@ -241,12 +276,17 @@ class CycleRouting(RoutingFunction):
 
 
 class DifferentialOracle:
-    """Runs one design through all four verdict paths and classifies."""
+    """Runs one design through all five verdict paths and classifies."""
 
     def __init__(self, profile: SimProfile | None = None) -> None:
         self.profile = profile or SimProfile()
 
     # -- individual oracles ------------------------------------------------
+
+    @staticmethod
+    def _native(design: FuzzDesign) -> bool:
+        """Is the design judged through a native engine's routed relation?"""
+        return design.engine != "table"
 
     def theorem_verdict(
         self, design: FuzzDesign
@@ -255,11 +295,12 @@ class DifferentialOracle:
         seq, turnset = design.compile()
         reports = audit_turns(seq, sorted(turnset.turns))
         violations = [v for rep in reports for v in rep.violations]
-        violations.extend(
-            unbroken_wrap_rings(
-                design.topology(), seq.all_channels, turnset, design.class_rule()
+        if not self._native(design):
+            violations.extend(
+                unbroken_wrap_rings(
+                    design.topology(), seq.all_channels, turnset, design.class_rule()
+                )
             )
-        )
         return (not violations, tuple(violations))
 
     def static_verdict(self, design: FuzzDesign) -> tuple[bool, tuple[str, ...]]:
@@ -269,7 +310,9 @@ class DifferentialOracle:
             sequence=seq,
             turnset=turnset,
             name=design.label or seq.arrow_notation(),
-            topology=design.topology(),
+            # Native engines: class-level rules only — the topology-aware
+            # rules model table legality, not engine legality.
+            topology=None if self._native(design) else design.topology(),
             rule=design.class_rule(),
         )
         errors = _static_errors(unit)
@@ -277,12 +320,29 @@ class DifferentialOracle:
 
     def cdg_graph(self, design: FuzzDesign) -> "nx.DiGraph":
         seq, turnset = design.compile()
-        return build_turn_cdg(
-            design.topology(), turnset, seq.all_channels, design.class_rule()
-        )
+        topology = design.topology()
+        rule = design.class_rule()
+        if self._native(design):
+            return build_routing_cdg(topology, design.engine_routing(topology), rule)
+        return build_turn_cdg(topology, turnset, seq.all_channels, rule)
 
     def cdg_verdict(self, design: FuzzDesign) -> Verdict:
         return verdict_for(self.cdg_graph(design))
+
+    def arbitrary_verdict(self, design: FuzzDesign) -> ArbitraryVerdict:
+        """The fifth oracle: the arbitrary-network existence condition."""
+        seq, turnset = design.compile()
+        topology = design.topology()
+        rule = design.class_rule()
+        if self._native(design):
+            relation = dependency_relation_from_routing(
+                topology, design.engine_routing(topology), rule
+            )
+        else:
+            relation = dependency_relation_from_turns(
+                topology, turnset, seq.all_channels, rule
+            )
+        return existence_verdict(relation)
 
     # -- the full trial ----------------------------------------------------
 
@@ -302,12 +362,15 @@ class DifferentialOracle:
         seq, turnset = design.compile()
         topology = design.topology()
         rule = design.class_rule()
+        native = self._native(design)
+        native_routing = design.engine_routing(topology) if native else None
 
         reports = audit_turns(seq, sorted(turnset.turns))
         violations = [v for rep in reports for v in rep.violations]
-        violations.extend(
-            unbroken_wrap_rings(topology, seq.all_channels, turnset, rule)
-        )
+        if not native:
+            violations.extend(
+                unbroken_wrap_rings(topology, seq.all_channels, turnset, rule)
+            )
         result.theorem_safe = not violations
         result.theorem_violations = tuple(violations)
 
@@ -315,22 +378,38 @@ class DifferentialOracle:
             sequence=seq,
             turnset=turnset,
             name=design.label or seq.arrow_notation(),
-            topology=topology,
+            topology=None if native else topology,
             rule=rule,
         )
         static = _static_errors(unit)
         result.static_safe = not static
         result.static_errors = static
 
-        graph = build_turn_cdg(topology, turnset, seq.all_channels, rule)
+        if native:
+            graph = build_routing_cdg(topology, native_routing, rule)
+        else:
+            graph = build_turn_cdg(topology, turnset, seq.all_channels, rule)
         verdict = verdict_for(graph)
         result.cdg_acyclic = verdict.acyclic
         result.cdg_wires = verdict.wires
         result.cdg_dependencies = verdict.dependencies
         result.cdg_cycle = tuple(str(w) for w in verdict.cycle)
 
+        if native:
+            relation = dependency_relation_from_routing(
+                topology, native_routing, rule
+            )
+        else:
+            relation = dependency_relation_from_turns(
+                topology, turnset, seq.all_channels, rule
+            )
+        arbitrary = existence_verdict(relation)
+        result.arbitrary_safe = arbitrary.safe
+        result.arbitrary_core = arbitrary.core
+        result.arbitrary_cycle = arbitrary.cycle
+
         runs, forensics = self._simulate(
-            design, seq, turnset, topology, rule, graph, verdict
+            design, seq, turnset, topology, rule, graph, verdict, native_routing
         )
         result.sim_runs = tuple(runs)
         result.sim_deadlock = any(r.get("deadlocked") for r in runs)
@@ -356,6 +435,7 @@ class DifferentialOracle:
             result.sim_deadlock,
             result.sim_unroutable,
             static_safe=result.static_safe,
+            arbitrary_safe=result.arbitrary_safe,
         )
         if result.backend_agree is False:
             # Two engines claiming cycle-exactness disagreed: that trumps
@@ -371,6 +451,7 @@ class DifferentialOracle:
         deadlock: bool,
         unroutable: bool,
         static_safe: bool | None = None,
+        arbitrary_safe: bool | None = None,
     ) -> tuple[str, str | None]:
         # The static analyzer's mirror rules share the theorem oracle's
         # violation streams — a split verdict is an analyzer wiring bug.
@@ -379,6 +460,15 @@ class DifferentialOracle:
                 "static-clean-theorem-unsafe"
                 if static_safe
                 else "static-error-theorem-safe"
+            )
+            return kind, kind
+        # The existence condition decides the same question as concrete-CDG
+        # acyclicity by an independent algorithm — any split is a bug.
+        if arbitrary_safe is not None and arbitrary_safe != cdg_acyclic:
+            kind = (
+                "arbitrary-safe-cdg-cyclic"
+                if arbitrary_safe
+                else "arbitrary-unsafe-cdg-acyclic"
             )
             return kind, kind
         if theorem_safe and not cdg_acyclic:
@@ -413,14 +503,20 @@ class DifferentialOracle:
         rule: ClassRule,
         graph: "nx.DiGraph",
         verdict: Verdict,
+        native_routing: RoutingFunction | None = None,
     ) -> tuple[list[dict], object]:
         profile = self.profile
         runs: list[dict] = []
         forensics = None
 
+        crafted_classes = (
+            native_routing.channel_classes
+            if native_routing is not None
+            else seq.all_channels
+        )
         if not verdict.acyclic:
             crafted, crafted_forensics = self._crafted_ring_run(
-                topology, seq, rule, graph
+                topology, crafted_classes, rule, graph
             )
             if crafted is not None:
                 runs.append(crafted)
@@ -428,21 +524,34 @@ class DifferentialOracle:
                 if crafted.get("deadlocked"):
                     return runs, forensics
 
-        try:
-            routing = TurnTableRouting(
-                topology, seq, rule, turnset=turnset, validate=False
-            )
-        except EbdaError as exc:
-            runs.append(
-                {"kind": "routing-build", "unroutable": True, "error": str(exc)}
-            )
-            return runs, forensics
+        if native_routing is not None:
+            routing: RoutingFunction = native_routing
+        else:
+            table_kwargs: dict = {}
+            if design.topology_kind == "irregular":
+                # Minimal directions may dead-end around failed links;
+                # route by BFS progress with a turn-legal escape fallback.
+                table_kwargs = {"directions": "progressive", "fallback": "escape"}
+            try:
+                routing = TurnTableRouting(
+                    topology, seq, rule, turnset=turnset, validate=False,
+                    **table_kwargs,
+                )
+            except EbdaError as exc:
+                runs.append(
+                    {"kind": "routing-build", "unroutable": True, "error": str(exc)}
+                )
+                return runs, forensics
 
         nodes = sorted(topology.nodes)
         patterns: list[tuple[str, object]] = []
         if design.topology_kind == "torus":
             patterns.append(("tornado", tornado))
-        elif len(design.shape) >= 2 and design.shape[0] == design.shape[1]:
+        elif (
+            design.topology_kind == "mesh"
+            and len(design.shape) >= 2
+            and design.shape[0] == design.shape[1]
+        ):
             patterns.append(("rotate90", rotate90))
         else:
             patterns.append(("uniform", uniform))
@@ -534,7 +643,7 @@ class DifferentialOracle:
     def _crafted_ring_run(
         self,
         topology: Topology,
-        seq: PartitionSequence,
+        classes: tuple[Channel, ...],
         rule: ClassRule,
         graph: "nx.DiGraph",
     ) -> tuple[dict | None, object]:
@@ -542,7 +651,7 @@ class DifferentialOracle:
         cycle = self._pick_cycle(graph)
         if cycle is None:
             return None, None
-        routing = CycleRouting(topology, cycle, seq.all_channels, rule)
+        routing = CycleRouting(topology, cycle, tuple(classes), rule)
         depth = profile.crafted_buffer_depth
         length = depth + 2
         k = len(cycle)

@@ -24,7 +24,7 @@ from pathlib import Path
 
 from repro.fuzz.corpus import CorpusEntry, load_corpus, replay_entry, save_entry
 from repro.fuzz.design import FuzzDesign, Mutation
-from repro.fuzz.generator import DesignGenerator
+from repro.fuzz.generator import DEFAULT_FAMILIES, DesignGenerator
 from repro.fuzz.oracle import DifferentialOracle, SimProfile, TrialResult
 from repro.fuzz.shrink import ShrinkResult, shrink, within_witness_bound
 from repro.obs.ledger import record_run
@@ -145,6 +145,7 @@ def run_fuzz(
     engine: SweepEngine | None = None,
     profile: SimProfile | None = None,
     generator: DesignGenerator | None = None,
+    families: tuple[str, ...] | None = None,
     progress=None,
     heartbeat=None,
 ) -> FuzzReport:
@@ -155,6 +156,11 @@ def run_fuzz(
     mid-trial.  Each hard disagreement is shrunk (preserving its exact
     classification) and, with ``corpus_dir`` set, saved for replay.
 
+    ``families`` selects the topology families the generator draws from
+    (:data:`repro.fuzz.design.FAMILIES` members); it is a convenience for
+    ``generator=DesignGenerator(seed, families=...)`` and is ignored when
+    an explicit ``generator`` is passed.
+
     ``progress`` is an optional ``callable(str)`` invoked with one status
     line per completed batch (trials done, disagreements so far, elapsed);
     ``heartbeat`` is an optional
@@ -163,7 +169,10 @@ def run_fuzz(
     only — they never change which trials run or how they are judged.
     """
     profile = profile or SimProfile()
-    generator = generator or DesignGenerator(seed)
+    if generator is None:
+        generator = DesignGenerator(
+            seed, families=tuple(families) if families else DEFAULT_FAMILIES
+        )
     jobs = engine.jobs if engine is not None else 1
     batch_size = max(8, jobs * 4)
     started = time.monotonic()
@@ -231,9 +240,13 @@ def run_fuzz(
     report.elapsed_s = time.monotonic() - started
     if heartbeat is not None:
         heartbeat.finish(trial, disagreements=len(report.disagreements))
+    spec = f"runs={runs},seed={seed}"
+    gen_families = tuple(getattr(generator, "families", ()) or ())
+    if gen_families and gen_families != DEFAULT_FAMILIES:
+        spec += f",families={'+'.join(gen_families)}"
     record_run(
         "fuzz",
-        spec=f"runs={runs},seed={seed}",
+        spec=spec,
         seed=seed,
         outcome="ok" if report.ok else "disagreement",
         payload={

@@ -2,8 +2,9 @@
 
 :func:`shrink` greedily walks a disagreeing design down to a tiny witness:
 at each step it proposes a deterministic list of structurally smaller
-candidates (drop a mutation, drop a partition or channel, shave a radix,
-drop a whole dimension, flatten a torus to a mesh) and takes the first one
+candidates (drop a mutation, restore a failed link, drop a partition or
+channel, shave a radix, drop a whole dimension, flatten a torus to a
+mesh, heal a fully-restored irregular mesh) and takes the first one
 that still satisfies the caller's predicate *and* strictly decreases
 :meth:`FuzzDesign.size`.  The strict decrease makes termination a
 structural fact, not a hope; candidates that fail to even compile are
@@ -16,7 +17,7 @@ that is what gets persisted to the corpus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
 
 from repro.core.channel import Channel
@@ -92,7 +93,9 @@ def shrink(
 
 def _candidates(design: FuzzDesign) -> Iterator[tuple[str, FuzzDesign]]:
     yield from _flatten_torus(design)
+    yield from _heal_irregular(design)
     yield from _drop_mutations(design)
+    yield from _drop_failed_links(design)
     yield from _drop_dimensions(design)
     yield from _drop_partitions(design)
     yield from _drop_channels(design)
@@ -129,9 +132,14 @@ def _rebuild(
         "rule": design.rule,
         "mutations": mutations,
         "label": design.label,
+        "engine": design.engine,
+        "failed_links": design.failed_links,
     }
     fields.update(overrides)
-    return FuzzDesign(**fields)
+    try:
+        return FuzzDesign(**fields)
+    except Exception:  # noqa: BLE001 — e.g. a family/shape constraint violated
+        return None
 
 
 def _map_mutation(
@@ -220,19 +228,28 @@ def _flatten_torus(design: FuzzDesign) -> Iterator[tuple[str, FuzzDesign]]:
         yield "flatten torus to mesh (strip class tags)", candidate
 
 
+def _heal_irregular(design: FuzzDesign) -> Iterator[tuple[str, FuzzDesign]]:
+    """Irregular mesh with no failures left → a plain mesh."""
+    if design.topology_kind != "irregular" or design.failed_links:
+        return
+    yield "heal irregular mesh (no failures left)", replace(
+        design, topology_kind="mesh"
+    )
+
+
 def _drop_mutations(design: FuzzDesign) -> Iterator[tuple[str, FuzzDesign]]:
     for i, m in enumerate(design.mutations):
         rest = design.mutations[:i] + design.mutations[i + 1 :]
+        yield f"drop mutation {m.describe()}", replace(design, mutations=rest)
+
+
+def _drop_failed_links(design: FuzzDesign) -> Iterator[tuple[str, FuzzDesign]]:
+    """Restore failed links one at a time (delta-debug the failure set)."""
+    for i, pair in enumerate(design.failed_links):
+        rest = design.failed_links[:i] + design.failed_links[i + 1 :]
         yield (
-            f"drop mutation {m.describe()}",
-            FuzzDesign(
-                topology_kind=design.topology_kind,
-                shape=design.shape,
-                sequence=design.sequence,
-                rule=design.rule,
-                mutations=rest,
-                label=design.label,
-            ),
+            f"restore failed link {pair[0]}-{pair[1]}",
+            replace(design, failed_links=rest),
         )
 
 
@@ -298,20 +315,25 @@ def _drop_channels(design: FuzzDesign) -> Iterator[tuple[str, FuzzDesign]]:
                 yield f"drop channel {ch} from partition {i}", candidate
 
 
+#: Per-family minimum radix per shape slot (single value = every slot).
+_RADIX_FLOORS = {
+    "torus": (3,),
+    "dragonfly": (3,),
+    "fattree": (2, 1, 1),
+    "mesh": (2,),
+    "irregular": (2,),
+}
+
+
 def _shave_radices(design: FuzzDesign) -> Iterator[tuple[str, FuzzDesign]]:
-    floor = 3 if design.topology_kind == "torus" else 2
+    floors = _RADIX_FLOORS[design.topology_kind]
     for dim, k in enumerate(design.shape):
+        floor = floors[dim] if dim < len(floors) else floors[-1]
         if k <= floor:
             continue
         shape = design.shape[:dim] + (k - 1,) + design.shape[dim + 1 :]
-        yield (
-            f"shave dimension {dim} radix to {k - 1}",
-            FuzzDesign(
-                topology_kind=design.topology_kind,
-                shape=shape,
-                sequence=design.sequence,
-                rule=design.rule,
-                mutations=design.mutations,
-                label=design.label,
-            ),
-        )
+        try:
+            candidate = replace(design, shape=shape)
+        except Exception:  # noqa: BLE001 — e.g. failed links now out of range
+            continue
+        yield f"shave dimension {dim} radix to {k - 1}", candidate

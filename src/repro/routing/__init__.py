@@ -26,7 +26,7 @@ from repro.routing.selection import (
 )
 from repro.routing.table import TurnTableRouting
 from repro.routing.turnmodels import NegativeFirst, NorthLast, WestFirst
-from repro.routing.updown import UpDownRouting
+from repro.routing.updown import GreedyUpDownRouting, UpDownRouting
 
 __all__ = [
     "Candidate",
@@ -60,5 +60,6 @@ __all__ = [
     "NegativeFirst",
     "NorthLast",
     "WestFirst",
+    "GreedyUpDownRouting",
     "UpDownRouting",
 ]

@@ -156,3 +156,38 @@ class UpDownRouting(RoutingFunction):
             else:
                 fallback.append((nxt, ch))
         return out or fallback
+
+
+class GreedyUpDownRouting(UpDownRouting):
+    """Up*/Down* with the down-then-up prohibition removed — a negative control.
+
+    Keeps the ``u``/``d`` link tags and the progress-first candidate
+    ordering but drops both the legality filter and the restriction to
+    productive moves: every out-link is always offered, non-progress moves
+    last.  This is the textbook broken design — greedy shortest-path over
+    a tree-levelled network with no turn restriction — and on any fat-tree
+    with at least two spines and two leaves its dependency graph contains
+    leaf -> spine -> leaf up/down cycles, so every static oracle flags it
+    and the simulator can be driven into them.  The fuzzer uses it to
+    check the five oracles agree on *unsafe* hierarchical designs.
+    """
+
+    @property
+    def name(self) -> str:
+        return "greedy-up-down"
+
+    def _legal(self, in_channel: Channel | None, out_channel: Channel) -> bool:
+        return True
+
+    def candidates(self, cur: Coord, dst: Coord, in_channel: Channel | None) -> list[Candidate]:
+        if cur == dst:
+            return []
+        here = self.topology.distance(cur, dst)
+        progress: list[Candidate] = []
+        rest: list[Candidate] = []
+        for nxt, ch in self._all_moves(cur):
+            if self.topology.distance(nxt, dst) < here:
+                progress.append((nxt, ch))
+            else:
+                rest.append((nxt, ch))
+        return progress + rest

@@ -5,14 +5,16 @@ from repro.topology.classes import (
     ClassRule,
     NAMED_RULES,
     column_parity,
+    local_global,
     no_classes,
     parity_rule,
     row_parity,
     rule_for_design,
+    up_down_signs,
 )
 from repro.topology.dragonfly import Dragonfly
 from repro.topology.fattree import FatTree
-from repro.topology.irregular import FaultyMesh
+from repro.topology.irregular import FaultyMesh, GraphTopology
 from repro.topology.mesh import Mesh
 from repro.topology.partial3d import PartiallyConnected3D
 from repro.topology.torus import Torus
@@ -27,13 +29,16 @@ __all__ = [
     "ClassRule",
     "NAMED_RULES",
     "column_parity",
+    "local_global",
     "no_classes",
     "parity_rule",
     "row_parity",
     "rule_for_design",
+    "up_down_signs",
     "Dragonfly",
     "FatTree",
     "FaultyMesh",
+    "GraphTopology",
     "Mesh",
     "PartiallyConnected3D",
     "Torus",

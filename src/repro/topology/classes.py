@@ -73,12 +73,42 @@ def dateline(link: Link) -> str:
     return "w" if link.is_wraparound else "r"
 
 
+def local_global(link: Link) -> str:
+    """Dragonfly classing: local links tagged ``l``, global links ``g``.
+
+    The canonical form of :func:`repro.routing.dragonfly.dragonfly_rule`
+    (same tags, importable without the routing package) — dragonfly links
+    have no geometric direction, so the EbDa structure lives entirely in
+    the ``L1 -> G -> L2`` class ordering.
+    """
+    from repro.topology.dragonfly import LOCAL_DIM
+
+    return "l" if link.dim == LOCAL_DIM else "g"
+
+
+def up_down_signs(link: Link) -> str:
+    """Up*/Down* classing by link sign: ``+`` up (``u``), ``-`` down (``d``).
+
+    Exact for topologies whose link signs encode the level direction —
+    the two-level :class:`~repro.topology.fattree.FatTree` labels every
+    terminal→leaf and leaf→spine link ``+1`` and the reverse links ``-1``,
+    so this rule coincides with the tags
+    :meth:`~repro.routing.updown.UpDownRouting.class_rule` derives from
+    explicit levels.  Topologies without sign-encoded levels (dragonfly:
+    every link is ``+1``) need the BFS-level rule from a routing instance
+    instead.
+    """
+    return "u" if link.sign > 0 else "d"
+
+
 #: Named rules for lookups in experiment configuration.
 NAMED_RULES: dict[str, ClassRule] = {
     "none": no_classes,
     "column-parity": column_parity,
     "row-parity": row_parity,
     "dateline": dateline,
+    "dragonfly": local_global,
+    "updown-signs": up_down_signs,
 }
 
 
@@ -91,4 +121,8 @@ def rule_for_design(design_name: str) -> ClassRule:
         return column_parity
     if design_name == "hamiltonian":
         return row_parity
+    if design_name in ("dragonfly-minimal", "dragonfly-valiant"):
+        return local_global
+    if design_name == "fattree-updown":
+        return up_down_signs
     return no_classes

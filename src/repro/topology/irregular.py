@@ -220,3 +220,97 @@ class FaultyMesh(Topology):
             if self.distance(link.dst, dst) < here:
                 dirs.append((link.dim, link.sign))
         return tuple(dirs)
+
+
+class GraphTopology(Topology):
+    """An arbitrary directed graph as a topology (every link dim 0, sign +1).
+
+    The carrier for arbitrary-network analyses
+    (:mod:`repro.core.arbitrary`): nodes are whatever hashable coordinate
+    tuples the caller supplies, links are exactly the given directed edges,
+    and — since an arbitrary digraph has no geometry — all links share one
+    ``(dim=0, sign=+1)`` label, leaving structure to channel classes and
+    the dependency relation.  Need not be connected or even have a link
+    from every node.
+
+    >>> g = GraphTopology([((0,), (1,)), ((1,), (0,))])
+    >>> len(g.nodes), len(g.links)
+    (2, 2)
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Coord, Coord]],
+        nodes: Iterable[Coord] = (),
+    ) -> None:
+        edge_set: set[tuple[Coord, Coord]] = set()
+        node_set: set[Coord] = set(nodes)
+        for u, v in edges:
+            if u == v:
+                raise TopologyError(f"self-loop edge {u} -> {v}")
+            edge_set.add((u, v))
+            node_set.add(u)
+            node_set.add(v)
+        if not node_set:
+            raise TopologyError("a graph topology needs at least one node")
+        self._edges = tuple(sorted(edge_set))
+        self._nodes = tuple(sorted(node_set))
+
+    def __repr__(self) -> str:
+        return f"GraphTopology({len(self._nodes)} nodes, {len(self._edges)} edges)"
+
+    @property
+    def n_dims(self) -> int:
+        return 1
+
+    @property
+    def nodes(self) -> tuple[Coord, ...]:
+        return self._nodes
+
+    @cached_property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(Link(u, v, 0, +1) for u, v in self._edges)
+
+    @cached_property
+    def _graph_dist(self) -> dict[Coord, dict[Coord, int]]:
+        adj: dict[Coord, list[Coord]] = {n: [] for n in self._nodes}
+        for u, v in self._edges:
+            adj[u].append(v)
+        out: dict[Coord, dict[Coord, int]] = {}
+        for start in self._nodes:
+            dist = {start: 0}
+            queue = deque([start])
+            while queue:
+                cur = queue.popleft()
+                for nxt in adj[cur]:
+                    if nxt not in dist:
+                        dist[nxt] = dist[cur] + 1
+                        queue.append(nxt)
+            out[start] = dist
+        return out
+
+    def distance(self, src: Coord, dst: Coord) -> int:
+        self.validate_node(src)
+        self.validate_node(dst)
+        try:
+            return self._graph_dist[src][dst]
+        except KeyError:
+            raise TopologyError(f"no directed path {src} -> {dst}") from None
+
+    def minimal_directions(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
+        """``((0, +1),)`` whenever any out-link shortens the path."""
+        self.validate_node(cur)
+        self.validate_node(dst)
+        if cur == dst:
+            return ()
+        here = self._graph_dist[cur].get(dst)
+        if here is None:
+            return ()
+        for link in self.out_links(cur):
+            if self._graph_dist[link.dst].get(dst, here) < here:
+                return ((0, +1),)
+        return ()
+
+    def progressive_directions(self, cur: Coord, dst: Coord) -> tuple[tuple[int, int], ...]:
+        """Same as :meth:`minimal_directions` (one direction label)."""
+        return self.minimal_directions(cur, dst)

@@ -7,7 +7,7 @@ from repro.analyze.rules import THEOREM_MIRROR_RULES
 from repro.core import catalog
 from repro.core.torus_designs import dateline_design
 from repro.core.turns import Turn, TurnSet
-from repro.topology import Mesh, Torus
+from repro.topology import Dragonfly, FatTree, Mesh, Torus
 from repro.topology.classes import dateline, rule_for_design
 
 
@@ -184,17 +184,31 @@ class TestOptInRules:
 
 
 class TestCatalogIsClean:
+    #: Beyond-mesh catalog designs lint on their native topologies; the
+    #: dragonfly pair ignores EBDA005, whose torus wrap-ring premise
+    #: misreads dragonfly global 2-rings.
+    NATIVE = {
+        "dragonfly-minimal": (lambda: Dragonfly(4), ("EBDA005",)),
+        "dragonfly-valiant": (lambda: Dragonfly(4), ("EBDA005",)),
+        "fattree-updown": (lambda: FatTree(4, 2, 2), ()),
+    }
+
     @pytest.mark.parametrize("name", sorted(catalog.NAMED_DESIGNS))
     def test_catalog_design_has_no_errors(self, name):
         design = catalog.design(name)
-        n_dims = len({ch.dim for ch in design.all_channels})
+        make_topology, ignore = self.NATIVE.get(name, (None, ()))
+        if make_topology is None:
+            n_dims = len({ch.dim for ch in design.all_channels})
+            topology = Mesh(*((4,) * n_dims))
+        else:
+            topology = make_topology()
         unit = DesignUnit.from_sequence(
             design,
             name=name,
-            topology=Mesh(*((4,) * n_dims)),
+            topology=topology,
             rule=rule_for_design(name),
         )
-        report = lint_design(unit)
+        report = lint_design(unit, ignore=ignore)
         assert report.ok, [d.render() for d in report.errors]
         assert not report.warnings, [d.render() for d in report.warnings]
 

@@ -84,6 +84,7 @@ def test_committed_corpus_exists_and_is_well_formed():
     entries = load_corpus(COMMITTED)
     assert len(entries) >= 5
     kinds = set()
+    families = set()
     for entry in entries:
         assert entry.expect == "unsafe-flagged"
         assert entry.note
@@ -92,17 +93,23 @@ def test_committed_corpus_exists_and_is_well_formed():
         assert path.is_file()
         assert json.loads(path.read_text())["id"] == entry.id
         kinds.add(entry.design.label)
+        families.add(entry.design.topology_kind)
     assert len(kinds) >= 3  # distinct failure modes, not five clones
+    # Beyond-mesh coverage: at least one dragonfly, fat-tree and
+    # irregular witness rides in the committed corpus.
+    assert {"dragonfly", "fattree", "irregular"} <= families
 
 
 @pytest.mark.parametrize(
     "path", sorted(COMMITTED.glob("fuzz-*.json")), ids=lambda p: p.stem
 )
-def test_every_committed_witness_flagged_by_all_three_oracles(path, oracle):
+def test_every_committed_witness_flagged_by_all_five_oracles(path, oracle):
     entry = load_entry(path)
     detected, trial = replay_entry(entry, oracle)
     assert detected, f"{path.name}: got {trial.classification}"
     assert not trial.theorem_safe
+    assert not trial.static_safe
     assert not trial.cdg_acyclic
+    assert not trial.arbitrary_safe
     assert trial.sim_deadlock
     assert trial.all_flagged

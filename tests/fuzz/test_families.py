@@ -1,0 +1,181 @@
+"""Topology-family plumbing: schema round-trips, strict validation, generation.
+
+The ``family`` field (plus ``engine`` and ``failed_links``) must survive
+``FuzzDesign.to_dict``/``from_dict`` exactly, unknown families/engines and
+unknown keys must be rejected up front (a corpus entry that silently
+drops its family would replay as the wrong network), and the seeded
+generator must cover every requested family deterministically while
+leaving the legacy mesh/torus stream untouched.
+"""
+
+import pytest
+
+from repro.errors import EbdaError
+from repro.fuzz import (
+    DEFAULT_FAMILIES,
+    FAMILIES,
+    DesignGenerator,
+    FuzzDesign,
+    Mutation,
+)
+
+ALL = ("mesh", "torus", "dragonfly", "fattree", "irregular")
+
+
+# -- schema round-trip -------------------------------------------------------
+
+
+ROUND_TRIP_DESIGNS = (
+    FuzzDesign("mesh", (3, 3), "X+ X- Y+ -> Y-", label="valid:mesh"),
+    FuzzDesign(
+        "dragonfly",
+        (3,),
+        "X+@l -> Y+@g -> X2+@l",
+        rule="dragonfly",
+        engine="dragonfly",
+        label="valid:dragonfly-minimal",
+    ),
+    FuzzDesign(
+        "fattree",
+        (2, 2, 1),
+        "X+@u -> X-@d",
+        rule="updown-signs",
+        engine="greedy-up-down",
+        mutations=(Mutation("backward-transition", src=1, dst=0),),
+        label="mutant:greedy-up-down",
+    ),
+    FuzzDesign(
+        "irregular",
+        (3, 3),
+        "X+ X- Y+ -> Y-",
+        failed_links=(((0, 0), (1, 0)), ((1, 1), (1, 2))),
+        label="valid:irregular",
+    ),
+)
+
+
+@pytest.mark.parametrize("design", ROUND_TRIP_DESIGNS, ids=lambda d: d.label)
+def test_to_dict_round_trip_carries_family(design):
+    data = design.to_dict()
+    assert data["family"] == design.topology_kind
+    assert data["engine"] == design.engine
+    restored = FuzzDesign.from_dict(data)
+    assert restored == design
+    assert restored.topology_kind == design.topology_kind
+    assert restored.engine == design.engine
+    assert restored.failed_links == design.failed_links
+
+
+def test_legacy_topology_key_still_loads():
+    """Pre-family corpus entries used ``topology`` and implied table engine."""
+    data = {
+        "topology": "mesh",
+        "shape": [2, 2],
+        "sequence": "X+ X- Y+ -> Y-",
+        "rule": "none",
+        "mutations": [],
+        "label": "legacy",
+    }
+    design = FuzzDesign.from_dict(data)
+    assert design.topology_kind == "mesh"
+    assert design.engine == "table"
+    assert design.failed_links == ()
+
+
+# -- strict-schema rejection -------------------------------------------------
+
+
+def _base_dict() -> dict:
+    return {
+        "family": "mesh",
+        "shape": [2, 2],
+        "sequence": "X+ X- Y+ -> Y-",
+        "rule": "none",
+        "mutations": [],
+        "label": "t",
+    }
+
+
+def test_from_dict_rejects_unknown_family():
+    data = _base_dict()
+    data["family"] = "hypercube"
+    with pytest.raises(EbdaError, match="hypercube"):
+        FuzzDesign.from_dict(data)
+
+
+def test_from_dict_rejects_unknown_keys():
+    data = _base_dict()
+    data["topo"] = "mesh"
+    with pytest.raises(EbdaError, match="topo"):
+        FuzzDesign.from_dict(data)
+
+
+def test_from_dict_rejects_unknown_engine():
+    data = _base_dict()
+    data["engine"] = "warp"
+    with pytest.raises(EbdaError, match="warp"):
+        FuzzDesign.from_dict(data)
+
+
+def test_from_dict_requires_a_family_key():
+    data = _base_dict()
+    del data["family"]
+    with pytest.raises(EbdaError):
+        FuzzDesign.from_dict(data)
+
+
+def test_constructor_rejects_family_engine_mismatch():
+    with pytest.raises(EbdaError):
+        FuzzDesign("mesh", (3, 3), "X+ X- Y+ -> Y-", engine="dragonfly")
+
+
+def test_constructor_rejects_failed_links_on_plain_mesh():
+    with pytest.raises(EbdaError):
+        FuzzDesign(
+            "mesh",
+            (3, 3),
+            "X+ X- Y+ -> Y-",
+            failed_links=(((0, 0), (1, 0)),),
+        )
+
+
+# -- generator families ------------------------------------------------------
+
+
+def test_default_families_are_mesh_and_torus():
+    assert DEFAULT_FAMILIES == ("mesh", "torus")
+    assert set(DEFAULT_FAMILIES) < set(FAMILIES)
+
+
+def test_generator_rejects_unknown_families():
+    with pytest.raises(ValueError):
+        DesignGenerator(0, families=("mesh", "hypercube"))
+    with pytest.raises(ValueError):
+        DesignGenerator(0, families=())
+
+
+def test_generator_covers_every_requested_family():
+    designs = DesignGenerator(0, families=ALL).designs(150)
+    seen = {d.topology_kind for d in designs}
+    assert seen == set(ALL)
+    # Engines beyond the turn table actually get exercised.
+    engines = {d.engine for d in designs}
+    assert {"dragonfly", "up-down"} <= engines
+
+
+def test_generator_is_deterministic_per_seed_and_trial():
+    a = DesignGenerator(7, families=ALL).designs(60)
+    b = DesignGenerator(7, families=ALL).designs(60)
+    assert a == b
+    # Trial index, not call order, decides the design.
+    assert DesignGenerator(7, families=ALL).design_for(33) == a[33]
+    # A different seed draws a different stream.
+    c = DesignGenerator(8, families=ALL).designs(60)
+    assert a != c
+
+
+def test_families_keyword_defaults_to_legacy_stream():
+    legacy = DesignGenerator(3).designs(40)
+    explicit = DesignGenerator(3, families=DEFAULT_FAMILIES).designs(40)
+    assert legacy == explicit
+    assert {d.topology_kind for d in legacy} <= {"mesh", "torus"}

@@ -1,19 +1,24 @@
 """Property tests: vector backend == reference on random safe designs.
 
-Hypothesis draws random Algorithm-1 VC budgets (meshes) and dateline
-tori, runs the identical traffic through both engines and requires
-bit-identical ``SimStats.to_dict()``.  A crafted 2x2 ring then checks
-that a *deadlock* — declaration cycle included — also reproduces
-exactly, using the same `CycleRouting` worm-parking construction the
-differential fuzz oracle uses.
+Hypothesis draws random Algorithm-1 VC budgets (meshes), dateline
+tori, minimally-routed dragonflies and up*/down* fat-trees, runs the
+identical traffic through both engines and requires bit-identical
+``SimStats.to_dict()``.  A crafted 2x2 ring then checks that a
+*deadlock* — declaration cycle included — also reproduces exactly,
+using the same `CycleRouting` worm-parking construction the
+differential fuzz oracle uses.  Where the vector backend does not
+support a configuration (fault injection), the ``ConfigError`` is
+asserted explicitly rather than silently skipped.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import partition_vc_budget
 from repro.core.torus_designs import dateline_design
-from repro.routing import TurnTableRouting
+from repro.errors import ConfigError
+from repro.routing import DragonflyRouting, TurnTableRouting, UpDownRouting
 from repro.sim import (
     NetworkSimulator,
     ScriptedTraffic,
@@ -21,7 +26,7 @@ from repro.sim import (
     TrafficGenerator,
     VectorSimulator,
 )
-from repro.topology import Mesh, Torus
+from repro.topology import Dragonfly, FatTree, Mesh, Torus
 from repro.topology.classes import NAMED_RULES, no_classes
 
 MESH = Mesh(4, 4)
@@ -76,6 +81,57 @@ def test_dateline_torus_matches(rate, seed, depth):
     )
     assert ref == vec
     assert not ref["deadlocked"]
+
+
+@given(
+    groups=st.integers(min_value=3, max_value=4),
+    rate=st.floats(min_value=0.02, max_value=0.15),
+    depth=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=6, deadline=None)
+def test_dragonfly_minimal_matches(groups, rate, depth, seed):
+    topology = Dragonfly(groups)
+    routing = DragonflyRouting(topology)
+    ref, vec = _stats_pair(
+        topology, routing, routing.rule,
+        cycles=250, rate=rate, seed=seed, depth=depth,
+    )
+    assert ref == vec
+    assert not ref["deadlocked"]
+
+
+@given(
+    leaves=st.integers(min_value=2, max_value=3),
+    spines=st.integers(min_value=1, max_value=2),
+    rate=st.floats(min_value=0.02, max_value=0.15),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=6, deadline=None)
+def test_fattree_updown_matches(leaves, spines, rate, seed):
+    topology = FatTree(leaves, spines, 1)
+    routing = UpDownRouting(
+        topology, levels={n: 2 - n[0] for n in topology.nodes}
+    )
+    ref, vec = _stats_pair(
+        topology, routing, routing.rule,
+        cycles=250, rate=rate, seed=seed, depth=3,
+    )
+    assert ref == vec
+    assert not ref["deadlocked"]
+
+
+def test_vector_backend_rejects_fault_injection():
+    """Fault sweeps on a degraded dragonfly need the reference backend."""
+    from repro.sim.faults import FaultSchedule
+
+    topology = Dragonfly(3)
+    routing = DragonflyRouting(topology)
+    with pytest.raises(ConfigError):
+        VectorSimulator(
+            topology, routing, routing.rule,
+            faults=FaultSchedule(()),
+        )
 
 
 def _ring_routing(topology):

@@ -58,7 +58,14 @@ class TestDateline:
 
 class TestRegistry:
     def test_named_rules(self):
-        assert set(NAMED_RULES) == {"none", "column-parity", "row-parity", "dateline"}
+        assert set(NAMED_RULES) == {
+            "none",
+            "column-parity",
+            "row-parity",
+            "dateline",
+            "dragonfly",
+            "updown-signs",
+        }
 
     def test_rule_for_design(self):
         assert rule_for_design("odd-even") is column_parity

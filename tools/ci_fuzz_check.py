@@ -1,19 +1,29 @@
 """CI guard for the differential verification fuzzer.
 
-Three gates, any failure exits non-zero:
+Four gates, any failure exits non-zero:
 
 * **self-check** — a synthetic disagreement (a Theorem-1-violating mutant
   falsely labeled valid) must be detected as ``valid-design-rejected``
   and shrink to within the 2-ary 2-mesh witness bound, proving the
   detect → shrink pipeline is actually wired up;
 * **corpus replay** — every committed witness under ``tests/fuzz/corpus``
-  must still be flagged by all three oracles (theorems, CDG, simulator);
-* **smoke campaign** — a fixed-seed fuzzing run under a wall-clock budget
-  must finish with zero hard disagreements; any disagreement found is
-  minimised and persisted next to the JSONL trial log for upload.
+  must still be flagged by all five oracles (theorems, static mirror,
+  CDG acyclicity, simulator, arbitrary-network existence condition);
+* **smoke campaign** — a fixed-seed mesh/torus fuzzing run under a
+  wall-clock budget must finish with zero hard disagreements;
+* **all-families campaign** — a fixed-seed run drawing from every
+  topology family (mesh, torus, dragonfly, fat-tree, irregular) must
+  finish with zero hard disagreements, exercising the native-engine
+  oracle paths and the fifth oracle end to end.
+
+Any disagreement found is minimised and persisted next to the JSONL
+trial logs for artifact upload.
 
 Run from the repository root:
     PYTHONPATH=src python tools/ci_fuzz_check.py [report.jsonl] [corpus_out/]
+
+The all-families trial log is written next to the first argument with an
+``-families`` suffix (default ``fuzz-report-families.jsonl``).
 """
 
 from __future__ import annotations
@@ -22,10 +32,11 @@ import sys
 import time
 from pathlib import Path
 
-from repro.fuzz import fast_profile, replay_corpus, run_fuzz, self_check
+from repro.fuzz import FAMILIES, fast_profile, replay_corpus, run_fuzz, self_check
 
 COMMITTED_CORPUS = Path("tests/fuzz/corpus")
 BUDGET_S = 60.0
+FAMILIES_BUDGET_S = 120.0
 SEED = 0
 RUNS = 200
 
@@ -33,6 +44,9 @@ RUNS = 200
 def main() -> int:
     report_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("fuzz-report.jsonl")
     corpus_out = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("fuzz-corpus-out")
+    families_report_path = report_path.with_name(
+        report_path.stem + "-families" + report_path.suffix
+    )
     profile = fast_profile()
     failures = 0
 
@@ -72,6 +86,28 @@ def main() -> int:
         failures += 1
     print(
         f"fuzz smoke: {report.runs_completed} trials,"
+        f" {time.monotonic() - started:.1f}s, failures={failures}"
+    )
+
+    started = time.monotonic()
+    families_report = run_fuzz(
+        RUNS,
+        seed=SEED,
+        budget_s=FAMILIES_BUDGET_S,
+        corpus_dir=corpus_out,
+        profile=profile,
+        families=FAMILIES,
+    )
+    print(families_report.summary())
+    families_report.to_jsonl(families_report_path)
+    print(f"all-families trial log written to {families_report_path}")
+    if not families_report.ok:
+        failures += 1
+    if families_report.runs_completed == 0:
+        print("FAIL: budget expired before any all-families trial completed")
+        failures += 1
+    print(
+        f"fuzz all-families: {families_report.runs_completed} trials,"
         f" {time.monotonic() - started:.1f}s, failures={failures}"
     )
     return 1 if failures else 0

@@ -1,11 +1,15 @@
 """CI guard for the static design analyzer (``repro.analyze``).
 
-Three gates, any failure exits non-zero:
+Four gates, any failure exits non-zero:
 
 * **catalog gate** — eight known-good designs (XY, west-first,
   north-last, negative-first, DyXY, Odd-Even, Hamiltonian, the improved
   Elevator-First a.k.a. ``partial3d``) must lint with ZERO error-severity
   diagnostics: the linter has no false positives on the paper's designs;
+* **new-engines gate** — the beyond-mesh catalog designs (dragonfly
+  minimal/Valiant, fat-tree up*/down*) must lint clean when bound to
+  their native topologies (the dragonfly pair ignores EBDA005, whose
+  torus wrap-ring premise does not transfer to dragonfly 2-rings);
 * **mutant gate** — every committed fuzz-corpus witness under
   ``tests/fuzz/corpus`` must raise at least one error diagnostic carrying
   a stable rule ID and a design location: the linter has no false
@@ -30,6 +34,7 @@ from repro.analyze.engine import AnalysisReport
 from repro.analyze.reporters import render_sarif
 from repro.core import catalog
 from repro.fuzz.corpus import load_corpus
+from repro.topology import Dragonfly, FatTree
 from repro.topology.classes import rule_for_design
 from repro.topology.mesh import Mesh
 
@@ -79,6 +84,41 @@ def check_catalog(analyzer: Analyzer) -> tuple[int, list[AnalysisReport]]:
     return failures, reports
 
 
+#: Beyond-mesh catalog designs linted against their native topologies.
+#: ``ignore`` drops rules whose premises do not transfer (EBDA005's torus
+#: wrap rings read dragonfly global 2-rings as unbroken wrap rings).
+NEW_ENGINE_DESIGNS = (
+    ("dragonfly-minimal", lambda: Dragonfly(4), ("EBDA005",)),
+    ("dragonfly-valiant", lambda: Dragonfly(4), ("EBDA005",)),
+    ("fattree-updown", lambda: FatTree(4, 2, 2), ()),
+)
+
+
+def check_new_engines() -> tuple[int, list[AnalysisReport]]:
+    failures = 0
+    reports: list[AnalysisReport] = []
+    for name, make_topology, ignore in NEW_ENGINE_DESIGNS:
+        unit = DesignUnit.from_sequence(
+            catalog.design(name),
+            name=name,
+            topology=make_topology(),
+            rule=rule_for_design(name),
+        )
+        report = Analyzer(ignore=ignore).run(unit)
+        reports.append(report)
+        if report.errors:
+            failures += 1
+            print(f"FAIL: {name} should lint clean on its native topology:")
+            for diag in report.errors:
+                print(f"  {diag.render()}")
+        else:
+            ignored = f" (ignoring {', '.join(ignore)})" if ignore else ""
+            print(f"lint {name} [ok] native topology{ignored},"
+                  f" {report.counts['warning']} warning(s),"
+                  f" {report.counts['note']} note(s)")
+    return failures, reports
+
+
 def check_mutants(analyzer: Analyzer) -> tuple[int, list[AnalysisReport]]:
     failures = 0
     reports: list[AnalysisReport] = []
@@ -88,11 +128,15 @@ def check_mutants(analyzer: Analyzer) -> tuple[int, list[AnalysisReport]]:
         failures += 1
     for entry in entries:
         seq, turnset = entry.design.compile()
+        # Native-engine designs (dragonfly, up-down) are judged on the
+        # sequence alone, mirroring the oracle's static verdict: the
+        # mesh/torus topology-aware rules do not transfer to them.
+        native = entry.design.engine != "table"
         unit = DesignUnit(
             sequence=seq,
             turnset=turnset,
             name=entry.design.label or entry.id,
-            topology=entry.design.topology(),
+            topology=None if native else entry.design.topology(),
             rule=entry.design.class_rule(),
         )
         report = analyzer.run(unit)
@@ -146,15 +190,21 @@ def main() -> int:
     catalog_failures, catalog_reports = check_catalog(analyzer)
     failures += catalog_failures
 
+    engine_failures, engine_reports = check_new_engines()
+    failures += engine_failures
+
     mutant_failures, mutant_reports = check_mutants(analyzer)
     failures += mutant_failures
 
-    failures += check_sarif(catalog_reports + mutant_reports, sarif_path)
+    failures += check_sarif(
+        catalog_reports + engine_reports + mutant_reports, sarif_path
+    )
 
     if failures:
         print(f"{failures} lint gate failure(s)")
         return 1
-    print("lint gates passed: catalog clean, mutants flagged, SARIF valid")
+    print("lint gates passed: catalog clean, new engines clean,"
+          " mutants flagged, SARIF valid")
     return 0
 
 
