@@ -85,3 +85,52 @@ def test_verify_scales_with_topology(benchmark, radix):
     design = catalog.design("west-first")
     verdict = benchmark(verify_design, design, Mesh(radix, radix))
     assert verdict.acyclic
+
+
+def test_certify_full_registry_symbolic(benchmark):
+    """The third column: one symbolic proof covers EVERY radix at once.
+
+    Where ``test_lint_full_catalog`` lints each design at one concrete
+    (n, k) and ``verify_design`` rebuilds a CDG per topology, ``certify``
+    proves the rules over the whole parametric domain — so its wall time
+    is the cost of verifying infinitely many instantiations.  The record
+    lands in ``BENCH_certify.json`` next to the lint numbers.
+    """
+    import time
+
+    from repro.analyze import certify_all, check_certificates
+    from repro.analyze.symbolic import SYMBOLIC_FAMILIES
+
+    reports = benchmark(certify_all)
+    assert len(reports) == len(SYMBOLIC_FAMILIES)
+    certs = [c.to_dict() for rep in reports for c in rep.certificates]
+
+    check_start = time.perf_counter()
+    results = check_certificates(certs)
+    check_s = time.perf_counter() - check_start
+    assert all(r.ok for r in results)
+
+    try:
+        from benchmarks.benchlib import write_bench_json
+    except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+        from benchlib import write_bench_json
+
+    wall_s = benchmark.stats.stats.mean
+    path = write_bench_json(
+        "certify",
+        params={
+            "families": len(reports),
+            "certificates": len(certs),
+        },
+        wall_s=wall_s,
+        throughput=len(certs) / wall_s if wall_s else None,
+        extra={
+            "certify_s": wall_s,
+            "certcheck_s": check_s,
+            "violations": sum(
+                1 for rep in reports for c in rep.certificates
+                if c.status == "violation"
+            ),
+        },
+    )
+    print(f"\nbenchmark record written to {path}")

@@ -24,6 +24,7 @@ the two verdicts on every trial (:func:`static_errors`).
 """
 
 from repro.analyze.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analyze.certcheck import CheckResult, check_certificate, check_certificates
 from repro.analyze.diagnostics import (
     RULES,
     Diagnostic,
@@ -37,20 +38,42 @@ from repro.analyze.engine import AnalysisReport, Analyzer, lint_design, static_e
 from repro.analyze.reporters import render_json, render_sarif, render_text
 from repro.analyze.rings import link_rings, unbroken_rings, unbroken_wrap_rings
 from repro.analyze.rules import THEOREM_MIRROR_RULES
+from repro.analyze.symbolic import (
+    SYMBOLIC_FAMILIES,
+    SYMBOLIC_RULES,
+    Certificate,
+    SymbolicDesign,
+    SymbolicReport,
+    certify,
+    certify_all,
+    differential_gate,
+    symbolic_family,
+)
 from repro.analyze.unit import DesignUnit, TableProtocol
 
 __all__ = [
     "RULES",
+    "SYMBOLIC_FAMILIES",
+    "SYMBOLIC_RULES",
     "THEOREM_MIRROR_RULES",
     "AnalysisReport",
     "Analyzer",
+    "Certificate",
+    "CheckResult",
     "DesignUnit",
     "Diagnostic",
     "Location",
     "RuleInfo",
     "Severity",
+    "SymbolicDesign",
+    "SymbolicReport",
     "TableProtocol",
     "apply_baseline",
+    "certify",
+    "certify_all",
+    "check_certificate",
+    "check_certificates",
+    "differential_gate",
     "link_rings",
     "lint_design",
     "load_baseline",
@@ -60,6 +83,7 @@ __all__ = [
     "render_text",
     "rule_ids",
     "static_errors",
+    "symbolic_family",
     "unbroken_rings",
     "unbroken_wrap_rings",
     "write_baseline",

@@ -24,6 +24,8 @@ EBDA010  note     adaptive design lacks turn-level escape coverage
                   (deliverability relies on lookahead routing)
 EBDA011  note     non-consecutive forward transition (opt-in; Theorem 3
                   states consecutive order, skipping is a safe corollary)
+EBDA012  error    dragonfly global-channel dependency loop (the global-
+                  graph analogue of the wrap-ring rule)
 ======== ======== ==========================================================
 
 Rules EBDA001—EBDA005 consume the *same* structured violation streams as
@@ -39,13 +41,21 @@ from collections import deque
 from collections.abc import Iterable, Iterator
 from itertools import product
 
+import networkx as nx
+
 from repro.analyze.diagnostics import Diagnostic, Location, Severity, register_rule
 from repro.analyze.rings import unbroken_rings
 from repro.analyze.unit import DesignUnit
 from repro.core.channel import NEG, POS, Channel, dim_name
 from repro.core.minimal import min_channels
 from repro.core.regions import covers_all_regions
-from repro.core.theorems import Violation, sequence_violations, turn_violations
+from repro.core.theorems import (
+    VIOLATION_RULES,
+    Violation,
+    sequence_violations,
+    turn_violations,
+)
+from repro.topology.dragonfly import GLOBAL_DIM, Dragonfly
 
 __all__ = ["THEOREM_MIRROR_RULES"]
 
@@ -91,7 +101,7 @@ def _partition_location(unit: DesignUnit, violation: Violation) -> Location:
 def ebda001(unit: DesignUnit) -> Iterator[Diagnostic]:
     """A partition is cycle-free iff it covers at most one complete D-pair."""
     for v in sequence_violations(unit.sequence):
-        if v.code != "duplicate-pair":
+        if VIOLATION_RULES[v.code] != "EBDA001":
             continue
         yield Diagnostic(
             "EBDA001",
@@ -112,7 +122,7 @@ def ebda001(unit: DesignUnit) -> Iterator[Diagnostic]:
 def ebda002(unit: DesignUnit) -> Iterator[Diagnostic]:
     """Same-dimension turns must follow the partition's ascending numbering."""
     for v in turn_violations(unit.sequence, sorted(unit.turnset.turns)):
-        if v.code != "non-ascending":
+        if VIOLATION_RULES[v.code] != "EBDA002":
             continue
         yield Diagnostic(
             "EBDA002",
@@ -136,7 +146,7 @@ def ebda003(unit: DesignUnit) -> Iterator[Diagnostic]:
         unit.sequence, sorted(unit.turnset.turns)
     )
     for v in stream:
-        if v.code not in ("backward", "overlap"):
+        if VIOLATION_RULES[v.code] != "EBDA003":
             continue
         yield Diagnostic(
             "EBDA003",
@@ -157,7 +167,7 @@ def ebda003(unit: DesignUnit) -> Iterator[Diagnostic]:
 def ebda004(unit: DesignUnit) -> Iterator[Diagnostic]:
     """Every granted turn must connect two channels some partition covers."""
     for v in turn_violations(unit.sequence, sorted(unit.turnset.turns)):
-        if v.code != "foreign-channel":
+        if VIOLATION_RULES[v.code] != "EBDA004":
             continue
         yield Diagnostic(
             "EBDA004",
@@ -528,3 +538,71 @@ def ebda011(unit: DesignUnit) -> Iterator[Diagnostic]:
                 hint='extract turns with transitions="consecutive" for the'
                 " literal Theorem-3 form",
             )
+
+
+# ---------------------------------------------------------------------------
+# EBDA012: dragonfly global-channel loops (topology-aware)
+# ---------------------------------------------------------------------------
+
+@register_rule(
+    "EBDA012",
+    "dragonfly global-channel dependency loop",
+    Severity.ERROR,
+    "Section 3.1 (dragonfly), Theorem 3 analogue",
+    requires_topology=True,
+)
+def ebda012(unit: DesignUnit) -> Iterator[Diagnostic]:
+    """The global graph's analogue of the wrap-ring rule (EBDA005).
+
+    A dragonfly has no torus rings — its deadlock geometry lives in the
+    *global* graph: every pair of groups is one global link, so any cycle
+    of phase classes that passes through a global channel lets packets in
+    different groups hold local buffers while waiting for each other's
+    global hop, the classic dragonfly credit loop (the reason canonical
+    designs order their phases ``L1 -> G -> L2``).
+
+    The check builds the digraph of instantiable channel classes connected
+    by granted turns between *distinct* classes and reports every cyclic
+    component containing a global channel.  Straight-through (same-class)
+    steps are excluded: on a canonical dragonfly each phase is a single
+    hop — the local graph is complete and each route has one global hop —
+    so a class never feeds itself.  That premise is exactly why the
+    generic wrap-ring rule (which must assume arbitrary-length rings)
+    stays disabled for dragonfly lints.
+    """
+    topology = unit.topology
+    if not isinstance(topology, Dragonfly):
+        return
+    produced: dict[Direction, set[str]] = {}
+    for link in topology.links:
+        produced.setdefault((link.dim, link.sign), set()).add(unit.rule(link))
+    instantiable = [
+        ch
+        for ch in unit.channels
+        if ch.cls in produced.get((ch.dim, ch.sign), set())
+    ]
+    graph: nx.DiGraph = nx.DiGraph()
+    graph.add_nodes_from(instantiable)
+    for a in instantiable:
+        for b in instantiable:
+            if a != b and unit.turnset.allows(a, b):
+                graph.add_edge(a, b)
+    for component in nx.strongly_connected_components(graph):
+        if len(component) < 2:
+            continue
+        loop = sorted(component)
+        global_channels = [ch for ch in loop if ch.dim == GLOBAL_DIM]
+        if not global_channels:
+            continue
+        names = " ".join(str(ch) for ch in loop)
+        yield Diagnostic(
+            "EBDA012",
+            Severity.ERROR,
+            f"channel classes {{{names}}} form a dependency loop through"
+            f" global channel {global_channels[0]}: groups can hold local"
+            " buffers while waiting on each other's global hop",
+            Location(channel=str(global_channels[0])),
+            hint="order the phase classes so no turn re-enters an earlier"
+            " phase through a global channel (canonical dragonfly designs"
+            " use L1 -> G -> L2)",
+        )

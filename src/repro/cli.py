@@ -43,6 +43,20 @@ Commands
     simulating.  ``--select/--ignore`` tune the rule set, ``--baseline``
     suppresses recorded findings, ``--torus`` arms the wrap-ring checks,
     ``--list-rules`` prints the catalog.
+``certify [families...|--all] [--gate N] [--cert-dir DIR]``
+    Symbolic verification (:mod:`repro.analyze.symbolic`): prove the
+    EBDA rules over *parametric* design families — all dimensions and
+    radices at once — and seal each verdict as a machine-checkable
+    certificate.  The independent checker
+    (:mod:`repro.analyze.certcheck`) re-validates every certificate
+    unless ``--no-check``; ``--gate N`` cross-checks symbolic verdicts
+    against the concrete linter at N random ``(n, k)`` points;
+    ``--cert-dir`` writes the sealed certificates as JSON files.
+``exists <graph.json> [--design SEQ] [--format text|json]``
+    Arbitrary-network existence check (:mod:`repro.core.arbitrary`):
+    read a directed graph from JSON (``{"edges": [[src, dst], ...]}``),
+    lay a channel-class design over it and report whether a
+    deadlock-free routing exists (exit 1 when it does not).
 ``runs list|show <id-prefix>|diff [--ledger DIR]``
     Query the run ledger (:mod:`repro.obs.ledger`): list every recorded
     invocation, show one record by run-id prefix, or report *drift* —
@@ -70,6 +84,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from contextlib import contextmanager
 from typing import Sequence
 
@@ -496,6 +511,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     profile = fast_profile() if args.fast else SimProfile()
     failures = 0
 
+    if args.instantiations > 0:
+        from repro.fuzz import run_instantiations
+
+        report = run_instantiations(args.instantiations, seed=args.seed)
+        print(report.summary())
+        if not report.ok:
+            failures += 1
+
     if args.self_check:
         ok, message = self_check(profile)
         print(message)
@@ -624,7 +647,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     # Beyond-mesh catalog designs lint on their native topologies; the
     # dragonfly pair drops EBDA005, whose torus wrap-ring premise misreads
-    # dragonfly global 2-rings.
+    # dragonfly global 2-rings — EBDA012 (the global-loop analogue) is the
+    # real dragonfly check and stays enabled.
     native_lint = {
         "dragonfly-minimal": (lambda: Dragonfly(4), ("EBDA005",)),
         "dragonfly-valiant": (lambda: Dragonfly(4), ("EBDA005",)),
@@ -766,6 +790,230 @@ def _ledger_lint(names: list, reports: list) -> None:
         },
         wall_s=sum(r.elapsed_s for r in reports),
     )
+
+
+def _describe_region(region: dict) -> str:
+    kind = region.get("kind")
+    if kind == "none":
+        return "nowhere"
+    if kind == "all":
+        return "every (n, k) in the domain"
+    if kind == "n-ge":
+        return f"all n >= {region['n0']}"
+    if kind == "k-ge":
+        return f"all k >= {region['k0']}"
+    return f"region {region!r}"
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analyze import (
+        SYMBOLIC_FAMILIES,
+        certify_all,
+        check_certificates,
+        differential_gate,
+    )
+
+    names = list(args.families)
+    if args.all or not names:
+        names = sorted(SYMBOLIC_FAMILIES)
+    start = time.perf_counter()
+    try:
+        reports = certify_all(tuple(names))
+    except EbdaError as exc:
+        raise SystemExit(str(exc))
+
+    failures = 0
+    certs = [c for rep in reports for c in rep.certificates]
+
+    check_problems: list[str] = []
+    if not args.no_check:
+        for result in check_certificates([c.to_dict() for c in certs]):
+            if not result.ok:
+                failures += 1
+                check_problems.append(result.describe())
+
+    gate = None
+    if args.gate > 0:
+        try:
+            gate = differential_gate(tuple(names), points=args.gate, seed=args.seed)
+        except EbdaError as exc:
+            raise SystemExit(str(exc))
+        failures += len(gate.disagreements)
+
+    if args.format == "json":
+        payload = {
+            "families": [rep.to_dict() for rep in reports],
+            "certificates": len(certs),
+            "checker": None if args.no_check else {
+                "checked": len(certs),
+                "problems": check_problems,
+            },
+            "differential": None if gate is None else gate.to_dict(),
+            "ok": failures == 0,
+        }
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        lines = []
+        for rep in reports:
+            design = symbolic_family_summary(rep.family)
+            if rep.ok:
+                verdict = (
+                    f"proven clean ({len(rep.applicable_rules)} rules,"
+                    f" {len(rep.certificates) - len(rep.applicable_rules)}"
+                    " inapplicable)"
+                )
+            else:
+                parts = [
+                    f"{c.rule} fires on {_describe_region(c.region)}"
+                    for c in rep.certificates
+                    if c.status == "violation"
+                ]
+                verdict = "; ".join(parts)
+            lines.append(f"{rep.family} ({design}): {verdict}")
+        lines.append(
+            f"{len(reports)} families, {len(certs)} certificates"
+        )
+        if not args.no_check:
+            lines.append(
+                "checker: all certificates independently re-validated"
+                if not check_problems
+                else "checker REJECTED certificates:"
+            )
+            lines.extend(f"  {p}" for p in check_problems)
+        if gate is not None:
+            verdict = (
+                "zero disagreements"
+                if gate.ok
+                else f"{len(gate.disagreements)} DISAGREEMENT(S)"
+            )
+            lines.append(
+                f"differential: {len(gate.checked)} symbolic-vs-concrete"
+                f" checks at {gate.points} random points — {verdict}"
+            )
+            lines.extend(f"  {d.describe()}" for d in gate.disagreements)
+        rendered = "\n".join(lines)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"{args.format} certification report written to {args.out}")
+    else:
+        print(rendered)
+
+    if args.cert_dir:
+        import os
+
+        os.makedirs(args.cert_dir, exist_ok=True)
+        for rep in reports:
+            path = os.path.join(args.cert_dir, f"{rep.family}.json")
+            with open(path, "w") as fh:
+                fh.write(
+                    json.dumps([c.to_dict() for c in rep.certificates]) + "\n"
+                )
+        print(f"{len(reports)} certificate files written to {args.cert_dir}")
+
+    _ledger_certify(names, reports, failures, time.perf_counter() - start)
+    return 1 if failures else 0
+
+
+def symbolic_family_summary(name: str) -> str:
+    """One-line domain summary for a family, e.g. ``mesh, n >= 2, k >= 2``."""
+    from repro.analyze import symbolic_family
+
+    design = symbolic_family(name)
+    if design.n_fixed is not None:
+        shape = f"n = {design.n_fixed}"
+    else:
+        shape = f"n >= {design.n_min}"
+    return f"{design.kind}, {shape}, k >= {design.k_min}"
+
+
+def _ledger_certify(
+    names: list, reports: list, failures: int, wall_s: float
+) -> None:
+    import hashlib
+
+    from repro.obs.ledger import current_ledger, record_run
+
+    if current_ledger() is None:
+        return
+    spec = ",".join(names)
+    if len(spec) > 80:
+        spec = "families:" + hashlib.sha256(spec.encode()).hexdigest()[:16]
+    record_run(
+        "certify",
+        spec=spec,
+        outcome="failures" if failures else "ok",
+        payload={
+            rep.family: sorted(rep.violation_rules) for rep in reports
+        },
+        wall_s=wall_s,
+    )
+
+
+def cmd_exists(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.arbitrary import verdict_from_turns
+    from repro.topology.irregular import GraphTopology
+
+    try:
+        with open(args.graph) as fh:
+            spec = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read graph file {args.graph!r}: {exc}")
+    if not isinstance(spec, dict) or "edges" not in spec:
+        raise SystemExit(
+            'graph JSON must be an object with an "edges" list;'
+            ' optional keys: "nodes", "design"'
+        )
+
+    def coord(value: object) -> tuple:
+        # Scalar node labels become 1-tuples, the coordinate form
+        # GraphTopology expects.
+        if isinstance(value, list):
+            return tuple(value)
+        return (value,)
+
+    try:
+        edges = [(coord(u), coord(v)) for u, v in spec["edges"]]
+    except (TypeError, ValueError):
+        raise SystemExit('each edge must be a [src, dst] pair')
+    nodes = [coord(n) for n in spec.get("nodes", ())]
+
+    # The channel-class structure laid over the graph: a partition
+    # sequence in arrow notation (CLI flag wins over the file's "design"
+    # key).  Default is the single class X+, which makes the existence
+    # check a pure wait-graph drain over the raw links.
+    design_text = args.design or str(spec.get("design", "")) or "X+"
+    try:
+        topology = GraphTopology(edges, nodes)
+        sequence = PartitionSequence.parse(design_text)
+        turnset = extract_turns(sequence, validate=False)
+    except EbdaError as exc:
+        raise SystemExit(str(exc))
+
+    verdict = verdict_from_turns(topology, turnset, sequence.all_channels)
+
+    if args.format == "json":
+        print(json.dumps({
+            "graph": {"nodes": len(topology.nodes), "edges": len(topology.links)},
+            "design": design_text,
+            "safe": verdict.safe,
+            "wires": verdict.wires,
+            "dependencies": verdict.dependencies,
+            "core": verdict.core,
+            "cycle": list(verdict.cycle),
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"graph: {len(topology.nodes)} nodes,"
+            f" {len(topology.links)} directed links; design: {design_text}"
+        )
+        print(verdict.describe())
+    return 0 if verdict.safe else 1
 
 
 def cmd_runs(args: argparse.Namespace) -> int:
@@ -1092,6 +1340,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
+    p_cert = sub.add_parser(
+        "certify",
+        help="symbolic verification: prove EBDA rules over all radices"
+        " and seal machine-checkable certificates",
+    )
+    p_cert.add_argument(
+        "families", nargs="*",
+        help="symbolic family names (default: every registered family)",
+    )
+    p_cert.add_argument(
+        "--all", action="store_true",
+        help="certify every registered family (the default when no"
+        " families are named)",
+    )
+    p_cert.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p_cert.add_argument(
+        "--out", default="", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    p_cert.add_argument(
+        "--cert-dir", default="", metavar="DIR",
+        help="also write one sealed-certificate JSON file per family here",
+    )
+    p_cert.add_argument(
+        "--gate", type=int, default=0, metavar="N",
+        help="also run the differential gate: cross-check symbolic"
+        " verdicts against the concrete linter at N random (n, k) points",
+    )
+    p_cert.add_argument(
+        "--seed", type=int, default=0,
+        help="differential-gate root seed (default 0)",
+    )
+    p_cert.add_argument(
+        "--no-check", action="store_true",
+        help="skip the independent certificate re-validation pass",
+    )
+    _add_obs_flags(p_cert)
+    p_cert.set_defaults(func=cmd_certify)
+
+    p_exists = sub.add_parser(
+        "exists",
+        help="arbitrary-network existence check: does a deadlock-free"
+        " routing exist on a user-supplied graph?",
+    )
+    p_exists.add_argument(
+        "graph", metavar="GRAPH.json",
+        help='JSON file: {"edges": [[src, dst], ...], "nodes": [...],'
+        ' "design": "..."} — nodes are scalars or coordinate lists',
+    )
+    p_exists.add_argument(
+        "--design", default="", metavar="SEQ",
+        help="channel-class design in arrow notation laid over the graph"
+        " (default: the file's \"design\" key, else the single class X+)",
+    )
+    p_exists.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    _add_obs_flags(p_exists)
+    p_exists.set_defaults(func=cmd_exists)
+
     p_chaos = sub.add_parser(
         "chaos",
         help="Monte-Carlo chaos campaign: faults x policies x workloads",
@@ -1182,6 +1494,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--self-check", action="store_true",
         help="inject a synthetic disagreement and verify detection + shrinking",
+    )
+    p_fuzz.add_argument(
+        "--instantiations", type=int, default=0, metavar="N",
+        help="also run the instantiation oracle: cross-check symbolic"
+        " certificates against the concrete linter at N random (n, k)"
+        " points (default 0: off)",
     )
     p_fuzz.add_argument(
         "--fast", action="store_true",

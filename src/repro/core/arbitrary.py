@@ -33,8 +33,9 @@ Two relation builders mirror the two CDG flavours:
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from repro.core.channel import Channel
 from repro.core.turns import TurnSet

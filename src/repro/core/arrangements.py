@@ -16,9 +16,9 @@ implements the three arrangements:
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, replace
 from itertools import permutations
-from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.channel import NEG, POS, Channel, dim_name
 from repro.errors import PartitionError

@@ -20,8 +20,8 @@ implicit dependency exists between them.
 from __future__ import annotations
 
 import re
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
-from typing import Iterable
 
 from repro.errors import ChannelParseError
 

@@ -16,8 +16,8 @@ de-duplicate structurally identical outcomes.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from itertools import permutations, product
-from typing import Iterator, Sequence
 
 from repro.core.arrangements import DimensionSet
 from repro.core.partition import Partition

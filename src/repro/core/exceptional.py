@@ -11,8 +11,8 @@ four and obtains the other four by switching PAs and PBs).
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from itertools import product
-from typing import Iterator, Sequence
 
 from repro.core.channel import NEG, POS, Channel
 from repro.core.partition import Partition

@@ -101,14 +101,26 @@ def extract_turns(
     return TurnSet(rules)
 
 
-def degree90_turns(sequence: PartitionSequence, **kwargs) -> tuple[Turn, ...]:
+def degree90_turns(
+    sequence: PartitionSequence,
+    *,
+    transitions: str = "all",
+    validate: bool = True,
+) -> tuple[Turn, ...]:
     """Only the 90-degree turns of the compiled design (Tables 4-5 style)."""
-    return extract_turns(sequence, **kwargs).of_kind(TurnKind.DEGREE90)
+    turnset = extract_turns(sequence, transitions=transitions, validate=validate)
+    return turnset.of_kind(TurnKind.DEGREE90)
 
 
-def allowed_turn_pairs(sequence: PartitionSequence, **kwargs) -> frozenset[tuple[Channel, Channel]]:
+def allowed_turn_pairs(
+    sequence: PartitionSequence,
+    *,
+    transitions: str = "all",
+    validate: bool = True,
+) -> frozenset[tuple[Channel, Channel]]:
     """The design's turns as (src, dst) channel pairs, for set comparisons."""
-    return frozenset((t.src, t.dst) for t in extract_turns(sequence, **kwargs).turns)
+    turnset = extract_turns(sequence, transitions=transitions, validate=validate)
+    return frozenset((t.src, t.dst) for t in turnset.turns)
 
 
 def injection_channels(sequence: PartitionSequence) -> tuple[Channel, ...]:

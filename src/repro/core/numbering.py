@@ -14,9 +14,9 @@ the Figure 4 benchmark and the property tests.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from math import comb
-from typing import Sequence
 
 from repro.core.channel import Channel, POS
 from repro.core.partition import Partition

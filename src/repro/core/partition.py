@@ -15,8 +15,8 @@ the channels).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import Iterable, Iterator
 
 from repro.core.channel import Channel, channels as _parse_channels, complete_pairs, dims_covered
 from repro.errors import PartitionError

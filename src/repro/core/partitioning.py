@@ -16,7 +16,7 @@ by steering each new partition toward still-uncovered regions, while
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.arrangements import DimensionSet, arrangement1
 from repro.core.channel import NEG, POS, Channel

@@ -13,8 +13,8 @@ inside the partition (which is what "fully adaptive in that region" means).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from itertools import product
-from typing import Iterable, Sequence
 
 from repro.core.channel import NEG, POS
 from repro.core.partition import Partition

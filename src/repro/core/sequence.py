@@ -13,8 +13,8 @@ concrete networks.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import Iterable, Iterator
 
 from repro.core.channel import Channel
 from repro.core.partition import Partition

@@ -15,8 +15,9 @@ on concrete networks lives in :mod:`repro.cdg`.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.channel import Channel
 from repro.core.partition import Partition
@@ -181,6 +182,19 @@ class Violation:
     message: str
     partition: int | None = None
     turn: "Turn | None" = None
+
+
+#: Stable analyzer rule ID for each structured violation code.  The
+#: static analyzer's theorem-mirror rules and the symbolic prover's
+#: certificate derivations both key off this one mapping, so a new code
+#: (or a re-homed one) changes every consumer at once.
+VIOLATION_RULES: dict[str, str] = {
+    "duplicate-pair": "EBDA001",
+    "non-ascending": "EBDA002",
+    "backward": "EBDA003",
+    "overlap": "EBDA003",
+    "foreign-channel": "EBDA004",
+}
 
 
 def sequence_violations(sequence: PartitionSequence) -> tuple[Violation, ...]:

@@ -16,9 +16,9 @@ forwarded on channel class ``b`` iff ``(a, b)`` is in the set.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Iterator, Mapping
 
 from repro.core.channel import Channel
 

@@ -1,7 +1,7 @@
 """The run ledger: append-only, content-addressed provenance for every run.
 
-Each ``run_point`` / ``sweep`` / ``fuzz`` / ``chaos`` / ``lint``
-invocation can append one :class:`RunRecord` to an on-disk
+Each ``run_point`` / ``sweep`` / ``fuzz`` / ``chaos`` / ``lint`` /
+``certify`` invocation can append one :class:`RunRecord` to an on-disk
 :class:`RunLedger` — a single append-only JSON Lines file.  A record
 splits into two halves:
 
@@ -54,7 +54,7 @@ __all__ = [
 LEDGER_SCHEMA = 1
 
 #: Record kinds the ledger accepts (one per pipeline entry point).
-RUN_KINDS = ("run_point", "sweep", "fuzz", "chaos", "lint")
+RUN_KINDS = ("run_point", "sweep", "fuzz", "chaos", "lint", "certify")
 
 
 def default_ledger_dir() -> Path:

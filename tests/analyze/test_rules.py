@@ -183,6 +183,49 @@ class TestOptInRules:
         assert fired == {"EBDA011"}
 
 
+class TestDragonflyGlobalLoop:
+    def dragonfly_unit(self, text):
+        return unit_for(
+            text,
+            topology=Dragonfly(4),
+            rule=rule_for_design("dragonfly-minimal"),
+        )
+
+    def test_ebda012_flags_single_phase_design(self):
+        # Local and global channels in one partition wait on each other:
+        # clean under every theorem mirror, yet the l->g->l loop through
+        # the global channel can deadlock across groups.
+        unit = self.dragonfly_unit("X+@l Y+@g")
+        fired = rules_fired(unit)
+        assert "EBDA012" in fired
+
+    def test_ebda012_quiet_on_phased_catalog_designs(self):
+        for name in ("dragonfly-minimal", "dragonfly-valiant"):
+            unit = DesignUnit.from_sequence(
+                catalog.design(name),
+                name=name,
+                topology=Dragonfly(4),
+                rule=rule_for_design(name),
+            )
+            assert "EBDA012" not in rules_fired(unit)
+
+    def test_ebda012_quiet_off_dragonfly(self):
+        unit = unit_for("X+ X- -> Y+ Y-", topology=Mesh(4, 4))
+        assert "EBDA012" not in rules_fired(unit)
+
+    def test_ebda012_skipped_without_topology(self):
+        unit = unit_for("X+ X- -> Y+ Y-")
+        report = lint_design(unit)
+        assert "EBDA012" not in report.rules_run
+
+    def test_ebda012_diagnostic_names_a_global_channel(self):
+        unit = self.dragonfly_unit("X+@l Y+@g")
+        report = lint_design(unit)
+        diags = [d for d in report.errors if d.rule == "EBDA012"]
+        assert diags
+        assert "@g" in (diags[0].location.channel or "")
+
+
 class TestCatalogIsClean:
     #: Beyond-mesh catalog designs lint on their native topologies; the
     #: dragonfly pair ignores EBDA005, whose torus wrap-ring premise

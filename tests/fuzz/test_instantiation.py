@@ -1,0 +1,39 @@
+"""The instantiation oracle: symbolic certificates vs the concrete linter."""
+
+from repro.fuzz import InstantiationReport, run_instantiations
+
+
+class TestRunInstantiations:
+    def test_full_registry_sweep_is_clean(self):
+        report = run_instantiations(40, seed=11)
+        assert isinstance(report, InstantiationReport)
+        assert report.ok
+        assert report.points == 40
+        assert len(report.families) >= 20
+
+    def test_family_subset(self):
+        report = run_instantiations(
+            10, seed=3, families=("dim-order-mesh", "mesh-backward-turn")
+        )
+        assert report.ok
+        assert set(report.families) == {"dim-order-mesh", "mesh-backward-turn"}
+
+    def test_summary_mentions_points_and_verdict(self):
+        report = run_instantiations(5, seed=0, families=("dateline-torus",))
+        summary = report.summary()
+        assert "5 points" in summary
+        assert "all symbolic verdicts confirmed" in summary
+
+    def test_deterministic_for_a_seed(self):
+        a = run_instantiations(30, seed=9)
+        b = run_instantiations(30, seed=9)
+        assert a.points == b.points
+        assert a.disagreements == b.disagreements
+
+    def test_too_few_points_for_the_registry_is_an_error(self):
+        import pytest
+
+        from repro.errors import EbdaError
+
+        with pytest.raises(EbdaError, match="one point per family"):
+            run_instantiations(5, seed=0)

@@ -92,6 +92,15 @@ class TestLedgerFlag:
         main(["runs", "list", "--ledger", str(ledger)])
         assert "lint" in capsys.readouterr().out
 
+    def test_certify_records_run(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        assert main(
+            ["certify", "mesh-backward-turn", "--ledger", str(ledger)]
+        ) == 0
+        capsys.readouterr()
+        main(["runs", "list", "--ledger", str(ledger)])
+        assert "certify" in capsys.readouterr().out
+
 
 class TestSweepStageSummary:
     def test_stage_times_in_cli_summary(self, capsys):

@@ -372,3 +372,105 @@ class TestChaosCli:
     def test_bad_mesh_rejected(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--trials", "2", "--mesh", "huge"])
+
+
+class TestCertify:
+    def test_default_certifies_every_family(self, capsys):
+        assert main(["certify"]) == 0
+        out = capsys.readouterr().out
+        assert "dim-order-mesh" in out
+        assert "proven clean" in out
+        assert "independently re-validated" in out
+
+    def test_broken_family_reports_its_region(self, capsys):
+        assert main(["certify", "mesh-backward-turn"]) == 0
+        out = capsys.readouterr().out
+        assert "EBDA003 fires on every (n, k)" in out
+
+    def test_gate_runs_the_differential(self, capsys):
+        assert main(["certify", "dim-order-mesh", "--gate", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "10 symbolic-vs-concrete checks" in out
+        assert "zero disagreements" in out
+
+    def test_json_format_round_trips(self, capsys):
+        import json
+
+        assert main(["certify", "alg1-mesh", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["families"][0]["family"] == "alg1-mesh"
+
+    def test_cert_dir_writes_checkable_files(self, capsys, tmp_path):
+        import json
+
+        from repro.analyze import check_certificate
+
+        assert main(
+            ["certify", "dateline-torus", "--cert-dir", str(tmp_path)]
+        ) == 0
+        path = tmp_path / "dateline-torus.json"
+        certs = json.loads(path.read_text())
+        assert certs and all(check_certificate(c).ok for c in certs)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "no-such-family"])
+
+
+class TestExists:
+    def graph(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "graph.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_cyclic_graph_exits_one_with_witness(self, capsys, tmp_path):
+        path = self.graph(
+            tmp_path, {"edges": [[0, 1], [1, 2], [2, 0]]}
+        )
+        assert main(["exists", path]) == 1
+        out = capsys.readouterr().out
+        assert "no deadlock-free guarantee" in out
+
+    def test_acyclic_graph_exits_zero(self, capsys, tmp_path):
+        path = self.graph(tmp_path, {"edges": [[0, 1], [1, 2], [0, 2]]})
+        assert main(["exists", path]) == 0
+        assert "deadlock-free routing exists" in capsys.readouterr().out
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        path = self.graph(tmp_path, {"edges": [["a", "b"], ["b", "a"]]})
+        assert main(["exists", path, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["safe"] is False
+        assert payload["cycle"]
+
+    def test_design_flag_overrides_file(self, capsys, tmp_path):
+        path = self.graph(
+            tmp_path,
+            {"edges": [[0, 1], [1, 2]], "design": "X+"},
+        )
+        assert main(["exists", path, "--design", "X+ -> Y+"]) == 0
+        assert "X+ -> Y+" in capsys.readouterr().out
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["exists", str(tmp_path / "nope.json")])
+
+    def test_malformed_payload_rejected(self, tmp_path):
+        path = self.graph(tmp_path, {"nodes": [1, 2]})
+        with pytest.raises(SystemExit):
+            main(["exists", path])
+
+
+class TestFuzzInstantiations:
+    def test_instantiation_oracle_via_fuzz(self, capsys):
+        assert main(
+            ["fuzz", "--runs", "0", "--instantiations", "30", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "instantiation oracle: 30 points" in out
+        assert "all symbolic verdicts confirmed" in out

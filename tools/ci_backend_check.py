@@ -18,9 +18,9 @@ Run from the repository root:
 
 from __future__ import annotations
 
-import sys
 import time
 from pathlib import Path
+from typing import Any
 
 from repro.errors import EbdaError, RoutingError, SimulationError
 from repro.routing.table import TurnTableRouting
@@ -49,10 +49,20 @@ CYCLES = 600
 SEED = 3
 
 
-def _run_both(topology, routing, rule, *, cycles, rate, seed, watchdog=500,
-              buffer_depth=4, drain=True):
+def _run_both(
+    topology: Any,
+    routing: Any,
+    rule: Any,
+    *,
+    cycles: int,
+    rate: float,
+    seed: int,
+    watchdog: int = 500,
+    buffer_depth: int = 4,
+    drain: bool = True,
+) -> list[dict[str, Any] | str]:
     """(reference stats dict | exception name, vector ditto)."""
-    out = []
+    out: list[dict[str, Any] | str] = []
     for cls in (NetworkSimulator, VectorSimulator):
         sim = cls(
             topology, routing, rule,
@@ -131,7 +141,7 @@ def check_corpus() -> int:
     return failures
 
 
-def _diff(ref, vec) -> None:
+def _diff(ref: dict[str, Any] | str, vec: dict[str, Any] | str) -> None:
     if isinstance(ref, dict) and isinstance(vec, dict):
         for key in sorted(ref):
             if ref[key] != vec.get(key):

@@ -1,6 +1,6 @@
 """CI guard for the static design analyzer (``repro.analyze``).
 
-Four gates, any failure exits non-zero:
+Five gates, any failure exits non-zero:
 
 * **catalog gate** — eight known-good designs (XY, west-first,
   north-last, negative-first, DyXY, Odd-Even, Hamiltonian, the improved
@@ -10,6 +10,9 @@ Four gates, any failure exits non-zero:
   minimal/Valiant, fat-tree up*/down*) must lint clean when bound to
   their native topologies (the dragonfly pair ignores EBDA005, whose
   torus wrap-ring premise does not transfer to dragonfly 2-rings);
+* **dragonfly-loop gate** — a theorem-clean but single-phase dragonfly
+  design (local and global channels waiting on each other) must be
+  flagged by EBDA012, the global-loop analogue of the wrap-ring rule;
 * **mutant gate** — every committed fuzz-corpus witness under
   ``tests/fuzz/corpus`` must raise at least one error diagnostic carrying
   a stable rule ID and a design location: the linter has no false
@@ -86,7 +89,9 @@ def check_catalog(analyzer: Analyzer) -> tuple[int, list[AnalysisReport]]:
 
 #: Beyond-mesh catalog designs linted against their native topologies.
 #: ``ignore`` drops rules whose premises do not transfer (EBDA005's torus
-#: wrap rings read dragonfly global 2-rings as unbroken wrap rings).
+#: wrap rings read dragonfly global 2-rings as unbroken wrap rings);
+#: EBDA012, the dragonfly global-loop analogue, stays enabled and is the
+#: check that actually covers those 2-rings.
 NEW_ENGINE_DESIGNS = (
     ("dragonfly-minimal", lambda: Dragonfly(4), ("EBDA005",)),
     ("dragonfly-valiant", lambda: Dragonfly(4), ("EBDA005",)),
@@ -117,6 +122,26 @@ def check_new_engines() -> tuple[int, list[AnalysisReport]]:
                   f" {report.counts['warning']} warning(s),"
                   f" {report.counts['note']} note(s)")
     return failures, reports
+
+
+def check_dragonfly_loop() -> int:
+    """Negative gate for EBDA012: a dragonfly design whose local and
+    global phases wait on each other must be flagged, even though it is
+    clean under every theorem-mirror rule."""
+    unit = DesignUnit.from_sequence(
+        "X+@l Y+@g",
+        name="dragonfly-single-phase",
+        topology=Dragonfly(4),
+        rule=rule_for_design("dragonfly-minimal"),
+    )
+    report = Analyzer(ignore=("EBDA005",)).run(unit)
+    fired = sorted({d.rule for d in report.errors})
+    if "EBDA012" not in fired:
+        print("FAIL: single-phase dragonfly design should raise EBDA012,"
+              f" got {fired or 'no errors'}")
+        return 1
+    print(f"lint dragonfly-single-phase [ok] flagged via {', '.join(fired)}")
+    return 0
 
 
 def check_mutants(analyzer: Analyzer) -> tuple[int, list[AnalysisReport]]:
@@ -193,6 +218,8 @@ def main() -> int:
     engine_failures, engine_reports = check_new_engines()
     failures += engine_failures
 
+    failures += check_dragonfly_loop()
+
     mutant_failures, mutant_reports = check_mutants(analyzer)
     failures += mutant_failures
 
@@ -204,7 +231,7 @@ def main() -> int:
         print(f"{failures} lint gate failure(s)")
         return 1
     print("lint gates passed: catalog clean, new engines clean,"
-          " mutants flagged, SARIF valid")
+          " dragonfly loop flagged, mutants flagged, SARIF valid")
     return 0
 
 

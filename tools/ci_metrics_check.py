@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+from typing import Any
 
 REQUIRED_KEYS = {
     "meta": {"schema", "topology", "n_nodes", "routing", "sample_every",
@@ -48,9 +49,9 @@ def _reject_constant(token: str) -> float:
     raise ValueError(f"non-strict JSON constant {token!r}")
 
 
-def validate(path: Path) -> list[dict]:
+def validate(path: Path) -> list[dict[str, Any]]:
     """Parse + schema-check one exported JSONL file, line by line."""
-    records = []
+    records: list[dict[str, Any]] = []
     for lineno, line in enumerate(path.read_text().splitlines(), 1):
         if not line.strip():
             continue

@@ -126,7 +126,7 @@ def main() -> None:
 
             records = ledger.records()
             sweeps = [r for r in records if r.kind == "sweep"]
-            by_identity: dict = {}
+            by_identity: dict[str, set[str]] = {}
             for r in sweeps:
                 by_identity.setdefault(r.identity, set()).add(r.digest)
             repeated = [ds for ds in by_identity.values() if len(ds) > 1]

@@ -31,7 +31,7 @@ def main() -> None:
         if modinfo.name.endswith("__main__"):
             continue
         mod = importlib.import_module(modinfo.name)
-        public = []
+        public: list[tuple[str, str, str]] = []
         for name in sorted(getattr(mod, "__all__", []) or vars(mod)):
             if name.startswith("_"):
                 continue
